@@ -1,0 +1,89 @@
+// Section 5 "ECO and Interaction with Logic Synthesis": incremental
+// netlist changes should produce small placement changes while preserving
+// relative cell positions. We place a circuit, add ~2% new cells and nets,
+// and compare incremental adaptation against a full re-placement.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace gpf;
+using namespace gpf::bench;
+
+int main() {
+    print_preamble("§5 — ECO / incremental placement (ablation)",
+                   "an incrementally changed netlist results in small changes "
+                   "in the placement");
+
+    const suite_circuit& desc = suite_circuit_by_name("primary1");
+    netlist nl = instantiate(desc);
+
+    placer p(nl, {});
+    const placement before = p.run();
+    const std::size_t num_preexisting = nl.num_cells();
+    const double hpwl_before = total_hpwl(nl, before);
+
+    // ECO: add 2% new cells, each wired to a few existing cells.
+    prng rng(7);
+    const auto new_cells = static_cast<std::size_t>(
+        std::max<std::size_t>(4, nl.num_cells() / 50));
+    for (std::size_t i = 0; i < new_cells; ++i) {
+        cell c;
+        c.name = "eco" + std::to_string(i);
+        c.width = 2.0;
+        c.height = 1.0;
+        const cell_id id = nl.add_cell(std::move(c));
+        net n;
+        n.name = "eco_net" + std::to_string(i);
+        n.pins.push_back({id, {}});
+        for (int k = 0; k < 3; ++k) {
+            const auto target = static_cast<cell_id>(rng.next_below(num_preexisting));
+            bool dup = false;
+            for (const pin& q : n.pins) dup |= (q.cell == target);
+            if (!dup) n.pins.push_back({target, {}});
+        }
+        n.driver = 0;
+        nl.add_net(std::move(n));
+    }
+    nl.invalidate_adjacency();
+
+    // Incremental adaptation.
+    stopwatch sw;
+    const placement seeded = seed_new_cells(nl, before, num_preexisting);
+    const eco_result eco = incremental_place(nl, seeded, num_preexisting);
+    const double t_eco = sw.elapsed_seconds();
+
+    // Full re-placement for comparison.
+    sw.reset();
+    placer full(nl, {});
+    const placement replaced = full.run();
+    const double t_full = sw.elapsed_seconds();
+    double full_mean_disp = 0.0;
+    std::size_t counted = 0;
+    for (cell_id i = 0; i < num_preexisting; ++i) {
+        if (nl.cell_at(i).fixed) continue;
+        full_mean_disp += distance(replaced[i], before[i]);
+        ++counted;
+    }
+    full_mean_disp /= static_cast<double>(counted);
+
+    ascii_table table({"flow", "HPWL", "mean displacement", "CPU [s]"});
+    table.add_row({"before ECO", fmt_double(hpwl_before, 0), "-", "-"});
+    table.add_row({"incremental", fmt_double(eco.hpwl_after, 0),
+                   fmt_double(eco.mean_displacement, 2), fmt_double(t_eco, 2)});
+    table.add_row({"full re-place", fmt_double(total_hpwl(nl, replaced), 0),
+                   fmt_double(full_mean_disp, 2), fmt_double(t_full, 2)});
+    table.print(std::cout);
+
+    csv_writer csv("ablation_eco.csv", {"flow", "hpwl", "mean_disp", "cpu_s"});
+    csv.add_row({"incremental", fmt_double(eco.hpwl_after, 1),
+                 fmt_double(eco.mean_displacement, 3), fmt_double(t_eco, 3)});
+    csv.add_row({"full", fmt_double(total_hpwl(nl, replaced), 1),
+                 fmt_double(full_mean_disp, 3), fmt_double(t_full, 3)});
+
+    std::printf("\nincremental displacement is %.1fx smaller than a re-place "
+                "(%.2f vs %.2f units)\n",
+                full_mean_disp / std::max(1e-9, eco.mean_displacement),
+                eco.mean_displacement, full_mean_disp);
+    return 0;
+}

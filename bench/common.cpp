@@ -1,0 +1,129 @@
+#include "common.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gpf::bench {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+    const char* v = std::getenv(name);
+    return v ? std::atof(v) : fallback;
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+    const char* v = std::getenv(name);
+    return v ? static_cast<std::size_t>(std::atoll(v)) : fallback;
+}
+
+} // namespace
+
+double suite_scale() { return env_double("GPF_SCALE", 0.08); }
+
+std::uint64_t suite_seed() {
+    return static_cast<std::uint64_t>(env_size("GPF_SEED", 1998));
+}
+
+std::size_t max_circuits() { return env_size("GPF_MAX_CIRCUITS", 9); }
+
+std::vector<suite_circuit> selected_suite() {
+    std::vector<suite_circuit> all = mcnc_suite();
+    if (all.size() > max_circuits()) all.resize(max_circuits());
+    return all;
+}
+
+netlist instantiate(const suite_circuit& descriptor) {
+    return make_suite_circuit(descriptor, suite_scale(), suite_seed());
+}
+
+method_result run_kraftwerk(const netlist& nl, double k_force) {
+    method_result result;
+    stopwatch sw;
+    placer_options opt;
+    opt.force_scale_k = k_force;
+    if (k_force >= 0.5) {
+        // Fast mode: larger steps need fewer transformations; stop earlier.
+        opt.max_iterations = 70;
+        opt.plateau_window = 10;
+    }
+    placer p(nl, opt);
+    const placement global = p.run();
+    placement legal;
+    legalize(nl, global, legal);
+    result.seconds = sw.elapsed_seconds();
+    result.hpwl = total_hpwl(nl, legal);
+    result.ok = true;
+    return result;
+}
+
+method_result run_gordian(const netlist& nl) {
+    method_result result;
+    stopwatch sw;
+    const placement global = gordian_place(nl);
+    placement legal;
+    legalize(nl, global, legal);
+    result.seconds = sw.elapsed_seconds();
+    result.hpwl = total_hpwl(nl, legal);
+    result.ok = true;
+    return result;
+}
+
+method_result run_annealer(const netlist& nl) {
+    method_result result;
+    stopwatch sw;
+    annealer_options opt;
+    opt.moves_per_cell = env_size("GPF_ANNEAL_MPC", 6);
+    // Random-ish but reproducible start: spread cells over the region with
+    // the same seed machinery as the generator.
+    prng rng(suite_seed() ^ 0xabcdef);
+    placement start = nl.initial_placement();
+    const rect region = nl.region();
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        if (nl.cell_at(i).fixed) continue;
+        start[i] = point(rng.next_range(region.xlo, region.xhi),
+                         rng.next_range(region.ylo, region.yhi));
+    }
+    const placement annealed = anneal_place(nl, start, opt);
+    placement legal;
+    legalize(nl, annealed, legal);
+    result.seconds = sw.elapsed_seconds();
+    result.hpwl = total_hpwl(nl, legal);
+    result.ok = true;
+    return result;
+}
+
+timing_config scaled_timing_config() {
+    timing_config cfg;
+    cfg.unit_meters = 20e-6 / std::sqrt(suite_scale());
+    return cfg;
+}
+
+double geometric_mean(const std::vector<double>& values) {
+    if (values.empty()) return 0.0;
+    double acc = 0.0;
+    for (const double v : values) acc += std::log(v);
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+double arithmetic_mean(const std::vector<double>& values) {
+    if (values.empty()) return 0.0;
+    double acc = 0.0;
+    for (const double v : values) acc += v;
+    return acc / static_cast<double>(values.size());
+}
+
+void print_preamble(const std::string& experiment, const std::string& paper_claim) {
+    std::printf("==============================================================\n");
+    std::printf("%s\n", experiment.c_str());
+    std::printf("paper reference: %s\n", paper_claim.c_str());
+    std::printf("suite scale %.2f, seed %llu (set GPF_SCALE / GPF_SEED to change)\n",
+                suite_scale(), static_cast<unsigned long long>(suite_seed()));
+    std::printf("Note: circuits are synthetic stand-ins matching the published\n"
+                "MCNC statistics (DESIGN.md par.4); absolute wire length is not\n"
+                "comparable to the paper, relative comparisons are.\n");
+    std::printf("==============================================================\n");
+}
+
+} // namespace gpf::bench

@@ -1,0 +1,59 @@
+// Shared machinery for the experiment harness (one binary per table of the
+// paper). Each bench instantiates the synthetic MCNC-class suite, runs the
+// placers under identical conditions (same legalization pipeline, same
+// metrics) and prints a paper-style table plus a CSV next to the binary.
+//
+// Environment knobs:
+//   GPF_SCALE=<0..1>   circuit size scale (default 0.08; 1.0 = published sizes)
+//   GPF_SEED=<n>       generator seed (default 1998)
+//   GPF_MAX_CIRCUITS=n run only the n smallest circuits
+//   GPF_ANNEAL_MPC=n   annealer moves per cell per temperature (default 6)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpf.hpp"
+
+namespace gpf::bench {
+
+double suite_scale();
+std::uint64_t suite_seed();
+std::size_t max_circuits();
+
+/// The suite circuits to run (smallest first, truncated by GPF_MAX_CIRCUITS).
+std::vector<suite_circuit> selected_suite();
+
+netlist instantiate(const suite_circuit& descriptor);
+
+struct method_result {
+    double hpwl = 0.0;    ///< legalized + refined HPWL
+    double seconds = 0.0; ///< wall clock incl. final placement (like the paper)
+    bool ok = false;
+};
+
+/// Kraftwerk (this paper): K = 0.2 standard, K = 1.0 fast. Fast mode also
+/// shortens the iteration budget (the paper's fast mode trades quality for
+/// roughly a third of the runtime).
+method_result run_kraftwerk(const netlist& nl, double k_force = 0.2);
+
+/// Timing configuration with the layout unit scaled so the die has its
+/// full-scale physical size: at GPF_SCALE < 1 the synthetic die shrinks by
+/// sqrt(scale), which would make wire delay vanish next to gate delay and
+/// leave no optimization potential to measure.
+timing_config scaled_timing_config();
+
+/// GORDIAN-style baseline.
+method_result run_gordian(const netlist& nl);
+
+/// TimberWolf-style annealing baseline.
+method_result run_annealer(const netlist& nl);
+
+/// Geometric-mean helper used in the "average" table rows.
+double geometric_mean(const std::vector<double>& values);
+double arithmetic_mean(const std::vector<double>& values);
+
+/// Standard header printed by every bench: experiment id + configuration.
+void print_preamble(const std::string& experiment, const std::string& paper_claim);
+
+} // namespace gpf::bench

@@ -1,0 +1,117 @@
+// Component micro-benchmarks (google-benchmark): the per-transformation
+// building blocks of the placer and both legalizers, so performance
+// regressions in the substrates are visible independently of table runs.
+#include <benchmark/benchmark.h>
+
+#include "gpf.hpp"
+
+namespace {
+
+using namespace gpf;
+
+netlist make_circuit(std::size_t cells) {
+    generator_options opt;
+    opt.num_cells = cells;
+    opt.num_nets = cells + cells / 8;
+    opt.num_rows = std::max<std::size_t>(8, cells / 60);
+    opt.num_pads = 64;
+    opt.seed = 12345;
+    return generate_circuit(opt);
+}
+
+void bm_density_stamping(benchmark::State& state) {
+    const netlist nl = make_circuit(static_cast<std::size_t>(state.range(0)));
+    const placement pl = nl.initial_placement();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compute_density(nl, pl, 4096));
+    }
+}
+BENCHMARK(bm_density_stamping)->Arg(1000)->Arg(4000);
+
+void bm_force_field_fft(benchmark::State& state) {
+    const netlist nl = make_circuit(2000);
+    placer p(nl, {});
+    const placement pl = p.run();
+    const density_map d = compute_density(nl, pl, static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compute_force_field(d));
+    }
+}
+BENCHMARK(bm_force_field_fft)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void bm_system_assemble(benchmark::State& state) {
+    const netlist nl = make_circuit(static_cast<std::size_t>(state.range(0)));
+    const placement pl = nl.centered_placement();
+    quadratic_system sys(nl);
+    for (auto _ : state) {
+        sys.assemble(pl);
+        benchmark::DoNotOptimize(sys.matrix_x().nonzeros());
+    }
+}
+BENCHMARK(bm_system_assemble)->Arg(1000)->Arg(4000);
+
+void bm_cg_solve(benchmark::State& state) {
+    const netlist nl = make_circuit(static_cast<std::size_t>(state.range(0)));
+    const placement pl = nl.centered_placement();
+    quadratic_system sys(nl);
+    sys.assemble(pl);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sys.solve(pl, {}, {}));
+    }
+}
+BENCHMARK(bm_cg_solve)->Arg(1000)->Arg(4000);
+
+void bm_placement_transformation(benchmark::State& state) {
+    const netlist nl = make_circuit(static_cast<std::size_t>(state.range(0)));
+    placer p(nl, {});
+    placement pl = p.run();
+    for (auto _ : state) {
+        pl = p.transform(pl);
+        benchmark::DoNotOptimize(pl.size());
+    }
+}
+BENCHMARK(bm_placement_transformation)->Arg(1000)->Arg(4000);
+
+void bm_tetris_legalize(benchmark::State& state) {
+    const netlist nl = make_circuit(static_cast<std::size_t>(state.range(0)));
+    placer p(nl, {});
+    const placement global = p.run();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tetris_legalize(nl, global));
+    }
+}
+BENCHMARK(bm_tetris_legalize)->Arg(1000)->Arg(4000);
+
+void bm_abacus_legalize(benchmark::State& state) {
+    const netlist nl = make_circuit(static_cast<std::size_t>(state.range(0)));
+    placer p(nl, {});
+    const placement global = p.run();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(abacus_legalize(nl, global));
+    }
+}
+BENCHMARK(bm_abacus_legalize)->Arg(1000)->Arg(4000);
+
+void bm_sta(benchmark::State& state) {
+    const netlist nl = make_circuit(static_cast<std::size_t>(state.range(0)));
+    const placement pl = nl.initial_placement();
+    const timing_graph graph(nl);
+    const timing_config config;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(run_sta(graph, pl, config));
+    }
+}
+BENCHMARK(bm_sta)->Arg(1000)->Arg(4000);
+
+void bm_rudy(benchmark::State& state) {
+    const netlist nl = make_circuit(2000);
+    const placement pl = nl.initial_placement();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rudy_map(nl, pl, nl.region(), 128, 32));
+    }
+}
+BENCHMARK(bm_rudy);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Congestion- and heat-driven placement: extra supply/demand sources feed
+// the same force machinery (section 5 of the paper). The example runs the
+// placer three times — plain, congestion-driven, heat-driven — and shows
+// how the respective hot spots shrink.
+#include <cstdio>
+
+#include "gpf.hpp"
+
+namespace {
+
+struct outcome {
+    double hpwl;
+    double congestion_peak;
+    double thermal_peak;
+};
+
+outcome measure(const gpf::netlist& nl, const gpf::placement& pl) {
+    const gpf::density_map grid = gpf::compute_density(nl, pl, 4096);
+    const auto rudy = gpf::rudy_map(nl, pl, grid.region(), grid.nx(), grid.ny());
+    const auto heat = gpf::thermal_map(nl, pl, grid.region(), grid.nx(), grid.ny());
+    return {gpf::total_hpwl(nl, pl), gpf::summarize_congestion(rudy, 0.6).peak,
+            gpf::summarize_thermal(heat).peak};
+}
+
+} // namespace
+
+int main() {
+    gpf::generator_options gen;
+    gen.num_cells = 1500;
+    gen.num_nets = 1650;
+    gen.num_rows = 20;
+    gen.num_pads = 64;
+    gpf::netlist nl = gpf::generate_circuit(gen);
+
+    const auto place_with =
+        [&](const gpf::placer::density_hook& hook) -> gpf::placement {
+        gpf::placer p(nl, {});
+        if (hook) p.set_density_hook(hook);
+        gpf::placement legal;
+        gpf::legalize(nl, p.run(), legal);
+        return legal;
+    };
+
+    const outcome plain = measure(nl, place_with(nullptr));
+    const outcome cong = measure(nl, place_with(gpf::make_congestion_hook(nl)));
+    gpf::thermal_options topt;
+    topt.density_weight = 2.0;
+    const outcome heat = measure(nl, place_with(gpf::make_thermal_hook(nl, topt)));
+
+    std::printf("%-22s %-10s %-16s %-14s\n", "flow", "HPWL", "peak congestion",
+                "peak dT [K]");
+    std::printf("%-22s %-10.0f %-16.3f %-14.4f\n", "plain", plain.hpwl,
+                plain.congestion_peak, plain.thermal_peak);
+    std::printf("%-22s %-10.0f %-16.3f %-14.4f\n", "congestion-driven", cong.hpwl,
+                cong.congestion_peak, cong.thermal_peak);
+    std::printf("%-22s %-10.0f %-16.3f %-14.4f\n", "heat-driven", heat.hpwl,
+                heat.congestion_peak, heat.thermal_peak);
+
+    std::printf("\ncongestion-driven cuts peak congestion by %.0f%%; heat-driven cuts\n"
+                "peak temperature rise by %.0f%% — both at a modest wire-length cost.\n",
+                (1.0 - cong.congestion_peak / plain.congestion_peak) * 100.0,
+                (1.0 - heat.thermal_peak / plain.thermal_peak) * 100.0);
+    return 0;
+}

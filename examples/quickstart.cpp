@@ -1,0 +1,51 @@
+// Quickstart: generate a circuit, run force-directed global placement,
+// legalize, and print quality metrics.
+//
+//   ./quickstart [num_cells]
+#include <cstdio>
+#include <cstdlib>
+
+#include "gpf.hpp"
+
+int main(int argc, char** argv) {
+    const std::size_t num_cells =
+        argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 1000;
+
+    // 1. A synthetic benchmark circuit (or read your own via read_bookshelf).
+    gpf::generator_options gen;
+    gen.num_cells = num_cells;
+    gen.num_nets = num_cells + num_cells / 8;
+    gen.num_rows = std::max<std::size_t>(8, num_cells / 50);
+    gen.num_pads = 64;
+    gpf::netlist nl = gpf::generate_circuit(gen);
+    const gpf::netlist_stats stats = gpf::compute_stats(nl);
+    std::printf("cells=%zu nets=%zu pins=%zu rows=%zu utilization=%.2f\n",
+                stats.num_cells, stats.num_nets, stats.num_pins, stats.num_rows,
+                stats.utilization);
+
+    // 2. Global placement (standard mode, K = 0.2).
+    gpf::placer_options opt;
+    opt.force_scale_k = 0.2;
+    gpf::placer placer(nl, opt);
+    gpf::stopwatch sw;
+    const gpf::placement global = placer.run();
+    std::printf("global placement: %zu transformations in %.2fs, HPWL %.0f\n",
+                placer.history().size(), sw.elapsed_seconds(),
+                gpf::total_hpwl(nl, global));
+
+    // 3. Legalization (Abacus + detailed refinement).
+    gpf::placement legal;
+    const gpf::legalize_result lr = gpf::legalize(nl, global, legal);
+    std::printf("legalized: HPWL %.0f → refined %.0f (%zu swaps, %zu relocations)\n",
+                lr.hpwl_legal, lr.hpwl_refined, lr.refine.swaps, lr.refine.relocations);
+
+    // 4. Quality report.
+    const gpf::placement_quality q = gpf::evaluate_placement(nl, legal);
+    std::printf("final: HPWL %.0f, overlap %.3f, all cells in region: %s\n", q.hpwl,
+                q.overlap_area, q.in_region >= 1.0 ? "yes" : "no");
+
+    // 5. Export for other tools.
+    gpf::write_bookshelf(nl, legal, "quickstart_out");
+    std::printf("wrote quickstart_out.{nodes,nets,pl,scl}\n");
+    return 0;
+}

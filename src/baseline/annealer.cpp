@@ -1,0 +1,248 @@
+#include "baseline/annealer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "legal/rows.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+#include "util/prng.hpp"
+
+namespace gpf {
+
+namespace {
+
+/// Incremental annealing state: positions, per-row fill, row capacity.
+class anneal_state {
+public:
+    anneal_state(const netlist& nl, const placement& start, double row_penalty)
+        : nl_(nl), pl_(start), rows_(nl, start, /*treat_blocks_as_obstacles=*/true),
+          penalty_(row_penalty) {
+        fill_.assign(rows_.num_rows(), 0.0);
+        cap_.assign(rows_.num_rows(), 0.0);
+        row_of_.assign(nl.num_cells(), 0);
+        for (std::size_t r = 0; r < rows_.num_rows(); ++r) {
+            cap_[r] = rows_.total_free_width(r);
+        }
+        for (cell_id i = 0; i < nl.num_cells(); ++i) {
+            const cell& c = nl.cell_at(i);
+            if (c.fixed || c.kind != cell_kind::standard) continue;
+            const std::size_t r = rows_.nearest_row(pl_[i].y);
+            row_of_[i] = r;
+            fill_[r] += c.width;
+            pl_[i].y = rows_.row_center(r);
+            movable_.push_back(i);
+        }
+    }
+
+    const std::vector<cell_id>& movable() const { return movable_; }
+    const placement& positions() const { return pl_; }
+    const row_model& rows() const { return rows_; }
+
+    double cost() const {
+        double acc = total_hpwl(nl_, pl_);
+        for (std::size_t r = 0; r < fill_.size(); ++r) {
+            acc += penalty_ * std::max(0.0, fill_[r] - cap_[r]);
+        }
+        return acc;
+    }
+
+    /// Over-capacity penalty change if row r's fill changed by `delta`.
+    double fill_change_penalty(std::size_t r, double delta) const {
+        return penalty_ * (std::max(0.0, fill_[r] + delta - cap_[r]) -
+                           std::max(0.0, fill_[r] - cap_[r]));
+    }
+
+    /// HPWL over nets touching the listed cells.
+    double local_hpwl(std::initializer_list<cell_id> cells) const {
+        const auto& adjacency = nl_.cell_nets();
+        double acc = 0.0;
+        std::vector<net_id> seen;
+        for (const cell_id id : cells) {
+            for (const net_id ni : adjacency[id]) {
+                if (std::find(seen.begin(), seen.end(), ni) != seen.end()) continue;
+                seen.push_back(ni);
+                acc += net_hpwl(nl_, pl_, nl_.net_at(ni));
+            }
+        }
+        return acc;
+    }
+
+    void displace(cell_id id, std::size_t row, double x) {
+        const cell& c = nl_.cell_at(id);
+        fill_[row_of_[id]] -= c.width;
+        fill_[row] += c.width;
+        row_of_[id] = row;
+        pl_[id] = point(x, rows_.row_center(row));
+    }
+
+    void swap_cells(cell_id a, cell_id b) {
+        const cell& ca = nl_.cell_at(a);
+        const cell& cb = nl_.cell_at(b);
+        const std::size_t ra = row_of_[a];
+        const std::size_t rb = row_of_[b];
+        fill_[ra] += cb.width - ca.width;
+        fill_[rb] += ca.width - cb.width;
+        std::swap(row_of_[a], row_of_[b]);
+        std::swap(pl_[a], pl_[b]);
+    }
+
+    std::size_t row_of(cell_id id) const { return row_of_[id]; }
+
+private:
+    const netlist& nl_;
+    placement pl_;
+    row_model rows_;
+    double penalty_;
+    std::vector<double> fill_;
+    std::vector<double> cap_;
+    std::vector<std::size_t> row_of_;
+    std::vector<cell_id> movable_;
+};
+
+} // namespace
+
+placement anneal_place(const netlist& nl, const placement& start,
+                       const annealer_options& options, annealer_stats* stats) {
+    GPF_CHECK(start.size() == nl.num_cells());
+    anneal_state state(nl, start, options.row_penalty);
+    if (state.movable().empty()) return start;
+
+    prng rng(options.seed);
+    const rect region = nl.region();
+
+    const auto random_cell = [&]() {
+        return state.movable()[rng.next_below(state.movable().size())];
+    };
+
+    // One trial move; returns the cost delta and an undo closure semantics:
+    // the move is applied; caller reverts by applying the stored inverse.
+    struct move {
+        bool is_swap;
+        cell_id a;
+        cell_id b;        // swap only
+        std::size_t row;  // displace: previous row
+        double x;         // displace: previous x
+    };
+
+    const auto attempt = [&](double range_x, double range_rows, move& mv) {
+        if (rng.next_bool(options.swap_fraction) && state.movable().size() >= 2) {
+            mv.is_swap = true;
+            mv.a = random_cell();
+            do {
+                mv.b = random_cell();
+            } while (mv.b == mv.a);
+            const double before = state.local_hpwl({mv.a, mv.b});
+            const cell& ca = nl.cell_at(mv.a);
+            const cell& cb = nl.cell_at(mv.b);
+            const std::size_t ra = state.row_of(mv.a);
+            const std::size_t rb = state.row_of(mv.b);
+            double pen_delta = 0.0;
+            if (ra != rb && ca.width != cb.width) {
+                pen_delta = state.fill_change_penalty(ra, cb.width - ca.width) +
+                            state.fill_change_penalty(rb, ca.width - cb.width);
+            }
+            state.swap_cells(mv.a, mv.b);
+            const double after = state.local_hpwl({mv.a, mv.b});
+            return after - before + pen_delta;
+        }
+        mv.is_swap = false;
+        mv.a = random_cell();
+        const cell& c = nl.cell_at(mv.a);
+        mv.row = state.row_of(mv.a);
+        mv.x = state.positions()[mv.a].x;
+
+        const std::size_t nrows = state.rows().num_rows();
+        const auto row_span = static_cast<std::ptrdiff_t>(std::max(1.0, range_rows));
+        const std::ptrdiff_t lo =
+            std::max<std::ptrdiff_t>(0, static_cast<std::ptrdiff_t>(mv.row) - row_span);
+        const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(
+            static_cast<std::ptrdiff_t>(nrows) - 1,
+            static_cast<std::ptrdiff_t>(mv.row) + row_span);
+        const auto new_row =
+            static_cast<std::size_t>(rng.next_int(lo, hi));
+        const double half_w = c.width / 2;
+        const double xlo = std::max(region.xlo + half_w, mv.x - range_x);
+        const double xhi = std::min(region.xhi - half_w, mv.x + range_x);
+        const double new_x = xlo < xhi ? rng.next_range(xlo, xhi) : mv.x;
+
+        const double before = state.local_hpwl({mv.a});
+        const double pen_delta =
+            new_row == mv.row ? 0.0
+                              : state.fill_change_penalty(mv.row, -c.width) +
+                                    state.fill_change_penalty(new_row, c.width);
+        state.displace(mv.a, new_row, new_x);
+        const double after = state.local_hpwl({mv.a});
+        return after - before + pen_delta;
+    };
+
+    const auto undo = [&](const move& mv) {
+        if (mv.is_swap) {
+            state.swap_cells(mv.a, mv.b);
+        } else {
+            state.displace(mv.a, mv.row, mv.x);
+        }
+    };
+
+    // --- calibrate T0 from sampled uphill deltas ------------------------------
+    double uphill_sum = 0.0;
+    std::size_t uphill_count = 0;
+    for (std::size_t s = 0; s < 128; ++s) {
+        move mv;
+        const double delta = attempt(region.width() / 2, 1e9, mv);
+        if (delta > 0.0) {
+            uphill_sum += delta;
+            ++uphill_count;
+        }
+        undo(mv);
+    }
+    const double mean_uphill = uphill_count > 0 ? uphill_sum / static_cast<double>(uphill_count)
+                                                : 1.0;
+    double t = -mean_uphill / std::log(options.initial_acceptance);
+    const double t_final = t * options.final_temperature_ratio;
+
+    if (stats) {
+        stats->initial_cost = state.cost();
+        stats->initial_temperature = t;
+    }
+
+    const std::size_t moves_per_temp = options.moves_per_cell * state.movable().size();
+    std::size_t temperatures = 0;
+    std::size_t accepted = 0;
+    std::size_t attempted = 0;
+    while (t > t_final && temperatures < options.max_temperatures) {
+        // Range window shrinks with temperature.
+        const double progress =
+            std::log(t / t_final) / std::log(1.0 / options.final_temperature_ratio);
+        const double range_x =
+            std::max(4.0 * nl.row_height(), region.width() / 2 * progress);
+        const double range_rows = std::max(
+            1.0, static_cast<double>(state.rows().num_rows()) / 2.0 * progress);
+
+        for (std::size_t m = 0; m < moves_per_temp; ++m) {
+            move mv;
+            const double delta = attempt(range_x, range_rows, mv);
+            ++attempted;
+            if (delta <= 0.0 || rng.next_double() < std::exp(-delta / t)) {
+                ++accepted;
+            } else {
+                undo(mv);
+            }
+        }
+        t *= options.cooling_factor;
+        ++temperatures;
+    }
+
+    if (stats) {
+        stats->temperatures = temperatures;
+        stats->accepted = accepted;
+        stats->attempted = attempted;
+        stats->final_cost = state.cost();
+    }
+    log(log_level::info) << "annealer: " << temperatures << " temperatures, "
+                         << accepted << "/" << attempted << " moves accepted";
+    return state.positions();
+}
+
+} // namespace gpf

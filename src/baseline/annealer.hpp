@@ -1,0 +1,45 @@
+// TimberWolf-style simulated-annealing baseline (Sun/Sechen, TCAD 1995 —
+// reference [2] of the paper): row-based standard-cell placement with
+// single-cell displacements and pairwise swaps, a range window that shrinks
+// with temperature, geometric cooling, and a row over-capacity penalty in
+// the cost function. Overlaps inside rows are allowed during annealing and
+// resolved by the shared legalization pipeline afterwards — the same
+// division of labor the original uses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gpf {
+
+struct annealer_options {
+    double initial_acceptance = 0.9; ///< calibrates T0 from sampled uphill moves
+    double cooling_factor = 0.92;
+    double final_temperature_ratio = 1e-4; ///< stop when T < ratio · T0
+    std::size_t moves_per_cell = 8;        ///< moves attempted per cell per temperature
+    double swap_fraction = 0.5;            ///< fraction of moves that are swaps
+    double row_penalty = 2.0;              ///< weight of row over-capacity, per unit width
+    std::uint64_t seed = 42;
+    std::size_t max_temperatures = 200;
+};
+
+struct annealer_stats {
+    std::size_t temperatures = 0;
+    std::size_t accepted = 0;
+    std::size_t attempted = 0;
+    double initial_cost = 0.0;
+    double final_cost = 0.0;
+    double initial_temperature = 0.0;
+};
+
+/// Anneal the movable standard cells starting from `start` (blocks and
+/// fixed cells stay put). Returns an overlapping row-based placement;
+/// legalize afterwards.
+placement anneal_place(const netlist& nl, const placement& start,
+                       const annealer_options& options = {},
+                       annealer_stats* stats = nullptr);
+
+} // namespace gpf

@@ -1,0 +1,41 @@
+// Placement quality metrics. Wire length follows the paper's measurement:
+// "summing up the half perimeter of the enclosing rectangle for each net".
+#pragma once
+
+#include <cstddef>
+
+#include "density/density_map.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gpf {
+
+/// Half-perimeter bounding box length of one net (0 for degree < 2).
+double net_hpwl(const netlist& nl, const placement& pl, const net& n);
+
+/// Sum of net HPWLs.
+double total_hpwl(const netlist& nl, const placement& pl);
+
+/// Sum of net HPWLs scaled by the nets' weights.
+double weighted_hpwl(const netlist& nl, const placement& pl);
+
+/// Total pairwise overlap area between movable cells and between movable
+/// cells and fixed blocks (pads excluded). Grid-bucketed; O(n + k) for
+/// placements without pathological pile-ups.
+double total_overlap_area(const netlist& nl, const placement& pl);
+
+/// Fraction of movable cells whose bounding box lies fully inside the
+/// placement region.
+double in_region_fraction(const netlist& nl, const placement& pl);
+
+struct placement_quality {
+    double hpwl = 0.0;
+    double overlap_area = 0.0;
+    double max_density = 0.0;          ///< max over bins of D = demand - supply
+    double largest_empty_square = 0.0; ///< side, layout units
+    double in_region = 0.0;            ///< fraction of movable cells inside
+};
+
+placement_quality evaluate_placement(const netlist& nl, const placement& pl,
+                                     std::size_t density_bins = 4096);
+
+} // namespace gpf

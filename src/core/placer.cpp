@@ -1,0 +1,296 @@
+#include "core/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/metrics.hpp"
+#include "density/empty_square.hpp"
+#include "density/force_field.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace gpf {
+
+placer::placer(const netlist& nl, placer_options options)
+    : nl_(nl), options_(options), system_(nl, options.net_model) {
+    GPF_CHECK(options_.force_scale_k > 0.0);
+    GPF_CHECK(options_.density_bins >= 16);
+    force_x_.assign(system_.num_vars(), 0.0);
+    force_y_.assign(system_.num_vars(), 0.0);
+}
+
+double placer::average_cell_area() const {
+    const std::size_t m = nl_.num_movable();
+    return m == 0 ? 0.0 : nl_.movable_area() / static_cast<double>(m);
+}
+
+std::pair<std::size_t, std::size_t> placer::density_dims() const {
+    const rect region = nl_.region();
+    const double aspect = region.width() / region.height();
+    double ny = std::sqrt(static_cast<double>(options_.density_bins) / aspect);
+    double nx = aspect * ny;
+    const auto clampdim = [](double v) {
+        return std::max<std::size_t>(4, static_cast<std::size_t>(std::llround(v)));
+    };
+    return {clampdim(nx), clampdim(ny)};
+}
+
+void placer::reset_forces() {
+    std::fill(force_x_.begin(), force_x_.end(), 0.0);
+    std::fill(force_y_.begin(), force_y_.end(), 0.0);
+    force_constant_ = 0.0;
+}
+
+void placer::wire_relax(placement& pl) {
+    system_.assemble(pl);
+    const std::vector<point> vp = system_.variable_positions(pl);
+    const double beta = options_.wire_relax_weight;
+
+    const auto solve_dim = [&](const csr_matrix& a, const std::vector<double>& b,
+                               bool is_x) {
+        const std::vector<double> diag = a.diagonal();
+        std::vector<double> full_diag(system_.num_vars());
+        std::vector<double> rhs(system_.num_vars());
+        std::vector<double> x(system_.num_vars());
+        for (std::size_t v = 0; v < system_.num_vars(); ++v) {
+            const double cur = is_x ? vp[v].x : vp[v].y;
+            full_diag[v] = diag[v] * (1.0 + beta);
+            rhs[v] = -b[v] + beta * diag[v] * cur;
+            x[v] = cur;
+        }
+        const linear_operator apply = [&](const std::vector<double>& in,
+                                          std::vector<double>& out) {
+            a.multiply(in, out);
+            for (std::size_t v = 0; v < in.size(); ++v) out[v] += beta * diag[v] * in[v];
+        };
+        cg_solve_operator(apply, full_diag, rhs, x, options_.cg);
+        return x;
+    };
+    const std::vector<double> xs = solve_dim(system_.matrix_x(), system_.rhs_x(), true);
+    const std::vector<double> ys = solve_dim(system_.matrix_y(), system_.rhs_y(), false);
+    for (std::size_t v = 0; v < system_.num_movable(); ++v) {
+        pl[system_.cell_of_var(v)] = point(xs[v], ys[v]);
+    }
+}
+
+placement placer::transform(const placement& current) {
+    GPF_CHECK(current.size() == nl_.num_cells());
+
+    // 1. Net weight adaption hook ("before each placement transformation",
+    //    section 5) and system assembly — the matrix diagonal feeds the
+    //    local-gain force scaling below.
+    if (weight_hook_) weight_hook_(current);
+    system_.assemble(current);
+
+    // 2. Density of the current placement (+ hooked-in extra sources).
+    const auto [nx, ny] = density_dims();
+    density_map density(nl_.region(), nx, ny);
+    for (cell_id i = 0; i < nl_.num_cells(); ++i) {
+        const cell& c = nl_.cell_at(i);
+        if (c.kind == cell_kind::pad) continue;
+        density.add_rect(rect::from_center(current[i], c.width, c.height));
+    }
+    if (density_hook_) density_hook_(density, current);
+    density.finalize();
+
+    // 3. Force field of eq. (9).
+    const force_field field = compute_force_field(density);
+
+    // 4. The move force of this transformation.
+    const rect region = nl_.region();
+    double max_increment = 0.0;
+    std::vector<double> move_x(system_.num_vars(), 0.0);
+    std::vector<double> move_y(system_.num_vars(), 0.0);
+    if (options_.scaling == placer_options::force_scaling::paper_normalized) {
+        // Literal eq. (5): one global k, strongest force = pull of a net
+        // of length K(W+H).
+        const double target = options_.force_scale_k * (region.width() + region.height());
+        const double max_mag = field.max_magnitude();
+        const double k = max_mag > 0.0 ? target / max_mag : 0.0;
+        force_constant_ = k;
+        for (std::size_t v = 0; v < system_.num_movable(); ++v) {
+            const point f = field.sample(current[system_.cell_of_var(v)]);
+            move_x[v] = -k * f.x;
+            move_y[v] = -k * f.y;
+            max_increment = std::max(max_increment, k * std::hypot(f.x, f.y));
+        }
+    } else {
+        // Local gain (DESIGN.md §5): each cell gets a *move spring* pulling
+        // it to the target x̃ = x + u with u = K·f(x) clipped to the trust
+        // region. The solve below blends staying (wire springs + hold) and
+        // moving (target springs) — a convex combination that cannot
+        // overshoot, unlike constant move forces, which make strongly
+        // intra-connected clusters overshoot by the ratio of internal to
+        // external stiffness. The field magnitude decays with the density
+        // error, providing the damping.
+        const double max_step =
+            options_.max_step_fraction * (region.width() + region.height());
+        for (std::size_t v = 0; v < system_.num_movable(); ++v) {
+            const point pos = current[system_.cell_of_var(v)];
+            const point f = field.sample(pos);
+            double ux = options_.force_scale_k * f.x;
+            double uy = options_.force_scale_k * f.y;
+            const double mag = std::hypot(ux, uy);
+            if (mag > max_step) {
+                ux *= max_step / mag;
+                uy *= max_step / mag;
+            }
+            // Stored as the target *offset*; converted to spring forces in
+            // the solve step.
+            move_x[v] = ux;
+            move_y[v] = uy;
+            max_increment = std::max(max_increment, mag);
+        }
+        force_constant_ = options_.force_scale_k;
+    }
+
+    // 5. Solve. hold_and_move uses *move springs*: each movable cell gets
+    //    a spring of weight w̃ = C_vv to its target x̃ = x + u, on top of
+    //    the hold force e_hold = −(C p + d) that makes the current
+    //    placement the equilibrium. Expressed in the displacement δ:
+    //
+    //        (C + W̃) δ = W̃ u
+    //
+    //    so δ is a wire-metric-smoothed, never-overshooting step toward
+    //    the targets (constant move *forces* instead would make strongly
+    //    intra-connected clusters overshoot by their internal/external
+    //    stiffness ratio). The accumulate mode is the paper-literal
+    //    e ← e + e_move with a full re-solve.
+    cg_result res_x;
+    cg_result res_y;
+    placement next;
+    if (options_.mode == placer_options::force_mode::hold_and_move) {
+        const std::vector<double> diag_x = system_.matrix_x().diagonal();
+        const std::vector<double> diag_y = system_.matrix_y().diagonal();
+        std::vector<double> rhs_x(system_.num_vars(), 0.0);
+        std::vector<double> rhs_y(system_.num_vars(), 0.0);
+        for (std::size_t v = 0; v < system_.num_movable(); ++v) {
+            rhs_x[v] = diag_x[v] * move_x[v];
+            rhs_y[v] = diag_y[v] * move_y[v];
+            force_x_[v] = rhs_x[v]; // exposed as this step's move force
+            force_y_[v] = rhs_y[v];
+        }
+        const auto solve_dim = [&](const csr_matrix& a, const std::vector<double>& diag,
+                                   const std::vector<double>& rhs,
+                                   std::vector<double>& delta) {
+            std::vector<double> full_diag(system_.num_vars());
+            for (std::size_t v = 0; v < system_.num_vars(); ++v) {
+                full_diag[v] = 2.0 * diag[v]; // C_vv + w̃_v with w̃ = C_vv
+            }
+            const linear_operator apply = [&](const std::vector<double>& x,
+                                              std::vector<double>& y) {
+                a.multiply(x, y);
+                for (std::size_t v = 0; v < system_.num_vars(); ++v) {
+                    y[v] += diag[v] * x[v];
+                }
+            };
+            delta.assign(system_.num_vars(), 0.0);
+            return cg_solve_operator(apply, full_diag, rhs, delta, options_.cg);
+        };
+        std::vector<double> dx, dy;
+        res_x = solve_dim(system_.matrix_x(), diag_x, rhs_x, dx);
+        res_y = solve_dim(system_.matrix_y(), diag_y, rhs_y, dy);
+        next = current;
+        for (std::size_t v = 0; v < system_.num_movable(); ++v) {
+            const cell_id id = system_.cell_of_var(v);
+            next[id].x += dx[v];
+            next[id].y += dy[v];
+        }
+    } else {
+        for (std::size_t v = 0; v < system_.num_vars(); ++v) {
+            force_x_[v] += move_x[v];
+            force_y_[v] += move_y[v];
+        }
+        next = system_.solve(current, force_x_, force_y_, options_.cg, &res_x, &res_y);
+    }
+
+    // Periodic wire relaxation (see placer_options::wire_relax_interval).
+    if (options_.mode == placer_options::force_mode::hold_and_move &&
+        options_.wire_relax_interval > 0 &&
+        (history_.size() + 1) % options_.wire_relax_interval == 0) {
+        wire_relax(next);
+    }
+
+    if (options_.clamp_to_region) {
+        for (std::size_t v = 0; v < system_.num_movable(); ++v) {
+            const cell_id id = system_.cell_of_var(v);
+            const cell& c = nl_.cell_at(id);
+            const double hw = std::min(c.width / 2, region.width() / 2);
+            const double hh = std::min(c.height / 2, region.height() / 2);
+            next[id].x = std::clamp(next[id].x, region.xlo + hw, region.xhi - hw);
+            next[id].y = std::clamp(next[id].y, region.ylo + hh, region.yhi - hh);
+        }
+    }
+
+    iteration_stats stats;
+    stats.iteration = history_.size();
+    stats.hpwl = total_hpwl(nl_, next);
+    stats.overflow_area = density.overflow_area();
+    stats.largest_empty_square = largest_empty_square_side(density, options_.empty_threshold);
+    stats.max_force = max_increment;
+    stats.cg_residual = std::max(res_x.residual, res_y.residual);
+    history_.push_back(stats);
+    return next;
+}
+
+placement placer::run() { return run_from(nl_.centered_placement(), /*reset_forces=*/true); }
+
+placement placer::run_from(placement current, bool reset_forces) {
+    GPF_CHECK(current.size() == nl_.num_cells());
+    if (reset_forces) {
+        this->reset_forces();
+        history_.clear();
+        if (options_.mode == placer_options::force_mode::hold_and_move) {
+            // Fresh runs start from the unconstrained wire-length optimum
+            // (the literal algorithm's first transformation with e = 0);
+            // hold-and-move would otherwise preserve the arbitrary start.
+            if (weight_hook_) weight_hook_(current);
+            system_.assemble(current);
+            current = system_.solve(current, {}, {}, options_.cg);
+        }
+    }
+    converged_ = false;
+
+    const double avg_area = average_cell_area();
+    double best_overflow = std::numeric_limits<double>::infinity();
+    std::size_t stalled = 0;
+    for (std::size_t it = 0; it < options_.max_iterations; ++it) {
+        current = transform(current);
+        const iteration_stats& stats = history_.back();
+        log(log_level::debug) << "iteration " << stats.iteration << " hpwl=" << stats.hpwl
+                              << " empty_square=" << stats.largest_empty_square
+                              << " overflow=" << stats.overflow_area;
+
+        // Paper stopping criterion, evaluated on the *new* placement.
+        if (it + 1 >= options_.min_iterations) {
+            const density_map density = compute_density(nl_, current, options_.density_bins);
+            if (placement_is_spread(density, avg_area, options_.spread_factor,
+                                    options_.empty_threshold)) {
+                converged_ = true;
+            }
+        }
+        if (step_callback_ && !step_callback_(stats, current)) break;
+        if (converged_) break;
+
+        // Secondary stop: overflow plateau.
+        if (options_.plateau_window > 0) {
+            if (stats.overflow_area < best_overflow * (1.0 - options_.plateau_tolerance)) {
+                best_overflow = stats.overflow_area;
+                stalled = 0;
+            } else if (++stalled >= options_.plateau_window) {
+                log(log_level::info) << "placer stopped on overflow plateau after "
+                                     << history_.size() << " transformations";
+                break;
+            }
+        }
+    }
+
+    log(log_level::info) << "placer finished after " << history_.size()
+                         << " transformations, hpwl="
+                         << (history_.empty() ? 0.0 : history_.back().hpwl)
+                         << (converged_ ? " (spread criterion met)" : " (iteration cap)");
+    return current;
+}
+
+} // namespace gpf

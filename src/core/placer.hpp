@@ -1,0 +1,166 @@
+// The Kraftwerk global placer (section 4 of the paper).
+//
+// A `placement transformation` (section 4.1) takes an arbitrary input
+// placement and produces a new one:
+//   1. compute the density D of the current placement,
+//   2. derive the force field of eq. (9) and scale it so the strongest
+//      cell force equals a net of length K·(W+H),
+//   3. accumulate the sampled per-cell forces into the constant force
+//      vector e,
+//   4. assemble the (linearized) quadratic system and solve
+//      C p + d + e = 0 with preconditioned CG.
+//
+// The iterative algorithm (section 4.2) starts with all movable cells at
+// the region center and zero forces, applies transformations until no
+// empty square larger than four times the average cell area remains, and
+// exposes the per-iteration history for the experiment harness.
+//
+// Extra density sources (congestion maps, heat maps — section 5) hook in
+// through `density_hook`, which may deposit additional demand before the
+// force field is computed.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "density/density_map.hpp"
+#include "linalg/cg_solver.hpp"
+#include "model/net_models.hpp"
+#include "model/quadratic_system.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gpf {
+
+struct placer_options {
+    /// The paper's K: 0.2 standard mode, 1.0 fast mode.
+    double force_scale_k = 0.2;
+    /// How the proportionality constant k of eq. (5) is chosen (see
+    /// DESIGN.md §5). `local_gain` (default) converts the field into the
+    /// displacement that shrinks the density error by the factor K per
+    /// transformation: Δe_i = −K · C_ii · f(x_i) / max(1, coverage(x_i)).
+    /// `paper_normalized` is the literal prescription — one global k per
+    /// transformation such that the strongest force equals the pull of a
+    /// net of length K(W+H); it converges far more slowly (constant-
+    /// magnitude kicks) and is kept for the ablation benchmark.
+    enum class force_scaling { local_gain, paper_normalized };
+    force_scaling scaling = force_scaling::local_gain;
+    /// Force bookkeeping across transformations.
+    /// `hold_and_move` (default): every transformation recomputes a hold
+    /// force e_hold = −(C p + d) that makes the current placement the
+    /// equilibrium and adds the move force from the current field on top;
+    /// the solve then distributes the spreading displacement so that the
+    /// added quadratic wire length is minimal. This is the numerically
+    /// robust formulation of the paper's fixed point (errors cannot
+    /// accumulate in e).
+    /// `accumulate`: the paper's literal bookkeeping e ← e + k·f. Kept for
+    /// the ablation benchmark; converges only for small gains and drifts
+    /// on the soft translational mode.
+    enum class force_mode { hold_and_move, accumulate };
+    force_mode mode = force_mode::hold_and_move;
+    /// Per-transformation displacement cap as a fraction of (W+H); the
+    /// trust region that keeps strong near-pile fields from throwing cells
+    /// across the chip in one step (hold_and_move mode only).
+    double max_step_fraction = 0.03;
+    /// Wire relaxation: every `wire_relax_interval` transformations solve
+    ///   (C + β·W̃) p = −d + β·W̃·p_cur ,  W̃ = diag(C), β = wire_relax_weight
+    /// — the full quadratic wire objective with per-cell anchors at the
+    /// current positions. This re-tightens wire length that spreading
+    /// stretched, while the anchors approximately preserve the density
+    /// distribution (the next density steps correct any damage). 0
+    /// disables (ECO flows must, to stay local).
+    std::size_t wire_relax_interval = 1;
+    double wire_relax_weight = 0.05;
+    std::size_t max_iterations = 200;
+    std::size_t density_bins = 4096;     ///< target total bin count
+    double spread_factor = 4.0;          ///< stop: empty square area <= factor * avg cell area
+    double empty_threshold = 0.05;       ///< bin demand below this counts as empty
+    std::size_t min_iterations = 2;      ///< run at least this many transformations
+    /// Secondary stop: end the run when the density overflow has not
+    /// improved by `plateau_tolerance` (relative) for `plateau_window`
+    /// consecutive transformations. 0 disables. Global placement then ends
+    /// with small residual overlaps for the final placer to resolve, the
+    /// same contract partitioning-based global placers (GORDIAN) have.
+    std::size_t plateau_window = 20;
+    double plateau_tolerance = 2e-3;
+    bool clamp_to_region = true;         ///< project cell centers back into the core
+    net_model_options net_model;
+    cg_options cg;
+};
+
+struct iteration_stats {
+    std::size_t iteration = 0;
+    double hpwl = 0.0;
+    double overflow_area = 0.0;
+    double largest_empty_square = 0.0;
+    double max_force = 0.0;    ///< scaled maximum additional force this step
+    double cg_residual = 0.0;  ///< worse of the x/y solves
+};
+
+class placer {
+public:
+    explicit placer(const netlist& nl, placer_options options = {});
+
+    /// Full algorithm from the paper's initialization (all movable cells at
+    /// the region center, e = 0).
+    placement run();
+
+    /// Full algorithm from a given placement. reset_forces=false keeps the
+    /// accumulated force vector, which is what ECO / timing continuation
+    /// flows want.
+    placement run_from(placement current, bool reset_forces = true);
+
+    /// One placement transformation.
+    placement transform(const placement& current);
+
+    /// Per-iteration statistics of the last run (or all transforms so far).
+    const std::vector<iteration_stats>& history() const { return history_; }
+
+    /// Invoked after every transformation; returning false stops the run
+    /// early (used by the timing-requirement mode).
+    using step_callback = std::function<bool(const iteration_stats&, const placement&)>;
+    void set_step_callback(step_callback cb) { step_callback_ = std::move(cb); }
+
+    /// Invoked between density stamping and finalize(); may add demand
+    /// (congestion, heat, ECO deviation sources).
+    using density_hook = std::function<void(density_map&, const placement&)>;
+    void set_density_hook(density_hook hook) { density_hook_ = std::move(hook); }
+
+    /// Invoked before each transformation's assemble step (timing-driven
+    /// net weight adaption per section 5).
+    using weight_hook = std::function<void(const placement&)>;
+    void set_weight_hook(weight_hook hook) { weight_hook_ = std::move(hook); }
+
+    /// Reset the accumulated force vector e to zero (also clears the
+    /// calibrated force constant k).
+    void reset_forces();
+
+    quadratic_system& system() { return system_; }
+    const quadratic_system& system() const { return system_; }
+    const placer_options& options() const { return options_; }
+    const netlist& circuit() const { return nl_; }
+
+    /// True when the spread criterion held at the last transformation.
+    bool converged() const { return converged_; }
+
+    /// Average movable-cell area (the stopping criterion's yardstick).
+    double average_cell_area() const;
+
+private:
+    std::pair<std::size_t, std::size_t> density_dims() const;
+    void wire_relax(placement& pl);
+
+    const netlist& nl_;
+    placer_options options_;
+    quadratic_system system_;
+    std::vector<double> force_x_; ///< accumulated e, x part, per variable
+    std::vector<double> force_y_;
+    double force_constant_ = 0.0; ///< calibrated k of eq. (5); 0 = not yet set
+    std::vector<iteration_stats> history_;
+    step_callback step_callback_;
+    density_hook density_hook_;
+    weight_hook weight_hook_;
+    bool converged_ = false;
+};
+
+} // namespace gpf

@@ -1,0 +1,159 @@
+#include "density/density_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gpf {
+
+density_map::density_map(const rect& region, std::size_t nx, std::size_t ny)
+    : region_(region), nx_(nx), ny_(ny) {
+    GPF_CHECK(!region.empty());
+    GPF_CHECK(nx >= 1 && ny >= 1);
+    bin_w_ = region.width() / static_cast<double>(nx);
+    bin_h_ = region.height() / static_cast<double>(ny);
+    demand_.assign(nx * ny, 0.0);
+}
+
+point density_map::bin_center(std::size_t ix, std::size_t iy) const {
+    GPF_DCHECK(ix < nx_ && iy < ny_);
+    return point(region_.xlo + (static_cast<double>(ix) + 0.5) * bin_w_,
+                 region_.ylo + (static_cast<double>(iy) + 0.5) * bin_h_);
+}
+
+void density_map::clear() {
+    std::fill(demand_.begin(), demand_.end(), 0.0);
+    supply_ = 0.0;
+    finalized_ = false;
+}
+
+void density_map::add_rect(const rect& r, double weight) {
+    const rect clipped = intersect(r, region_);
+    if (clipped.empty()) return;
+
+    const auto bin_of_x = [this](double x) {
+        const double t = (x - region_.xlo) / bin_w_;
+        return std::clamp(static_cast<std::ptrdiff_t>(std::floor(t)),
+                          std::ptrdiff_t{0}, static_cast<std::ptrdiff_t>(nx_) - 1);
+    };
+    const auto bin_of_y = [this](double y) {
+        const double t = (y - region_.ylo) / bin_h_;
+        return std::clamp(static_cast<std::ptrdiff_t>(std::floor(t)),
+                          std::ptrdiff_t{0}, static_cast<std::ptrdiff_t>(ny_) - 1);
+    };
+
+    const auto ix0 = bin_of_x(clipped.xlo);
+    const auto ix1 = bin_of_x(clipped.xhi);
+    const auto iy0 = bin_of_y(clipped.ylo);
+    const auto iy1 = bin_of_y(clipped.yhi);
+    const double inv_bin_area = 1.0 / bin_area();
+
+    for (auto ix = ix0; ix <= ix1; ++ix) {
+        const double bxlo = region_.xlo + static_cast<double>(ix) * bin_w_;
+        const double ox = overlap(interval(bxlo, bxlo + bin_w_), clipped.x_range());
+        if (ox <= 0.0) continue;
+        for (auto iy = iy0; iy <= iy1; ++iy) {
+            const double bylo = region_.ylo + static_cast<double>(iy) * bin_h_;
+            const double oy = overlap(interval(bylo, bylo + bin_h_), clipped.y_range());
+            if (oy <= 0.0) continue;
+            demand_[index(static_cast<std::size_t>(ix), static_cast<std::size_t>(iy))] +=
+                weight * ox * oy * inv_bin_area;
+        }
+    }
+    finalized_ = false;
+}
+
+void density_map::add_point(const point& p, double area) {
+    if (!region_.contains(p)) return;
+    const auto ix = std::min(nx_ - 1, static_cast<std::size_t>(std::max(
+                                          0.0, (p.x - region_.xlo) / bin_w_)));
+    const auto iy = std::min(ny_ - 1, static_cast<std::size_t>(std::max(
+                                          0.0, (p.y - region_.ylo) / bin_h_)));
+    demand_[index(ix, iy)] += area / bin_area();
+    finalized_ = false;
+}
+
+void density_map::add_field(const std::vector<double>& values, double weight) {
+    GPF_CHECK(values.size() == demand_.size());
+    for (std::size_t i = 0; i < demand_.size(); ++i) demand_[i] += weight * values[i];
+    finalized_ = false;
+}
+
+void density_map::finalize() {
+    double sum = 0.0;
+    for (const double d : demand_) sum += d;
+    supply_ = sum / static_cast<double>(demand_.size());
+    finalized_ = true;
+}
+
+double density_map::demand_at(std::size_t ix, std::size_t iy) const {
+    GPF_DCHECK(ix < nx_ && iy < ny_);
+    return demand_[index(ix, iy)];
+}
+
+double density_map::demand_near(const point& p) const {
+    const auto ix = std::clamp(
+        static_cast<std::ptrdiff_t>(std::floor((p.x - region_.xlo) / bin_w_)),
+        std::ptrdiff_t{0}, static_cast<std::ptrdiff_t>(nx_) - 1);
+    const auto iy = std::clamp(
+        static_cast<std::ptrdiff_t>(std::floor((p.y - region_.ylo) / bin_h_)),
+        std::ptrdiff_t{0}, static_cast<std::ptrdiff_t>(ny_) - 1);
+    return demand_[index(static_cast<std::size_t>(ix), static_cast<std::size_t>(iy))];
+}
+
+double density_map::density_at(std::size_t ix, std::size_t iy) const {
+    GPF_DCHECK(finalized_);
+    return demand_at(ix, iy) - supply_;
+}
+
+double density_map::max_density() const {
+    GPF_CHECK(finalized_);
+    double m = 0.0;
+    for (const double d : demand_) m = std::max(m, d - supply_);
+    return m;
+}
+
+double density_map::overflow_area() const {
+    GPF_CHECK(finalized_);
+    double acc = 0.0;
+    for (const double d : demand_) acc += std::max(0.0, d - supply_);
+    return acc * bin_area();
+}
+
+namespace {
+
+std::pair<std::size_t, std::size_t> choose_grid(const rect& region,
+                                                std::size_t target_bins) {
+    const double aspect = region.width() / region.height();
+    // nx * ny ~ target, nx/ny ~ aspect → square-ish bins.
+    double ny = std::sqrt(static_cast<double>(target_bins) / aspect);
+    double nx = aspect * ny;
+    const auto clampdim = [](double v) {
+        return std::max<std::size_t>(4, static_cast<std::size_t>(std::llround(v)));
+    };
+    return {clampdim(nx), clampdim(ny)};
+}
+
+} // namespace
+
+density_map compute_density_grid(const netlist& nl, const placement& pl,
+                                 std::size_t nx, std::size_t ny) {
+    GPF_CHECK(pl.size() == nl.num_cells());
+    density_map map(nl.region(), nx, ny);
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        const cell& c = nl.cell_at(i);
+        if (c.kind == cell_kind::pad) continue;
+        map.add_rect(rect::from_center(pl[i], c.width, c.height));
+    }
+    map.finalize();
+    return map;
+}
+
+density_map compute_density(const netlist& nl, const placement& pl,
+                            std::size_t target_bins) {
+    const auto [nx, ny] = choose_grid(nl.region(), target_bins);
+    return compute_density_grid(nl, pl, nx, ny);
+}
+
+} // namespace gpf

@@ -1,0 +1,42 @@
+#include "density/empty_square.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace gpf {
+
+double largest_empty_square_side(const density_map& density, double empty_threshold) {
+    const std::size_t nx = density.nx();
+    const std::size_t ny = density.ny();
+
+    // dp[ix][iy] = side (in bins) of the largest empty square whose
+    // top-right corner is (ix, iy).
+    std::vector<std::size_t> prev(ny, 0);
+    std::vector<std::size_t> cur(ny, 0);
+    std::size_t best = 0;
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+        for (std::size_t iy = 0; iy < ny; ++iy) {
+            if (density.demand_at(ix, iy) >= empty_threshold) {
+                cur[iy] = 0;
+            } else if (ix == 0 || iy == 0) {
+                cur[iy] = 1;
+            } else {
+                cur[iy] = 1 + std::min({prev[iy], cur[iy - 1], prev[iy - 1]});
+            }
+            best = std::max(best, cur[iy]);
+        }
+        std::swap(prev, cur);
+    }
+
+    const double bin_side = std::sqrt(density.bin_width() * density.bin_height());
+    return static_cast<double>(best) * bin_side;
+}
+
+bool placement_is_spread(const density_map& density, double average_cell_area,
+                         double factor, double empty_threshold) {
+    const double side = largest_empty_square_side(density, empty_threshold);
+    return side * side <= factor * average_cell_area;
+}
+
+} // namespace gpf

@@ -1,0 +1,28 @@
+// The paper's stopping criterion (section 4.2): iterate until "there exists
+// no empty square within the placement area which is larger than four times
+// the average area of a cell".
+//
+// Implemented as a largest-square-of-empty-bins dynamic program over the
+// demand grid. A bin counts as empty when its demand density is below
+// `empty_threshold` (cells only; the uniform supply term is irrelevant
+// here). With the grid's near-square bins the bin-square side converts to
+// layout units via the geometric mean of the bin dimensions.
+#pragma once
+
+#include <cstddef>
+
+#include "density/density_map.hpp"
+
+namespace gpf {
+
+/// Side length (layout units) of the largest empty axis-aligned square of
+/// bins. Returns 0 when no bin is empty.
+double largest_empty_square_side(const density_map& density,
+                                 double empty_threshold = 0.05);
+
+/// True when the paper's criterion is met: the largest empty square's area
+/// is at most `factor` (default 4) times the average movable-cell area.
+bool placement_is_spread(const density_map& density, double average_cell_area,
+                         double factor = 4.0, double empty_threshold = 0.05);
+
+} // namespace gpf

@@ -1,0 +1,68 @@
+// Force field derived from the density map (section 3.3 of the paper).
+//
+// Requirements 1-4 uniquely determine the forces as the gradient field of
+// the Poisson potential with open boundary conditions, i.e. the free-space
+// Green's-function integral (eq. 9):
+//
+//   f(r) = k * ∫∫ D(r') (r - r') / (2π |r - r'|²) dr'
+//
+// Discretized on the density grid this is a convolution with the kernel
+// K(Δ) = Δ / (2π |Δ|²), which compute_force_field evaluates with FFTs in
+// O(m² log m). compute_force_field_direct is the literal O(m⁴) sum used as
+// a reference in tests and for very small grids.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "density/density_map.hpp"
+#include "geometry/geometry.hpp"
+
+namespace gpf {
+
+class force_field {
+public:
+    force_field(const rect& region, std::size_t nx, std::size_t ny);
+
+    std::size_t nx() const { return nx_; }
+    std::size_t ny() const { return ny_; }
+    const rect& region() const { return region_; }
+
+    double fx_at(std::size_t ix, std::size_t iy) const { return fx_[index(ix, iy)]; }
+    double fy_at(std::size_t ix, std::size_t iy) const { return fy_[index(ix, iy)]; }
+
+    std::vector<double>& fx() { return fx_; }
+    std::vector<double>& fy() { return fy_; }
+    const std::vector<double>& fx() const { return fx_; }
+    const std::vector<double>& fy() const { return fy_; }
+
+    /// Bilinearly interpolated force at an arbitrary point (clamped to the
+    /// bin-center lattice at the borders).
+    point sample(const point& p) const;
+
+    /// Largest force magnitude over the bin lattice.
+    double max_magnitude() const;
+
+    /// Multiply both components by s.
+    void scale(double s);
+
+private:
+    std::size_t index(std::size_t ix, std::size_t iy) const { return ix * ny_ + iy; }
+
+    rect region_;
+    std::size_t nx_;
+    std::size_t ny_;
+    double bin_w_;
+    double bin_h_;
+    std::vector<double> fx_;
+    std::vector<double> fy_;
+};
+
+/// FFT evaluation of eq. (9) over the density grid. The field is computed
+/// at bin centers from D = demand - supply; the map must be finalized.
+force_field compute_force_field(const density_map& density);
+
+/// Literal quadruple-loop evaluation (reference implementation; O(m⁴)).
+force_field compute_force_field_direct(const density_map& density);
+
+} // namespace gpf

@@ -1,0 +1,70 @@
+#include "eco/eco.hpp"
+
+#include <algorithm>
+
+#include "core/metrics.hpp"
+#include "util/check.hpp"
+
+namespace gpf {
+
+placement seed_new_cells(const netlist& nl, const placement& pl,
+                         std::size_t num_preexisting) {
+    GPF_CHECK(pl.size() >= num_preexisting);
+    placement out(nl.num_cells(), nl.region().center());
+    for (std::size_t i = 0; i < std::min(pl.size(), out.size()); ++i) out[i] = pl[i];
+
+    const auto& adjacency = nl.cell_nets();
+    for (cell_id i = static_cast<cell_id>(num_preexisting); i < nl.num_cells(); ++i) {
+        if (nl.cell_at(i).fixed) {
+            out[i] = nl.cell_at(i).position;
+            continue;
+        }
+        point acc;
+        std::size_t count = 0;
+        for (const net_id ni : adjacency[i]) {
+            for (const pin& p : nl.net_at(ni).pins) {
+                if (p.cell == i || p.cell >= num_preexisting) continue;
+                acc += out[p.cell];
+                ++count;
+            }
+        }
+        if (count > 0) out[i] = acc * (1.0 / static_cast<double>(count));
+    }
+    return out;
+}
+
+eco_result incremental_place(const netlist& nl, const placement& start,
+                             std::size_t num_preexisting, const eco_options& options) {
+    GPF_CHECK(start.size() == nl.num_cells());
+    GPF_CHECK_MSG(options.placer.mode == placer_options::force_mode::hold_and_move,
+                  "incremental placement requires hold_and_move force mode");
+
+    eco_result result;
+    result.hpwl_before = total_hpwl(nl, start);
+
+    // ECO must stay local: global wire relaxation would re-place the
+    // whole design, so it is forced off regardless of the caller's options.
+    placer_options popt = options.placer;
+    popt.wire_relax_interval = 0;
+    placer p(nl, popt);
+    placement current = start;
+    for (std::size_t i = 0; i < options.iterations; ++i) {
+        current = p.transform(current);
+    }
+
+    std::size_t counted = 0;
+    for (cell_id i = 0; i < std::min<std::size_t>(num_preexisting, nl.num_cells()); ++i) {
+        if (nl.cell_at(i).fixed) continue;
+        const double d = distance(current[i], start[i]);
+        result.mean_displacement += d;
+        result.max_displacement = std::max(result.max_displacement, d);
+        ++counted;
+    }
+    if (counted > 0) result.mean_displacement /= static_cast<double>(counted);
+
+    result.hpwl_after = total_hpwl(nl, current);
+    result.pl = std::move(current);
+    return result;
+}
+
+} // namespace gpf

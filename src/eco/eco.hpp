@@ -1,0 +1,45 @@
+// ECO / incremental placement (section 5): after netlist changes (cell
+// additions/removals, gate resizing, logic-synthesis feedback) the
+// existing placement is disturbed as little as possible. "Any changes in
+// the netlist result in additional forces which move the surroundings
+// slightly in order to adapt to the changed situation."
+//
+// Usage: edit the netlist (add cells/nets, resize cells), extend the old
+// placement with seed positions for the new cells, then run
+// incremental_place for a bounded number of transformations.
+#pragma once
+
+#include <cstddef>
+
+#include "core/placer.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gpf {
+
+struct eco_options {
+    placer_options placer;           ///< K etc.; mode must be hold_and_move
+    std::size_t iterations = 12;     ///< adaptation transformations
+};
+
+struct eco_result {
+    placement pl;
+    double hpwl_before = 0.0;
+    double hpwl_after = 0.0;
+    double mean_displacement = 0.0; ///< over the pre-existing movable cells
+    double max_displacement = 0.0;
+};
+
+/// Seed positions for cells with id >= num_preexisting: the centroid of
+/// the other pins of their nets (region center when unconnected). The
+/// first num_preexisting entries of `pl` are kept.
+placement seed_new_cells(const netlist& nl, const placement& pl,
+                         std::size_t num_preexisting);
+
+/// Adapt the placement to the edited netlist with a bounded number of
+/// placement transformations starting from `start` (no global re-solve).
+/// Displacement statistics cover movable cells with id < num_preexisting.
+eco_result incremental_place(const netlist& nl, const placement& start,
+                             std::size_t num_preexisting,
+                             const eco_options& options = {});
+
+} // namespace gpf

@@ -1,0 +1,39 @@
+#include "geometry/geometry.hpp"
+
+#include <ostream>
+
+namespace gpf {
+
+double distance(const point& a, const point& b) {
+    return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+double manhattan_distance(const point& a, const point& b) {
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+double overlap_area(const rect& a, const rect& b) {
+    return overlap(a.x_range(), b.x_range()) * overlap(a.y_range(), b.y_range());
+}
+
+rect intersect(const rect& a, const rect& b) {
+    return rect(std::max(a.xlo, b.xlo), std::max(a.ylo, b.ylo),
+                std::min(a.xhi, b.xhi), std::min(a.yhi, b.yhi));
+}
+
+rect bounding_union(const rect& a, const rect& b) {
+    if (a.empty()) return b;
+    if (b.empty()) return a;
+    return rect(std::min(a.xlo, b.xlo), std::min(a.ylo, b.ylo),
+                std::max(a.xhi, b.xhi), std::max(a.yhi, b.yhi));
+}
+
+std::ostream& operator<<(std::ostream& os, const point& p) {
+    return os << '(' << p.x << ", " << p.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const rect& r) {
+    return os << '[' << r.xlo << ", " << r.ylo << " .. " << r.xhi << ", " << r.yhi << ']';
+}
+
+} // namespace gpf

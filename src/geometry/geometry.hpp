@@ -1,0 +1,125 @@
+// 2-D geometric primitives used throughout the placer. All coordinates are
+// doubles in a common "micron" unit; the placement region is an axis-aligned
+// rectangle [xlo,xhi] x [ylo,yhi].
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <iosfwd>
+
+namespace gpf {
+
+struct point {
+    double x = 0.0;
+    double y = 0.0;
+
+    point() = default;
+    point(double px, double py) : x(px), y(py) {}
+
+    point& operator+=(const point& o) { x += o.x; y += o.y; return *this; }
+    point& operator-=(const point& o) { x -= o.x; y -= o.y; return *this; }
+    point& operator*=(double s) { x *= s; y *= s; return *this; }
+
+    friend point operator+(point a, const point& b) { return a += b; }
+    friend point operator-(point a, const point& b) { return a -= b; }
+    friend point operator*(point a, double s) { return a *= s; }
+    friend point operator*(double s, point a) { return a *= s; }
+    friend bool operator==(const point& a, const point& b) { return a.x == b.x && a.y == b.y; }
+
+    double norm() const { return std::hypot(x, y); }
+    double norm_sq() const { return x * x + y * y; }
+};
+
+/// Euclidean distance.
+double distance(const point& a, const point& b);
+
+/// Manhattan (L1) distance.
+double manhattan_distance(const point& a, const point& b);
+
+/// Closed interval [lo, hi]; empty when hi < lo.
+struct interval {
+    double lo = 0.0;
+    double hi = -1.0;
+
+    interval() = default;
+    interval(double l, double h) : lo(l), hi(h) {}
+
+    bool empty() const { return hi < lo; }
+    double length() const { return empty() ? 0.0 : hi - lo; }
+    double center() const { return 0.5 * (lo + hi); }
+    bool contains(double v) const { return v >= lo && v <= hi; }
+
+    /// Overlap length of two intervals (0 when disjoint).
+    friend double overlap(const interval& a, const interval& b) {
+        return std::max(0.0, std::min(a.hi, b.hi) - std::max(a.lo, b.lo));
+    }
+
+    /// Clamp a value into this (non-empty) interval.
+    double clamp(double v) const { return std::min(hi, std::max(lo, v)); }
+};
+
+/// Axis-aligned rectangle. Empty when width or height is negative.
+struct rect {
+    double xlo = 0.0;
+    double ylo = 0.0;
+    double xhi = -1.0;
+    double yhi = -1.0;
+
+    rect() = default;
+    rect(double x0, double y0, double x1, double y1)
+        : xlo(x0), ylo(y0), xhi(x1), yhi(y1) {}
+
+    /// Rectangle from center point and dimensions.
+    static rect from_center(const point& c, double width, double height) {
+        return rect(c.x - width / 2, c.y - height / 2, c.x + width / 2, c.y + height / 2);
+    }
+
+    bool empty() const { return xhi < xlo || yhi < ylo; }
+    double width() const { return empty() ? 0.0 : xhi - xlo; }
+    double height() const { return empty() ? 0.0 : yhi - ylo; }
+    double area() const { return width() * height(); }
+    double half_perimeter() const { return width() + height(); }
+    point center() const { return point(0.5 * (xlo + xhi), 0.5 * (ylo + yhi)); }
+
+    interval x_range() const { return interval(xlo, xhi); }
+    interval y_range() const { return interval(ylo, yhi); }
+
+    bool contains(const point& p) const {
+        return p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi;
+    }
+    bool contains(const rect& r) const {
+        return r.xlo >= xlo && r.xhi <= xhi && r.ylo >= ylo && r.yhi <= yhi;
+    }
+
+    /// Grow to include point p (an empty rect becomes the degenerate rect at p).
+    void expand_to(const point& p) {
+        if (empty()) {
+            xlo = xhi = p.x;
+            ylo = yhi = p.y;
+        } else {
+            xlo = std::min(xlo, p.x);
+            ylo = std::min(ylo, p.y);
+            xhi = std::max(xhi, p.x);
+            yhi = std::max(yhi, p.y);
+        }
+    }
+
+    /// Translate by a delta vector.
+    rect translated(const point& d) const {
+        return rect(xlo + d.x, ylo + d.y, xhi + d.x, yhi + d.y);
+    }
+};
+
+/// Overlap area of two rectangles (0 when disjoint or either is empty).
+double overlap_area(const rect& a, const rect& b);
+
+/// Intersection rectangle (may be empty).
+rect intersect(const rect& a, const rect& b);
+
+/// Smallest rectangle covering both inputs.
+rect bounding_union(const rect& a, const rect& b);
+
+std::ostream& operator<<(std::ostream& os, const point& p);
+std::ostream& operator<<(std::ostream& os, const rect& r);
+
+} // namespace gpf

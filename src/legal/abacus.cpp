@@ -1,0 +1,188 @@
+#include "legal/abacus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace gpf {
+
+namespace {
+
+struct seg_cell {
+    cell_id id;
+    double target; ///< desired left edge from the global placement
+    double width;
+    double weight;
+};
+
+struct seg_cluster {
+    double e = 0.0; ///< total weight
+    double q = 0.0; ///< Σ w_i (target_i − offset_i)
+    double w = 0.0; ///< total width
+    double x = 0.0; ///< left edge
+    std::size_t first = 0; ///< first cell index in the segment order
+};
+
+struct segment_state {
+    double xlo = 0.0;
+    double xhi = 0.0;
+    double used = 0.0;
+    std::vector<seg_cell> cells;
+    std::vector<seg_cluster> clusters;
+};
+
+/// Collapse the last cluster: clamp into the segment and merge backwards
+/// while it overlaps its predecessor (the classic Abacus recursion).
+void collapse(segment_state& seg) {
+    for (;;) {
+        seg_cluster& c = seg.clusters.back();
+        c.x = std::clamp(c.q / c.e, seg.xlo, seg.xhi - c.w);
+        if (seg.clusters.size() < 2) return;
+        seg_cluster& prev = seg.clusters[seg.clusters.size() - 2];
+        if (prev.x + prev.w <= c.x) return;
+        // Merge c into prev.
+        prev.q += c.q - c.e * prev.w;
+        prev.e += c.e;
+        prev.w += c.w;
+        seg.clusters.pop_back();
+    }
+}
+
+/// Append a cell (always at the right end — cells arrive in x order) and
+/// return its final center x.
+double append_cell(segment_state& seg, const seg_cell& c) {
+    seg.cells.push_back(c);
+    seg.used += c.width;
+    seg_cluster nc;
+    nc.e = c.weight;
+    nc.q = c.weight * c.target;
+    nc.w = c.width;
+    nc.x = c.target;
+    nc.first = seg.cells.size() - 1;
+    const bool overlaps = !seg.clusters.empty() &&
+                          seg.clusters.back().x + seg.clusters.back().w > c.target;
+    seg.clusters.push_back(nc);
+    if (overlaps) {
+        // Immediately merge with the predecessor.
+        seg_cluster last = seg.clusters.back();
+        seg.clusters.pop_back();
+        seg_cluster& prev = seg.clusters.back();
+        prev.q += last.q - last.e * prev.w;
+        prev.e += last.e;
+        prev.w += last.w;
+    }
+    collapse(seg);
+
+    // Final center of the appended cell: offset within its cluster is the
+    // cluster width minus the cell width.
+    const seg_cluster& cl = seg.clusters.back();
+    return cl.x + cl.w - c.width + c.width / 2;
+}
+
+} // namespace
+
+placement abacus_legalize(const netlist& nl, const placement& global,
+                          const abacus_options& options) {
+    GPF_CHECK(global.size() == nl.num_cells());
+    const row_model rows(nl, global, /*treat_blocks_as_obstacles=*/true);
+
+    std::vector<std::vector<segment_state>> state(rows.num_rows());
+    for (std::size_t r = 0; r < rows.num_rows(); ++r) {
+        for (const row_segment& seg : rows.row(r).segments) {
+            segment_state s;
+            s.xlo = seg.xlo;
+            s.xhi = seg.xhi;
+            state[r].push_back(std::move(s));
+        }
+    }
+
+    std::vector<cell_id> order;
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        const cell& c = nl.cell_at(i);
+        if (!c.fixed && c.kind == cell_kind::standard) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [&](cell_id a, cell_id b) {
+        return global[a].x < global[b].x;
+    });
+
+    placement out = global;
+    for (const cell_id id : order) {
+        const cell& c = nl.cell_at(id);
+        seg_cell sc;
+        sc.id = id;
+        sc.target = global[id].x - c.width / 2;
+        sc.width = c.width;
+        sc.weight = options.weight_by_area ? std::max(1e-6, c.area()) : 1.0;
+
+        const std::size_t home = rows.nearest_row(global[id].y);
+        double best_cost = std::numeric_limits<double>::infinity();
+        std::size_t best_row = 0;
+        std::size_t best_seg = 0;
+
+        for (std::size_t dist = 0; dist < rows.num_rows(); ++dist) {
+            if (dist > options.row_search_span &&
+                best_cost < std::numeric_limits<double>::infinity()) {
+                break;
+            }
+            for (const std::ptrdiff_t dir : {+1, -1}) {
+                if (dist == 0 && dir < 0) continue;
+                const std::ptrdiff_t rr = static_cast<std::ptrdiff_t>(home) +
+                                          dir * static_cast<std::ptrdiff_t>(dist);
+                if (rr < 0 || rr >= static_cast<std::ptrdiff_t>(rows.num_rows())) continue;
+                const auto r = static_cast<std::size_t>(rr);
+                const double dy = rows.row_center(r) - global[id].y;
+                if (dy * dy >= best_cost) continue;
+                for (std::size_t s = 0; s < state[r].size(); ++s) {
+                    segment_state& seg = state[r][s];
+                    if (seg.used + c.width > seg.xhi - seg.xlo) continue;
+                    // Trial insertion on a cluster copy (cells untouched).
+                    segment_state trial;
+                    trial.xlo = seg.xlo;
+                    trial.xhi = seg.xhi;
+                    trial.used = seg.used;
+                    trial.clusters = seg.clusters;
+                    trial.cells.reserve(1);
+                    const double cx = append_cell(trial, sc);
+                    const double dx = cx - global[id].x;
+                    const double cost = dx * dx + dy * dy;
+                    if (cost < best_cost) {
+                        best_cost = cost;
+                        best_row = r;
+                        best_seg = s;
+                    }
+                }
+            }
+        }
+
+        GPF_CHECK_MSG(best_cost < std::numeric_limits<double>::infinity(),
+                      "abacus legalizer ran out of row capacity for cell "
+                          << nl.cell_at(id).name);
+        append_cell(state[best_row][best_seg], sc);
+        out[id].y = rows.row_center(best_row);
+    }
+
+    // Realize final x positions from the cluster structures.
+    for (std::size_t r = 0; r < rows.num_rows(); ++r) {
+        for (const segment_state& seg : state[r]) {
+            for (const seg_cluster& cl : seg.clusters) {
+                double x = cl.x;
+                // Cells of this cluster: from cl.first up to the next
+                // cluster's first (or end).
+                std::size_t end = seg.cells.size();
+                for (const seg_cluster& other : seg.clusters) {
+                    if (other.first > cl.first) end = std::min(end, other.first);
+                }
+                for (std::size_t i = cl.first; i < end; ++i) {
+                    const seg_cell& sc = seg.cells[i];
+                    out[sc.id].x = x + sc.width / 2;
+                    x += sc.width;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace gpf

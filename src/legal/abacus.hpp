@@ -1,0 +1,23 @@
+// Abacus legalization: cells are inserted in x order into rows; within a
+// row, overlapping cells merge into clusters whose position minimizes the
+// total weighted quadratic displacement from the global placement
+// (Spindler/Schlichtmann/Johannes-style cluster dynamic program). Produces
+// noticeably less displacement than Tetris at slightly higher cost.
+#pragma once
+
+#include "legal/rows.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gpf {
+
+struct abacus_options {
+    std::size_t row_search_span = 4; ///< rows scanned above/below the home row
+    bool weight_by_area = true;      ///< heavier cells move less
+};
+
+/// Legalize movable standard cells; blocks and fixed cells are obstacles at
+/// their `global` positions. Throws check_error when capacity runs out.
+placement abacus_legalize(const netlist& nl, const placement& global,
+                          const abacus_options& options = {});
+
+} // namespace gpf

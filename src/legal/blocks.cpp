@@ -1,0 +1,132 @@
+#include "legal/blocks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "geometry/geometry.hpp"
+#include "util/check.hpp"
+
+namespace gpf {
+
+block_legalize_result legalize_blocks(const netlist& nl, placement& pl,
+                                      const block_legalize_options& options) {
+    GPF_CHECK(pl.size() == nl.num_cells());
+    block_legalize_result result;
+
+    std::vector<cell_id> blocks;
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        const cell& c = nl.cell_at(i);
+        if (c.kind == cell_kind::block) blocks.push_back(i);
+    }
+    if (blocks.empty()) return result;
+
+    const rect region = nl.region();
+    const double row_h = nl.row_height();
+    const placement original = pl;
+
+    const auto clamp_into_region = [&](cell_id id) {
+        const cell& c = nl.cell_at(id);
+        pl[id].x = std::clamp(pl[id].x, region.xlo + c.width / 2, region.xhi - c.width / 2);
+        pl[id].y =
+            std::clamp(pl[id].y, region.ylo + c.height / 2, region.yhi - c.height / 2);
+        if (options.snap_to_rows) {
+            const double bottom = pl[id].y - c.height / 2;
+            const double snapped =
+                region.ylo + std::round((bottom - region.ylo) / row_h) * row_h;
+            pl[id].y = std::clamp(snapped + c.height / 2, region.ylo + c.height / 2,
+                                  region.yhi - c.height / 2);
+        }
+    };
+
+    for (const cell_id id : blocks) {
+        if (!nl.cell_at(id).fixed) clamp_into_region(id);
+    }
+
+    for (std::size_t it = 0; it < options.max_iterations; ++it) {
+        bool any = false;
+        for (std::size_t a = 0; a < blocks.size(); ++a) {
+            for (std::size_t b = a + 1; b < blocks.size(); ++b) {
+                const cell_id ia = blocks[a];
+                const cell_id ib = blocks[b];
+                const cell& ca = nl.cell_at(ia);
+                const cell& cb = nl.cell_at(ib);
+                const rect ra = rect::from_center(pl[ia], ca.width, ca.height);
+                const rect rb = rect::from_center(pl[ib], cb.width, cb.height);
+                const rect inter = intersect(ra, rb);
+                if (inter.empty() || inter.area() <= 0.0) continue;
+                any = true;
+
+                // Push apart along the axis with the smaller overlap; split
+                // the movement by mobility (fixed blocks do not move).
+                // Vertical pushes must be whole rows when snapping is on,
+                // otherwise the snap undoes the push and the loop cycles.
+                const double ox = inter.width();
+                const double oy = inter.height();
+                const double oy_eff =
+                    options.snap_to_rows
+                        ? std::ceil(oy / (2.0 * row_h)) * 2.0 * row_h
+                        : oy;
+                const bool move_x = ox <= oy_eff;
+                double push = (move_x ? ox : oy_eff) / 2 + 1e-9;
+                if (!move_x && options.snap_to_rows) {
+                    push = std::ceil(push / row_h) * row_h;
+                }
+                const double dir_a = move_x ? (pl[ia].x <= pl[ib].x ? -1.0 : 1.0)
+                                            : (pl[ia].y <= pl[ib].y ? -1.0 : 1.0);
+                const bool a_moves = !ca.fixed;
+                const bool b_moves = !cb.fixed;
+                const double share_a = a_moves ? (b_moves ? push : 2 * push) : 0.0;
+                const double share_b = b_moves ? (a_moves ? push : 2 * push) : 0.0;
+                if (move_x) {
+                    pl[ia].x += dir_a * share_a;
+                    pl[ib].x -= dir_a * share_b;
+                } else {
+                    pl[ia].y += dir_a * share_a;
+                    pl[ib].y -= dir_a * share_b;
+                }
+                if (a_moves) clamp_into_region(ia);
+                if (b_moves) clamp_into_region(ib);
+
+                // If clamping undid the push (both blocks pinned against a
+                // region edge along that axis), separate along the other
+                // axis instead — otherwise the loop cycles forever.
+                const double after = overlap_area(
+                    rect::from_center(pl[ia], ca.width, ca.height),
+                    rect::from_center(pl[ib], cb.width, cb.height));
+                if (after >= inter.area() - 1e-9) {
+                    const double alt_push = (move_x ? oy_eff : ox) / 2 + 1e-9;
+                    const double alt_a = a_moves ? (b_moves ? alt_push : 2 * alt_push) : 0.0;
+                    const double alt_b = b_moves ? (a_moves ? alt_push : 2 * alt_push) : 0.0;
+                    if (move_x) {
+                        const double dy = pl[ia].y <= pl[ib].y ? -1.0 : 1.0;
+                        pl[ia].y += dy * alt_a;
+                        pl[ib].y -= dy * alt_b;
+                    } else {
+                        const double dx = pl[ia].x <= pl[ib].x ? -1.0 : 1.0;
+                        pl[ia].x += dx * alt_a;
+                        pl[ib].x -= dx * alt_b;
+                    }
+                    if (a_moves) clamp_into_region(ia);
+                    if (b_moves) clamp_into_region(ib);
+                }
+            }
+        }
+        result.iterations = it + 1;
+        if (!any) break;
+    }
+
+    for (std::size_t a = 0; a < blocks.size(); ++a) {
+        for (std::size_t b = a + 1; b < blocks.size(); ++b) {
+            const cell& ca = nl.cell_at(blocks[a]);
+            const cell& cb = nl.cell_at(blocks[b]);
+            result.residual_overlap +=
+                overlap_area(rect::from_center(pl[blocks[a]], ca.width, ca.height),
+                             rect::from_center(pl[blocks[b]], cb.width, cb.height));
+        }
+        result.total_displacement += distance(pl[blocks[a]], original[blocks[a]]);
+    }
+    return result;
+}
+
+} // namespace gpf

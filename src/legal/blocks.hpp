@@ -1,0 +1,27 @@
+// Macro-block legalization for mixed block/cell placement: removes the
+// (small) residual overlaps between movable blocks after global placement
+// by iterative pairwise separation along the axis of least overlap, with
+// block heights snapped to row boundaries. Standard cells are placed
+// afterwards with the blocks as obstacles.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace gpf {
+
+struct block_legalize_options {
+    std::size_t max_iterations = 200;
+    bool snap_to_rows = true; ///< align block bottoms to row boundaries
+};
+
+struct block_legalize_result {
+    std::size_t iterations = 0;
+    double residual_overlap = 0.0; ///< remaining block-block overlap area
+    double total_displacement = 0.0;
+};
+
+/// Separate movable blocks in place; fixed blocks act as rigid obstacles.
+block_legalize_result legalize_blocks(const netlist& nl, placement& pl,
+                                      const block_legalize_options& options = {});
+
+} // namespace gpf

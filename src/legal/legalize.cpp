@@ -1,0 +1,34 @@
+#include "legal/legalize.hpp"
+
+#include "core/metrics.hpp"
+
+namespace gpf {
+
+legalize_result legalize(const netlist& nl, const placement& global, placement& out,
+                         const legalize_options& options) {
+    legalize_result result;
+    result.hpwl_global = total_hpwl(nl, global);
+
+    placement work = global;
+    result.blocks = legalize_blocks(nl, work, options.blocks);
+
+    switch (options.algorithm) {
+        case row_legalizer::tetris:
+            work = tetris_legalize(nl, work, options.tetris);
+            break;
+        case row_legalizer::abacus:
+            work = abacus_legalize(nl, work, options.abacus);
+            break;
+    }
+    result.hpwl_legal = total_hpwl(nl, work);
+
+    if (options.run_refinement) {
+        result.refine = refine_detailed(nl, work, options.refine);
+    }
+    result.hpwl_refined = total_hpwl(nl, work);
+
+    out = std::move(work);
+    return result;
+}
+
+} // namespace gpf

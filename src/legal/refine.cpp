@@ -1,0 +1,200 @@
+#include "legal/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/metrics.hpp"
+#include "legal/rows.hpp"
+#include "util/check.hpp"
+
+namespace gpf {
+
+namespace {
+
+/// HPWL over the nets incident to the given cells (evaluated under pl).
+double local_hpwl(const netlist& nl, const placement& pl,
+                  std::initializer_list<cell_id> cells) {
+    const auto& adjacency = nl.cell_nets();
+    double acc = 0.0;
+    // A net shared by both cells must be counted once; degrees are small,
+    // so a linear duplicate check is cheap.
+    std::vector<net_id> seen;
+    for (const cell_id id : cells) {
+        for (const net_id ni : adjacency[id]) {
+            if (std::find(seen.begin(), seen.end(), ni) != seen.end()) continue;
+            seen.push_back(ni);
+            acc += net_hpwl(nl, pl, nl.net_at(ni));
+        }
+    }
+    return acc;
+}
+
+struct row_order {
+    std::vector<std::vector<cell_id>> cells; ///< per row, sorted by x
+};
+
+row_order build_row_order(const netlist& nl, const placement& pl,
+                          const row_model& rows) {
+    row_order order;
+    order.cells.resize(rows.num_rows());
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        const cell& c = nl.cell_at(i);
+        if (c.fixed || c.kind != cell_kind::standard) continue;
+        order.cells[rows.nearest_row(pl[i].y)].push_back(i);
+    }
+    for (auto& row : order.cells) {
+        std::sort(row.begin(), row.end(),
+                  [&](cell_id a, cell_id b) { return pl[a].x < pl[b].x; });
+    }
+    return order;
+}
+
+struct gap {
+    double xlo;
+    double xhi;
+    double width() const { return xhi - xlo; }
+};
+
+std::vector<gap> row_gaps(const netlist& nl, const placement& pl,
+                          const placement_row& row_geom,
+                          const std::vector<cell_id>& row_cells) {
+    std::vector<gap> gaps;
+    for (const row_segment& seg : row_geom.segments) {
+        double cursor = seg.xlo;
+        for (const cell_id id : row_cells) {
+            const cell& c = nl.cell_at(id);
+            const double lo = pl[id].x - c.width / 2;
+            const double hi = pl[id].x + c.width / 2;
+            if (hi <= seg.xlo || lo >= seg.xhi) continue;
+            if (lo > cursor) gaps.push_back({cursor, lo});
+            cursor = std::max(cursor, hi);
+        }
+        if (cursor < seg.xhi) gaps.push_back({cursor, seg.xhi});
+    }
+    return gaps;
+}
+
+} // namespace
+
+refine_result refine_detailed(const netlist& nl, placement& pl,
+                              const refine_options& options) {
+    GPF_CHECK(pl.size() == nl.num_cells());
+    refine_result result;
+    result.hpwl_before = total_hpwl(nl, pl);
+
+    const row_model rows(nl, pl, /*treat_blocks_as_obstacles=*/true);
+    row_order order = build_row_order(nl, pl, rows);
+    constexpr double kEps = 1e-9;
+
+    for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+        bool improved = false;
+
+        // --- adjacent swaps -------------------------------------------------
+        if (options.enable_swaps) {
+            for (std::size_t ri = 0; ri < order.cells.size(); ++ri) {
+                auto& row = order.cells[ri];
+                const placement_row& geom = rows.row(ri);
+                for (std::size_t i = 0; i + 1 < row.size(); ++i) {
+                    const cell_id a = row[i];
+                    const cell_id b = row[i + 1];
+                    const cell& ca = nl.cell_at(a);
+                    const cell& cb = nl.cell_at(b);
+                    const double a_lo = pl[a].x - ca.width / 2;
+                    const double b_hi = pl[b].x + cb.width / 2;
+                    // The re-packed pair spans [a_lo, b_hi]; it must lie in
+                    // one free segment, otherwise the swap would push a
+                    // cell into a blockage between the two.
+                    bool in_one_segment = false;
+                    for (const row_segment& seg : geom.segments) {
+                        if (a_lo >= seg.xlo - 1e-9 && b_hi <= seg.xhi + 1e-9) {
+                            in_one_segment = true;
+                            break;
+                        }
+                    }
+                    if (!in_one_segment) continue;
+                    const double gap_w = (pl[b].x - cb.width / 2) - (pl[a].x + ca.width / 2);
+                    // Re-packed swap: b first, then the original gap, then a.
+                    const point old_a = pl[a];
+                    const point old_b = pl[b];
+                    const double before = local_hpwl(nl, pl, {a, b});
+                    pl[b].x = a_lo + cb.width / 2;
+                    pl[a].x = a_lo + cb.width + gap_w + ca.width / 2;
+                    const double after = local_hpwl(nl, pl, {a, b});
+                    if (after < before - kEps) {
+                        std::swap(row[i], row[i + 1]);
+                        ++result.swaps;
+                        improved = true;
+                    } else {
+                        pl[a] = old_a;
+                        pl[b] = old_b;
+                    }
+                }
+            }
+        }
+
+        // --- relocations into free gaps -------------------------------------
+        if (options.enable_relocation) {
+            const double window_x = options.window_width * nl.row_height();
+            for (std::size_t r = 0; r < order.cells.size(); ++r) {
+                // Iterate over a snapshot; relocation edits the row lists.
+                const std::vector<cell_id> snapshot = order.cells[r];
+                for (const cell_id id : snapshot) {
+                    const cell& c = nl.cell_at(id);
+                    const point old_pos = pl[id];
+                    const double before = local_hpwl(nl, pl, {id});
+
+                    double best_delta = -kEps;
+                    point best_pos = old_pos;
+                    std::size_t best_row = r;
+
+                    const std::size_t rlo =
+                        r >= options.window_rows ? r - options.window_rows : 0;
+                    const std::size_t rhi =
+                        std::min(order.cells.size() - 1, r + options.window_rows);
+                    for (std::size_t rr = rlo; rr <= rhi; ++rr) {
+                        const auto gaps = row_gaps(nl, pl, rows.row(rr), order.cells[rr]);
+                        for (const gap& g : gaps) {
+                            if (g.width() < c.width) continue;
+                            const double x = std::clamp(old_pos.x, g.xlo + c.width / 2,
+                                                        g.xhi - c.width / 2);
+                            if (std::abs(x - old_pos.x) > window_x) continue;
+                            pl[id] = point(x, rows.row_center(rr));
+                            const double delta = local_hpwl(nl, pl, {id}) - before;
+                            if (delta < best_delta) {
+                                best_delta = delta;
+                                best_pos = pl[id];
+                                best_row = rr;
+                            }
+                        }
+                    }
+                    pl[id] = old_pos;
+                    if (best_row != r || !(best_pos == old_pos)) {
+                        if (best_delta < -kEps) {
+                            pl[id] = best_pos;
+                            // Update row order structures.
+                            auto& from = order.cells[r];
+                            from.erase(std::find(from.begin(), from.end(), id));
+                            auto& to = order.cells[best_row];
+                            to.insert(std::upper_bound(to.begin(), to.end(), id,
+                                                       [&](cell_id lhs, cell_id rhs) {
+                                                           return pl[lhs].x < pl[rhs].x;
+                                                       }),
+                                      id);
+                            ++result.relocations;
+                            improved = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        ++result.passes;
+        if (!improved) break;
+    }
+
+    result.hpwl_after = total_hpwl(nl, pl);
+    return result;
+}
+
+} // namespace gpf

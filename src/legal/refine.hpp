@@ -1,0 +1,36 @@
+// Detailed-placement refinement on a legal placement (the role Domino
+// [17] plays for Gordian in the paper's flow; see DESIGN.md §4 for the
+// substitution). Two greedy move types, applied in sweeps until no
+// improvement:
+//   * swap two cells that are horizontal neighbors in the same row
+//     (re-packed so legality is preserved even for unequal widths), and
+//   * relocate a cell into a free gap within a search window.
+// Every accepted move strictly decreases total HPWL.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace gpf {
+
+struct refine_options {
+    std::size_t max_passes = 4;
+    std::size_t window_rows = 2;     ///< rows above/below scanned for relocation
+    double window_width = 16.0;      ///< x half-window (in row heights) for relocation
+    bool enable_swaps = true;
+    bool enable_relocation = true;
+};
+
+struct refine_result {
+    double hpwl_before = 0.0;
+    double hpwl_after = 0.0;
+    std::size_t swaps = 0;
+    std::size_t relocations = 0;
+    std::size_t passes = 0;
+};
+
+/// Improve a legal placement in place. Returns statistics. The input must
+/// be row-legal (e.g. from tetris_legalize or abacus_legalize).
+refine_result refine_detailed(const netlist& nl, placement& pl,
+                              const refine_options& options = {});
+
+} // namespace gpf

@@ -1,0 +1,74 @@
+#include "legal/rows.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gpf {
+
+row_model::row_model(const netlist& nl, const placement& pl,
+                     bool treat_blocks_as_obstacles) {
+    GPF_CHECK(pl.size() == nl.num_cells());
+    const rect region = nl.region();
+    row_height_ = nl.row_height();
+    region_ylo_ = region.ylo;
+    const std::size_t n = nl.num_rows();
+    GPF_CHECK_MSG(n >= 1, "region holds no rows");
+
+    rows_.resize(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        rows_[r].y = region.ylo + static_cast<double>(r) * row_height_;
+        rows_[r].height = row_height_;
+        rows_[r].segments = {{region.xlo, region.xhi}};
+    }
+
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        const cell& c = nl.cell_at(i);
+        if (c.kind == cell_kind::pad) continue;
+        const bool obstacle =
+            c.fixed || (treat_blocks_as_obstacles && c.kind == cell_kind::block);
+        if (!obstacle) continue;
+        const rect r = rect::from_center(pl[i], c.width, c.height);
+        for (std::size_t row = 0; row < n; ++row) {
+            const double rlo = rows_[row].y;
+            const double rhi = rlo + rows_[row].height;
+            if (r.yhi <= rlo || r.ylo >= rhi) continue;
+            subtract(row, r.xlo, r.xhi);
+        }
+    }
+}
+
+void row_model::subtract(std::size_t r, double xlo, double xhi) {
+    std::vector<row_segment> next;
+    for (const row_segment& seg : rows_[r].segments) {
+        if (xhi <= seg.xlo || xlo >= seg.xhi) {
+            next.push_back(seg);
+            continue;
+        }
+        if (xlo > seg.xlo) next.push_back({seg.xlo, xlo});
+        if (xhi < seg.xhi) next.push_back({xhi, seg.xhi});
+    }
+    rows_[r].segments = std::move(next);
+}
+
+std::size_t row_model::nearest_row(double y) const {
+    const double t = (y - region_ylo_) / row_height_ - 0.5;
+    const auto r = static_cast<std::ptrdiff_t>(std::llround(t));
+    return static_cast<std::size_t>(
+        std::clamp(r, std::ptrdiff_t{0}, static_cast<std::ptrdiff_t>(rows_.size()) - 1));
+}
+
+double row_model::row_center(std::size_t r) const {
+    GPF_CHECK(r < rows_.size());
+    return rows_[r].y + rows_[r].height / 2;
+}
+
+double row_model::total_free_width(std::size_t r) const {
+    GPF_CHECK(r < rows_.size());
+    double acc = 0.0;
+    for (const row_segment& seg : rows_[r].segments) acc += seg.width();
+    return acc;
+}
+
+} // namespace gpf

@@ -1,0 +1,53 @@
+// Row model for standard-cell legalization. The placement region is cut
+// into num_rows horizontal rows of row_height; macro blocks and fixed
+// cells carve blockage intervals out of the rows they cover.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/geometry.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gpf {
+
+struct row_segment {
+    double xlo = 0.0;
+    double xhi = 0.0;
+    double width() const { return xhi - xlo; }
+};
+
+struct placement_row {
+    double y = 0.0;      ///< bottom of the row
+    double height = 0.0;
+    std::vector<row_segment> segments; ///< free intervals, ascending, disjoint
+};
+
+class row_model {
+public:
+    /// Build rows from the netlist region; obstacles (fixed cells and, when
+    /// `treat_blocks_as_obstacles`, all blocks at their positions in `pl`)
+    /// are subtracted from the row segments.
+    row_model(const netlist& nl, const placement& pl, bool treat_blocks_as_obstacles);
+
+    std::size_t num_rows() const { return rows_.size(); }
+    const placement_row& row(std::size_t r) const { return rows_[r]; }
+    const std::vector<placement_row>& rows() const { return rows_; }
+
+    /// Row whose vertical span contains (or is closest to) y-center `y`.
+    std::size_t nearest_row(double y) const;
+
+    /// y-center of row r.
+    double row_center(std::size_t r) const;
+
+    double total_free_width(std::size_t r) const;
+
+private:
+    void subtract(std::size_t r, double xlo, double xhi);
+
+    std::vector<placement_row> rows_;
+    double region_ylo_ = 0.0;
+    double row_height_ = 1.0;
+};
+
+} // namespace gpf

@@ -1,0 +1,102 @@
+#include "legal/tetris.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace gpf {
+
+namespace {
+
+struct open_segment {
+    double fill;  ///< next free x (left edge)
+    double xhi;   ///< right end of the segment
+    double free() const { return xhi - fill; }
+};
+
+} // namespace
+
+placement tetris_legalize(const netlist& nl, const placement& global,
+                          const tetris_options& options) {
+    GPF_CHECK(global.size() == nl.num_cells());
+    const row_model rows(nl, global, /*treat_blocks_as_obstacles=*/true);
+
+    std::vector<std::vector<open_segment>> open(rows.num_rows());
+    for (std::size_t r = 0; r < rows.num_rows(); ++r) {
+        for (const row_segment& seg : rows.row(r).segments) {
+            open[r].push_back({seg.xlo, seg.xhi});
+        }
+    }
+
+    // Movable standard cells, left to right by global x.
+    std::vector<cell_id> order;
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        const cell& c = nl.cell_at(i);
+        if (!c.fixed && c.kind == cell_kind::standard) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [&](cell_id a, cell_id b) {
+        return global[a].x < global[b].x;
+    });
+
+    placement out = global;
+    for (const cell_id id : order) {
+        const cell& c = nl.cell_at(id);
+        const double w = c.width;
+        const std::size_t home = rows.nearest_row(global[id].y);
+
+        double best_cost = std::numeric_limits<double>::infinity();
+        std::size_t best_row = 0;
+        std::size_t best_seg = 0;
+        double best_x = 0.0;
+
+        const std::size_t span =
+            options.row_search_span == 0 ? rows.num_rows() : options.row_search_span;
+        for (std::size_t dist = 0; dist < rows.num_rows(); ++dist) {
+            if (dist > span && best_cost < std::numeric_limits<double>::infinity()) break;
+            // Alternate above/below the home row.
+            for (const std::ptrdiff_t dir : {+1, -1}) {
+                if (dist == 0 && dir < 0) continue;
+                const std::ptrdiff_t rr =
+                    static_cast<std::ptrdiff_t>(home) + dir * static_cast<std::ptrdiff_t>(dist);
+                if (rr < 0 || rr >= static_cast<std::ptrdiff_t>(rows.num_rows())) continue;
+                const auto r = static_cast<std::size_t>(rr);
+                const double dy =
+                    std::abs(rows.row_center(r) - global[id].y) * options.vertical_penalty;
+                if (dy >= best_cost) continue; // no segment in this row can win
+                for (std::size_t s = 0; s < open[r].size(); ++s) {
+                    const open_segment& seg = open[r][s];
+                    if (seg.free() < w) continue;
+                    // Left edge position closest to the desired center.
+                    const double x =
+                        std::clamp(global[id].x - w / 2, seg.fill, seg.xhi - w);
+                    const double cost = std::abs(x + w / 2 - global[id].x) + dy;
+                    if (cost < best_cost) {
+                        best_cost = cost;
+                        best_row = r;
+                        best_seg = s;
+                        best_x = x;
+                    }
+                }
+            }
+        }
+
+        GPF_CHECK_MSG(best_cost < std::numeric_limits<double>::infinity(),
+                      "tetris legalizer ran out of row capacity for cell "
+                          << nl.cell_at(id).name);
+        // Placing mid-segment must not discard the space to the left: keep
+        // it as a separate open gap (cells arrive in ascending x, but their
+        // clamped positions can still fall into earlier gaps).
+        open_segment& chosen = open[best_row][best_seg];
+        if (best_x > chosen.fill + 1e-12) {
+            open[best_row].push_back({chosen.fill, best_x});
+        }
+        open[best_row][best_seg].fill = best_x + w;
+        out[id] = point(best_x + w / 2, rows.row_center(best_row));
+    }
+    return out;
+}
+
+} // namespace gpf

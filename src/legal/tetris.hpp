@@ -1,0 +1,24 @@
+// Tetris-style greedy legalizer: standard cells sorted by x are packed
+// left-to-right into row segments, each placed in the row that minimizes
+// its displacement. Fast and robust; used as the default first legalization
+// stage before Abacus refinement.
+#pragma once
+
+#include "legal/rows.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gpf {
+
+struct tetris_options {
+    double vertical_penalty = 1.0; ///< weight of |dy| against |dx| in the row choice
+    std::size_t row_search_span = 0; ///< rows to scan above/below (0 = all rows)
+};
+
+/// Legalize the movable standard cells of `nl` starting from `global`.
+/// Blocks and fixed cells are treated as obstacles at their `global`
+/// positions. Returns the legalized placement (blocks/fixed unchanged).
+/// Throws check_error when a cell cannot be placed anywhere.
+placement tetris_legalize(const netlist& nl, const placement& global,
+                          const tetris_options& options = {});
+
+} // namespace gpf

@@ -1,0 +1,210 @@
+#include "linalg/cg_solver.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gpf {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+    GPF_DCHECK(a.size() == b.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+    return acc;
+}
+
+double norm2(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+    GPF_DCHECK(x.size() == y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+namespace {
+
+/// Applies M^{-1} r for the selected preconditioner.
+class preconditioner {
+public:
+    preconditioner(const csr_matrix& a, const cg_options& options)
+        : a_(a), kind_(options.preconditioner), omega_(options.ssor_omega) {
+        if (kind_ != preconditioner_kind::none) {
+            diag_ = a.diagonal();
+            for (double& d : diag_) {
+                GPF_CHECK_MSG(d > 0.0, "preconditioner requires positive diagonal");
+            }
+        }
+    }
+
+    void apply(const std::vector<double>& r, std::vector<double>& z) const {
+        switch (kind_) {
+            case preconditioner_kind::none:
+                z = r;
+                return;
+            case preconditioner_kind::jacobi:
+                z.resize(r.size());
+                for (std::size_t i = 0; i < r.size(); ++i) z[i] = r[i] / diag_[i];
+                return;
+            case preconditioner_kind::ssor:
+                apply_ssor(r, z);
+                return;
+        }
+    }
+
+private:
+    // z = (D/w + L)^{-T} D (D/w + L)^{-1} r, scaled; one forward and one
+    // backward Gauss-Seidel-like sweep.
+    void apply_ssor(const std::vector<double>& r, std::vector<double>& z) const {
+        const std::size_t n = r.size();
+        const auto& rp = a_.row_pointers();
+        const auto& ci = a_.column_indices();
+        const auto& v = a_.values();
+
+        std::vector<double> y(n, 0.0);
+        // forward sweep: (D/w + L) y = r
+        for (std::size_t i = 0; i < n; ++i) {
+            double acc = r[i];
+            for (std::size_t k = rp[i]; k < rp[i + 1]; ++k) {
+                if (ci[k] < i) acc -= v[k] * y[ci[k]];
+            }
+            y[i] = acc * omega_ / diag_[i];
+        }
+        // scale by D/w
+        for (std::size_t i = 0; i < n; ++i) y[i] *= diag_[i] / omega_;
+        // backward sweep: (D/w + U) z = y
+        z.assign(n, 0.0);
+        for (std::size_t ii = n; ii-- > 0;) {
+            double acc = y[ii];
+            for (std::size_t k = rp[ii]; k < rp[ii + 1]; ++k) {
+                if (ci[k] > ii) acc -= v[k] * z[ci[k]];
+            }
+            z[ii] = acc * omega_ / diag_[ii];
+        }
+    }
+
+    const csr_matrix& a_;
+    preconditioner_kind kind_;
+    double omega_;
+    std::vector<double> diag_;
+};
+
+} // namespace
+
+cg_result cg_solve(const csr_matrix& a, const std::vector<double>& b,
+                   std::vector<double>& x, const cg_options& options) {
+    const std::size_t n = a.rows();
+    GPF_CHECK(b.size() == n);
+    if (x.size() != n) x.assign(n, 0.0);
+
+    cg_result result;
+    const double bnorm = norm2(b);
+    if (bnorm == 0.0) {
+        x.assign(n, 0.0);
+        result.converged = true;
+        return result;
+    }
+
+    const std::size_t max_iter =
+        options.max_iterations > 0 ? options.max_iterations : 10 * n + 100;
+    preconditioner precond(a, options);
+
+    std::vector<double> r(n), z(n), p(n), ap(n);
+    a.multiply(x, ap);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+
+    precond.apply(r, z);
+    p = z;
+    double rz = dot(r, z);
+
+    for (std::size_t it = 0; it < max_iter; ++it) {
+        result.residual = norm2(r) / bnorm;
+        if (result.residual <= options.tolerance) {
+            result.converged = true;
+            result.iterations = it;
+            return result;
+        }
+        a.multiply(p, ap);
+        const double pap = dot(p, ap);
+        if (pap <= 0.0) break; // matrix not SPD along p; bail out
+        const double alpha = rz / pap;
+        axpy(alpha, p, x);
+        axpy(-alpha, ap, r);
+        precond.apply(r, z);
+        const double rz_new = dot(r, z);
+        const double beta = rz_new / rz;
+        rz = rz_new;
+        for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+        result.iterations = it + 1;
+    }
+    result.residual = norm2(r) / bnorm;
+    result.converged = result.residual <= options.tolerance;
+    return result;
+}
+
+cg_result cg_solve_operator(const linear_operator& apply,
+                            const std::vector<double>& diagonal,
+                            const std::vector<double>& b, std::vector<double>& x,
+                            const cg_options& options) {
+    const std::size_t n = b.size();
+    GPF_CHECK(diagonal.size() == n);
+    if (x.size() != n) x.assign(n, 0.0);
+
+    cg_result result;
+    const double bnorm = norm2(b);
+    if (bnorm == 0.0) {
+        x.assign(n, 0.0);
+        result.converged = true;
+        return result;
+    }
+
+    const bool precondition = options.preconditioner != preconditioner_kind::none;
+    if (precondition) {
+        for (const double d : diagonal) {
+            GPF_CHECK_MSG(d > 0.0, "jacobi preconditioner requires positive diagonal");
+        }
+    }
+    const std::size_t max_iter =
+        options.max_iterations > 0 ? options.max_iterations : 10 * n + 100;
+
+    std::vector<double> r(n), z(n), p(n), ap(n);
+    apply(x, ap);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+
+    const auto precond = [&](const std::vector<double>& rin, std::vector<double>& zout) {
+        if (!precondition) {
+            zout = rin;
+            return;
+        }
+        zout.resize(n);
+        for (std::size_t i = 0; i < n; ++i) zout[i] = rin[i] / diagonal[i];
+    };
+
+    precond(r, z);
+    p = z;
+    double rz = dot(r, z);
+
+    for (std::size_t it = 0; it < max_iter; ++it) {
+        result.residual = norm2(r) / bnorm;
+        if (result.residual <= options.tolerance) {
+            result.converged = true;
+            result.iterations = it;
+            return result;
+        }
+        apply(p, ap);
+        const double pap = dot(p, ap);
+        if (pap <= 0.0) break;
+        const double alpha = rz / pap;
+        axpy(alpha, p, x);
+        axpy(-alpha, ap, r);
+        precond(r, z);
+        const double rz_new = dot(r, z);
+        const double beta = rz_new / rz;
+        rz = rz_new;
+        for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+        result.iterations = it + 1;
+    }
+    result.residual = norm2(r) / bnorm;
+    result.converged = result.residual <= options.tolerance;
+    return result;
+}
+
+} // namespace gpf

@@ -1,0 +1,56 @@
+// Preconditioned conjugate-gradient solver for the symmetric positive
+// definite systems arising from the quadratic placement objective
+// (section 4.1 of the paper: "solve equation (3) by using a conjugate
+// gradient approach with preconditioning").
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "linalg/csr_matrix.hpp"
+
+namespace gpf {
+
+enum class preconditioner_kind {
+    none,   ///< plain CG
+    jacobi, ///< diagonal scaling (default; robust for diagonally dominant C)
+    ssor,   ///< symmetric successive over-relaxation sweep
+};
+
+struct cg_options {
+    double tolerance = 1e-8;          ///< relative residual ||r||/||b|| target
+    std::size_t max_iterations = 0;   ///< 0 → 10 * n
+    preconditioner_kind preconditioner = preconditioner_kind::jacobi;
+    double ssor_omega = 1.2;          ///< relaxation factor for ssor
+};
+
+struct cg_result {
+    bool converged = false;
+    std::size_t iterations = 0;
+    double residual = 0.0; ///< final relative residual
+};
+
+/// Solve A x = b; x is used as the starting guess and holds the solution on
+/// return. A must be symmetric positive (semi-)definite with nonzero
+/// diagonal for the jacobi/ssor preconditioners.
+cg_result cg_solve(const csr_matrix& a, const std::vector<double>& b,
+                   std::vector<double>& x, const cg_options& options = {});
+
+/// Matrix-free variant: `apply` computes y = A x; `diagonal` is used for
+/// Jacobi preconditioning (ssor is not available here and falls back to
+/// Jacobi). Used for modified systems like A + diag(anchor weights).
+using linear_operator = std::function<void(const std::vector<double>&, std::vector<double>&)>;
+cg_result cg_solve_operator(const linear_operator& apply,
+                            const std::vector<double>& diagonal,
+                            const std::vector<double>& b, std::vector<double>& x,
+                            const cg_options& options = {});
+
+// --- small dense-free vector helpers shared by solver clients -------------
+
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+double norm2(const std::vector<double>& a);
+/// y += alpha * x
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
+
+} // namespace gpf

@@ -1,0 +1,93 @@
+#include "linalg/csr_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gpf {
+
+void csr_matrix::multiply(const std::vector<double>& x, std::vector<double>& y) const {
+    const std::size_t n = rows();
+    GPF_CHECK(x.size() == n);
+    y.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+            acc += values_[k] * x[col_idx_[k]];
+        }
+        y[i] = acc;
+    }
+}
+
+std::vector<double> csr_matrix::diagonal() const {
+    const std::size_t n = rows();
+    std::vector<double> d(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        d[i] = at(i, i);
+    }
+    return d;
+}
+
+double csr_matrix::at(std::size_t i, std::size_t j) const {
+    GPF_CHECK(i < rows() && j < rows());
+    const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i]);
+    const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i + 1]);
+    const auto it = std::lower_bound(begin, end, j);
+    if (it == end || *it != j) return 0.0;
+    return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+bool csr_matrix::is_symmetric(double tol) const {
+    const std::size_t n = rows();
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+            const std::size_t j = col_idx_[k];
+            if (j < i) continue; // each off-diagonal pair checked once
+            if (std::abs(values_[k] - at(j, i)) > tol) return false;
+        }
+    }
+    return true;
+}
+
+void coo_builder::add(std::size_t i, std::size_t j, double value) {
+    GPF_CHECK(i < n_ && j < n_);
+    entries_.push_back({i, j, value});
+}
+
+void coo_builder::add_symmetric_pair(std::size_t i, std::size_t j, double value) {
+    add(i, j, value);
+    add(j, i, value);
+}
+
+void coo_builder::add_diagonal(std::size_t i, double value) { add(i, i, value); }
+
+csr_matrix coo_builder::build() {
+    std::sort(entries_.begin(), entries_.end(), [](const entry& a, const entry& b) {
+        return a.row != b.row ? a.row < b.row : a.col < b.col;
+    });
+
+    csr_matrix m;
+    m.row_ptr_.assign(n_ + 1, 0);
+    m.col_idx_.reserve(entries_.size());
+    m.values_.reserve(entries_.size());
+
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+        while (k < entries_.size() && entries_[k].row == i) {
+            const std::size_t col = entries_[k].col;
+            double acc = 0.0;
+            while (k < entries_.size() && entries_[k].row == i && entries_[k].col == col) {
+                acc += entries_[k].value;
+                ++k;
+            }
+            m.col_idx_.push_back(col);
+            m.values_.push_back(acc);
+        }
+        m.row_ptr_[i + 1] = m.values_.size();
+    }
+    entries_.clear();
+    return m;
+}
+
+} // namespace gpf

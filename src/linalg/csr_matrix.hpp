@@ -1,0 +1,75 @@
+// Compressed-sparse-row matrix and a coordinate-format builder.
+//
+// The placer assembles the (symmetric positive definite) connectivity
+// matrix C of the quadratic objective once per placement transformation;
+// duplicate (i,j) contributions from clique edges are accumulated by the
+// builder when converting to CSR.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gpf {
+
+class csr_matrix {
+public:
+    csr_matrix() = default;
+
+    std::size_t rows() const { return row_ptr_.empty() ? 0 : row_ptr_.size() - 1; }
+    std::size_t nonzeros() const { return values_.size(); }
+
+    /// y = A * x. x.size() must equal rows().
+    void multiply(const std::vector<double>& x, std::vector<double>& y) const;
+
+    /// Main diagonal (missing entries are 0).
+    std::vector<double> diagonal() const;
+
+    /// Value at (i, j), 0 if not stored. O(log row_nnz).
+    double at(std::size_t i, std::size_t j) const;
+
+    /// True when the stored pattern and values are symmetric within tol.
+    bool is_symmetric(double tol = 1e-12) const;
+
+    const std::vector<std::size_t>& row_pointers() const { return row_ptr_; }
+    const std::vector<std::size_t>& column_indices() const { return col_idx_; }
+    const std::vector<double>& values() const { return values_; }
+
+private:
+    friend class coo_builder;
+
+    std::vector<std::size_t> row_ptr_;
+    std::vector<std::size_t> col_idx_;
+    std::vector<double> values_;
+};
+
+/// Accumulating coordinate-format builder. add() may be called repeatedly
+/// for the same (i, j); contributions sum during build().
+class coo_builder {
+public:
+    explicit coo_builder(std::size_t n) : n_(n) {}
+
+    std::size_t size() const { return n_; }
+
+    void add(std::size_t i, std::size_t j, double value);
+    void add_symmetric_pair(std::size_t i, std::size_t j, double value);
+    void add_diagonal(std::size_t i, double value);
+
+    /// Number of raw (pre-merge) entries added so far.
+    std::size_t entry_count() const { return entries_.size(); }
+
+    /// Merge duplicates and produce the CSR matrix. The builder can be
+    /// reused afterwards (entries are consumed).
+    csr_matrix build();
+
+private:
+    struct entry {
+        std::size_t row;
+        std::size_t col;
+        double value;
+    };
+
+    std::size_t n_;
+    std::vector<entry> entries_;
+};
+
+} // namespace gpf

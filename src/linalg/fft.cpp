@@ -1,0 +1,103 @@
+#include "linalg/fft.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gpf {
+
+bool is_power_of_two(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+    GPF_CHECK(n >= 1);
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+void fft(std::vector<std::complex<double>>& a, bool inverse) {
+    const std::size_t n = a.size();
+    GPF_CHECK_MSG(is_power_of_two(n), "fft size must be a power of two");
+    if (n == 1) return;
+
+    // bit-reversal permutation
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(a[i], a[j]);
+    }
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+        const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const std::complex<double> u = a[i + k];
+                const std::complex<double> v = a[i + k + len / 2] * w;
+                a[i + k] = u + v;
+                a[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+
+    if (inverse) {
+        const double inv_n = 1.0 / static_cast<double>(n);
+        for (auto& c : a) c *= inv_n;
+    }
+}
+
+void fft_2d(std::vector<std::complex<double>>& a, std::size_t n0, std::size_t n1,
+            bool inverse) {
+    GPF_CHECK(a.size() == n0 * n1);
+    // rows
+    std::vector<std::complex<double>> row(n1);
+    for (std::size_t i = 0; i < n0; ++i) {
+        for (std::size_t j = 0; j < n1; ++j) row[j] = a[i * n1 + j];
+        fft(row, inverse);
+        for (std::size_t j = 0; j < n1; ++j) a[i * n1 + j] = row[j];
+    }
+    // columns
+    std::vector<std::complex<double>> col(n0);
+    for (std::size_t j = 0; j < n1; ++j) {
+        for (std::size_t i = 0; i < n0; ++i) col[i] = a[i * n1 + j];
+        fft(col, inverse);
+        for (std::size_t i = 0; i < n0; ++i) a[i * n1 + j] = col[i];
+    }
+}
+
+std::vector<double> convolve_2d(const std::vector<double>& data, std::size_t n0,
+                                std::size_t n1, const std::vector<double>& kernel) {
+    GPF_CHECK(data.size() == n0 * n1);
+    const std::size_t k0 = 2 * n0 - 1;
+    const std::size_t k1 = 2 * n1 - 1;
+    GPF_CHECK(kernel.size() == k0 * k1);
+
+    const std::size_t p0 = next_power_of_two(n0 + k0 - 1);
+    const std::size_t p1 = next_power_of_two(n1 + k1 - 1);
+
+    std::vector<std::complex<double>> fa(p0 * p1), fb(p0 * p1);
+    for (std::size_t i = 0; i < n0; ++i)
+        for (std::size_t j = 0; j < n1; ++j) fa[i * p1 + j] = data[i * n1 + j];
+    for (std::size_t i = 0; i < k0; ++i)
+        for (std::size_t j = 0; j < k1; ++j) fb[i * p1 + j] = kernel[i * k1 + j];
+
+    fft_2d(fa, p0, p1, false);
+    fft_2d(fb, p0, p1, false);
+    for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= fb[i];
+    fft_2d(fa, p0, p1, true);
+
+    // The zero-offset kernel tap sits at (n0-1, n1-1), so output (i, j) of
+    // the "same"-shaped result is padded position (i + n0 - 1, j + n1 - 1).
+    std::vector<double> out(n0 * n1);
+    for (std::size_t i = 0; i < n0; ++i) {
+        for (std::size_t j = 0; j < n1; ++j) {
+            out[i * n1 + j] = fa[(i + n0 - 1) * p1 + (j + n1 - 1)].real();
+        }
+    }
+    return out;
+}
+
+} // namespace gpf

@@ -1,0 +1,38 @@
+// Radix-2 complex FFT and 2-D real convolution.
+//
+// The force field of eq. (9) in the paper is a discrete convolution of the
+// density map with the free-space Green's-function kernel; with m² grid
+// bins the FFT evaluates it in O(m² log m) instead of O(m⁴).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace gpf {
+
+/// True when n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n);
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_power_of_two(std::size_t n);
+
+/// In-place iterative Cooley-Tukey FFT. a.size() must be a power of two.
+/// The inverse transform includes the 1/N normalization.
+void fft(std::vector<std::complex<double>>& a, bool inverse);
+
+/// In-place 2-D FFT over a row-major n0 x n1 array (both powers of two).
+void fft_2d(std::vector<std::complex<double>>& a, std::size_t n0, std::size_t n1,
+            bool inverse);
+
+/// Linear (non-cyclic) 2-D convolution of a row-major n0 x n1 real array
+/// with a centered kernel of size (2*n0-1) x (2*n1-1):
+///
+///   out(i,j) = sum_{k,l} data(k,l) * kernel(i-k + n0-1, j-l + n1-1)
+///
+/// Kernel index (n0-1, n1-1) is the zero-offset tap. Output has the same
+/// n0 x n1 shape as data.
+std::vector<double> convolve_2d(const std::vector<double>& data, std::size_t n0,
+                                std::size_t n1, const std::vector<double>& kernel);
+
+} // namespace gpf

@@ -1,0 +1,21 @@
+#include "model/net_models.hpp"
+
+#include "util/check.hpp"
+
+namespace gpf {
+
+bool use_star_model(const net_model_options& options, std::size_t degree) {
+    switch (options.kind) {
+        case net_model_kind::clique: return false;
+        case net_model_kind::star: return true;
+        case net_model_kind::hybrid: return degree > options.star_threshold;
+    }
+    return false;
+}
+
+double clique_edge_weight(double net_weight, std::size_t degree) {
+    GPF_CHECK(degree >= 2);
+    return net_weight / static_cast<double>(degree);
+}
+
+} // namespace gpf

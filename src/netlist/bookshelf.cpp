@@ -1,0 +1,284 @@
+#include "netlist/bookshelf.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace gpf {
+
+namespace {
+
+std::ofstream open_out(const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw io_error("cannot open '" + path + "' for writing");
+    // Full round-trip precision for coordinates and dimensions.
+    out << std::setprecision(17);
+    return out;
+}
+
+std::ifstream open_in(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw io_error("cannot open '" + path + "' for reading");
+    return in;
+}
+
+/// Next content line: strips comments (# ...), skips blanks and the UCLA
+/// header line. Returns false at EOF.
+bool next_line(std::istream& in, std::string& line) {
+    while (std::getline(in, line)) {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        std::size_t i = 0;
+        while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+        if (i == line.size()) continue;
+        if (line.compare(i, 4, "UCLA") == 0) continue;
+        line.erase(0, i);
+        return true;
+    }
+    return false;
+}
+
+/// Parses "Key : value" headers; returns true and stores value on match.
+bool parse_header(const std::string& line, const std::string& key, std::string& value) {
+    if (line.compare(0, key.size(), key) != 0) return false;
+    const auto colon = line.find(':', key.size());
+    if (colon == std::string::npos) return false;
+    value = line.substr(colon + 1);
+    return true;
+}
+
+} // namespace
+
+void write_bookshelf(const netlist& nl, const placement& pl,
+                     const std::string& base_path) {
+    GPF_CHECK(pl.size() == nl.num_cells());
+
+    // --- .nodes -------------------------------------------------------------
+    {
+        auto out = open_out(base_path + ".nodes");
+        out << "UCLA nodes 1.0\n";
+        out << "NumNodes : " << nl.num_cells() << "\n";
+        out << "NumTerminals : " << nl.num_fixed() << "\n";
+        for (const cell& c : nl.cells()) {
+            out << "  " << c.name << ' ' << c.width << ' ' << c.height;
+            if (c.fixed) out << " terminal";
+            out << '\n';
+        }
+    }
+
+    // --- .nets --------------------------------------------------------------
+    {
+        auto out = open_out(base_path + ".nets");
+        out << "UCLA nets 1.0\n";
+        out << "NumNets : " << nl.num_nets() << "\n";
+        out << "NumPins : " << nl.num_pins() << "\n";
+        for (const net& n : nl.nets()) {
+            out << "NetDegree : " << n.degree() << "  " << n.name << '\n';
+            for (std::size_t k = 0; k < n.pins.size(); ++k) {
+                const pin& p = n.pins[k];
+                const char dir = (k == n.driver) ? 'O' : 'I';
+                out << "  " << nl.cell_at(p.cell).name << ' ' << dir << " : "
+                    << p.offset.x << ' ' << p.offset.y << '\n';
+            }
+        }
+    }
+
+    // --- .pl ----------------------------------------------------------------
+    {
+        auto out = open_out(base_path + ".pl");
+        out << "UCLA pl 1.0\n";
+        for (cell_id i = 0; i < nl.num_cells(); ++i) {
+            const cell& c = nl.cell_at(i);
+            // Bookshelf stores the lower-left corner.
+            const double x = pl[i].x - c.width / 2;
+            const double y = pl[i].y - c.height / 2;
+            out << c.name << ' ' << x << ' ' << y << " : N";
+            if (c.fixed) out << " /FIXED";
+            out << '\n';
+        }
+    }
+
+    // --- .scl ---------------------------------------------------------------
+    {
+        auto out = open_out(base_path + ".scl");
+        const rect r = nl.region();
+        out << "UCLA scl 1.0\n";
+        out << "NumRows : " << nl.num_rows() << "\n";
+        for (std::size_t row = 0; row < nl.num_rows(); ++row) {
+            out << "CoreRow Horizontal\n";
+            out << "  Coordinate : " << (r.ylo + static_cast<double>(row) * nl.row_height())
+                << "\n";
+            out << "  Height : " << nl.row_height() << "\n";
+            out << "  SubrowOrigin : " << r.xlo << "  NumSites : "
+                << static_cast<std::size_t>(r.width()) << "\n";
+            out << "End\n";
+        }
+    }
+}
+
+bookshelf_design read_bookshelf(const std::string& base_path) {
+    bookshelf_design design;
+    netlist& nl = design.nl;
+    std::unordered_map<std::string, cell_id> by_name;
+
+    // --- .nodes -------------------------------------------------------------
+    {
+        auto in = open_in(base_path + ".nodes");
+        std::string line;
+        std::string value;
+        while (next_line(in, line)) {
+            if (parse_header(line, "NumNodes", value) ||
+                parse_header(line, "NumTerminals", value)) {
+                continue;
+            }
+            std::istringstream ls(line);
+            cell c;
+            ls >> c.name >> c.width >> c.height;
+            GPF_CHECK_MSG(!ls.fail(), "malformed .nodes line: " << line);
+            std::string tag;
+            if (ls >> tag && tag == "terminal") {
+                c.fixed = true;
+                c.kind = cell_kind::pad;
+            }
+            const std::string name = c.name;
+            by_name[name] = nl.add_cell(std::move(c));
+        }
+    }
+
+    // --- .scl (optional) ------------------------------------------------------
+    double row_height = 1.0;
+    double region_xlo = 0.0;
+    double region_ylo = 0.0;
+    double region_xhi = 0.0;
+    double region_yhi = 0.0;
+    bool have_rows = false;
+    {
+        std::ifstream in(base_path + ".scl");
+        if (in) {
+            std::string line;
+            std::string value;
+            double coord = 0.0;
+            while (next_line(in, line)) {
+                if (parse_header(line, "Coordinate", value)) {
+                    coord = std::stod(value);
+                    if (!have_rows) region_ylo = coord;
+                    region_yhi = std::max(region_yhi, coord);
+                    have_rows = true;
+                } else if (parse_header(line, "Height", value)) {
+                    row_height = std::stod(value);
+                } else if (parse_header(line, "SubrowOrigin", value)) {
+                    std::istringstream ls(value);
+                    double origin = 0.0;
+                    std::string word;
+                    ls >> origin;
+                    region_xlo = origin;
+                    double sites = 0.0;
+                    while (ls >> word) {
+                        if (word == "NumSites") {
+                            ls >> word; // ':'
+                            if (word == ":") ls >> sites;
+                            else sites = std::stod(word);
+                        } else if (word == ":") {
+                            ls >> sites;
+                        }
+                    }
+                    region_xhi = std::max(region_xhi, origin + sites);
+                }
+            }
+            if (have_rows) region_yhi += row_height;
+        }
+    }
+
+    // --- .nets --------------------------------------------------------------
+    {
+        auto in = open_in(base_path + ".nets");
+        std::string line;
+        std::string value;
+        net current;
+        std::size_t remaining = 0;
+        bool in_net = false;
+        auto flush = [&]() {
+            if (in_net) {
+                nl.add_net(std::move(current));
+                current = net{};
+                in_net = false;
+            }
+        };
+        while (next_line(in, line)) {
+            if (parse_header(line, "NumNets", value) || parse_header(line, "NumPins", value)) {
+                continue;
+            }
+            if (parse_header(line, "NetDegree", value)) {
+                flush();
+                std::istringstream ls(value);
+                ls >> remaining;
+                std::string name;
+                if (ls >> name) current.name = name;
+                in_net = true;
+                continue;
+            }
+            GPF_CHECK_MSG(in_net, "pin line before NetDegree: " << line);
+            std::istringstream ls(line);
+            std::string node;
+            std::string dir;
+            std::string colon;
+            ls >> node >> dir;
+            pin p;
+            const auto it = by_name.find(node);
+            GPF_CHECK_MSG(it != by_name.end(), ".nets references unknown node " << node);
+            p.cell = it->second;
+            if (ls >> colon && colon == ":") {
+                ls >> p.offset.x >> p.offset.y;
+                if (ls.fail()) p.offset = point();
+            }
+            if (dir == "O") current.driver = current.pins.size();
+            current.pins.push_back(p);
+        }
+        flush();
+    }
+
+    // --- .pl ----------------------------------------------------------------
+    {
+        auto in = open_in(base_path + ".pl");
+        std::string line;
+        while (next_line(in, line)) {
+            std::istringstream ls(line);
+            std::string name;
+            double x = 0.0;
+            double y = 0.0;
+            ls >> name >> x >> y;
+            if (ls.fail()) continue;
+            const auto it = by_name.find(name);
+            GPF_CHECK_MSG(it != by_name.end(), ".pl references unknown node " << name);
+            cell& c = nl.cell_at(it->second);
+            c.position = point(x + c.width / 2, y + c.height / 2);
+            if (line.find("/FIXED") != std::string::npos) c.fixed = true;
+        }
+    }
+
+    // Reconstruct region and cell kinds.
+    nl.set_row_height(row_height);
+    if (have_rows && region_xhi > region_xlo && region_yhi > region_ylo) {
+        nl.set_region(rect(region_xlo, region_ylo, region_xhi, region_yhi));
+    } else {
+        rect bbox;
+        for (const cell& c : nl.cells()) {
+            if (!c.fixed) continue;
+            bbox.expand_to(c.position);
+        }
+        if (bbox.empty()) bbox = rect(0, 0, 100, 100);
+        nl.set_region(bbox);
+    }
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        cell& c = nl.cell_at(i);
+        if (!c.fixed && c.height > 1.5 * row_height) c.kind = cell_kind::block;
+    }
+
+    design.pl = nl.initial_placement();
+    return design;
+}
+
+} // namespace gpf

@@ -1,0 +1,40 @@
+// Bookshelf-style interchange (.nodes / .nets / .pl / .scl).
+//
+// Lets real benchmark data (e.g. actual MCNC/Bookshelf archives) be dropped
+// into the harness in place of the synthetic suite, and lets placements be
+// exported to other tools. The writer emits standard UCLA Bookshelf
+// headers; the reader accepts the writer's output plus the common layout
+// variations (comments, blank lines, flexible whitespace). Cell kinds are
+// reconstructed on read: `terminal` nodes become pads, movable nodes taller
+// than the row height become blocks.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace gpf {
+
+struct bookshelf_design {
+    netlist nl;
+    placement pl;
+};
+
+/// Writes base_path + ".nodes"/".nets"/".pl"/".scl".
+/// Positions in the .pl file follow the Bookshelf convention (lower-left
+/// corner); the in-memory model uses centers.
+void write_bookshelf(const netlist& nl, const placement& pl,
+                     const std::string& base_path);
+
+/// Reads base_path + ".nodes"/".nets"/".pl" and, when present, ".scl".
+/// Throws check_error on malformed input or io_error on missing files.
+bookshelf_design read_bookshelf(const std::string& base_path);
+
+/// Thrown when a bookshelf file cannot be opened.
+class io_error : public std::runtime_error {
+public:
+    explicit io_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+} // namespace gpf

@@ -1,0 +1,199 @@
+#include "netlist/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace gpf {
+
+namespace {
+
+/// Sample a net degree from the configured distribution.
+std::size_t sample_degree(const generator_options& opt, prng& rng) {
+    const double u = rng.next_double();
+    if (u < opt.frac_two_pin) return 2;
+    if (u < opt.frac_two_pin + opt.frac_three_pin) return 3;
+    std::size_t k = 4;
+    while (k < opt.max_degree && rng.next_bool(opt.tail_decay)) ++k;
+    return k;
+}
+
+/// Pick a contiguous cluster of the implicit binary hierarchy over
+/// [0, n). Descends while the locality coin keeps coming up heads and the
+/// range can still hold min_size cells.
+std::pair<std::size_t, std::size_t> pick_cluster(std::size_t n, std::size_t min_size,
+                                                 double locality, prng& rng) {
+    std::size_t lo = 0;
+    std::size_t hi = n;
+    while (hi - lo >= 2 * min_size && rng.next_bool(locality)) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (rng.next_bool(0.5)) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    return {lo, hi};
+}
+
+} // namespace
+
+netlist generate_circuit(const generator_options& opt) {
+    GPF_CHECK(opt.num_cells >= 2);
+    GPF_CHECK(opt.num_nets >= 1);
+    GPF_CHECK(opt.num_rows >= 1);
+    GPF_CHECK(opt.target_utilization > 0.0 && opt.target_utilization <= 1.0);
+
+    prng rng(opt.seed);
+    netlist nl;
+
+    // --- standard cells -----------------------------------------------------
+    const double row_height = 1.0;
+    std::vector<double> levels; // topological level per movable cell/block
+    levels.reserve(opt.num_cells + opt.num_blocks);
+
+    double std_cell_area = 0.0;
+    for (std::size_t i = 0; i < opt.num_cells; ++i) {
+        cell c;
+        c.name = "c" + std::to_string(i);
+        // Log-normal width spread clamped to a plausible site range.
+        const double w = opt.mean_cell_width * std::exp(0.35 * rng.next_gaussian());
+        c.width = std::clamp(w, 1.0, 6.0 * opt.mean_cell_width);
+        c.height = row_height;
+        c.kind = cell_kind::standard;
+        c.intrinsic_delay = rng.next_range(opt.min_gate_delay, opt.max_gate_delay);
+        c.sequential = rng.next_bool(opt.sequential_fraction);
+        std_cell_area += c.area();
+        nl.add_cell(std::move(c));
+        levels.push_back(rng.next_double());
+    }
+
+    // --- macro blocks ---------------------------------------------------------
+    double block_area_total = 0.0;
+    if (opt.num_blocks > 0 && opt.block_area_fraction > 0.0) {
+        GPF_CHECK(opt.block_area_fraction < 1.0);
+        block_area_total =
+            std_cell_area * opt.block_area_fraction / (1.0 - opt.block_area_fraction);
+        for (std::size_t b = 0; b < opt.num_blocks; ++b) {
+            cell c;
+            c.name = "b" + std::to_string(b);
+            const double area =
+                block_area_total / static_cast<double>(opt.num_blocks) *
+                rng.next_range(0.6, 1.4);
+            const double aspect = rng.next_range(0.6, 1.6);
+            double h = std::sqrt(area * aspect);
+            // Block heights snap to whole rows (>= 2 rows).
+            h = std::max(2.0, std::floor(h / row_height + 0.5)) * row_height;
+            c.height = h;
+            c.width = std::max(row_height, area / h);
+            c.kind = cell_kind::block;
+            c.intrinsic_delay = rng.next_range(opt.min_gate_delay, opt.max_gate_delay);
+            nl.add_cell(std::move(c));
+            levels.push_back(rng.next_double());
+        }
+    }
+
+    const std::size_t num_movable = opt.num_cells + (block_area_total > 0.0 ? opt.num_blocks : 0);
+
+    // --- region ---------------------------------------------------------------
+    const double movable_area = std_cell_area + block_area_total;
+    const double target_area = movable_area / opt.target_utilization;
+    double height = static_cast<double>(opt.num_rows) * row_height;
+    // Ensure the tallest block fits.
+    for (const cell& c : nl.cells()) height = std::max(height, c.height);
+    const double width = target_area / height;
+    nl.set_region(rect(0.0, 0.0, width, height));
+    nl.set_row_height(row_height);
+
+    // Scatter power density: a few "hot" cells dissipate most of the power.
+    for (cell_id i = 0; i < num_movable; ++i) {
+        cell& c = nl.cell_at(i);
+        const double base = c.area() * 1e-4; // watts per unit area
+        c.power = base * (rng.next_bool(0.05) ? rng.next_range(5.0, 20.0)
+                                              : rng.next_range(0.5, 1.5));
+    }
+
+    // --- nets -------------------------------------------------------------------
+    // Nets connect cells that are near each other in the implicit cluster
+    // hierarchy; the driver is the pin with the lowest topological level so
+    // the oriented netlist is a DAG.
+    for (std::size_t ni = 0; ni < opt.num_nets; ++ni) {
+        const std::size_t degree = sample_degree(opt, rng);
+        const auto [lo, hi] = pick_cluster(num_movable, std::max<std::size_t>(degree, 8),
+                                           opt.rent_locality, rng);
+        const std::size_t span = hi - lo;
+
+        net n;
+        n.name = "n" + std::to_string(ni);
+        std::unordered_set<cell_id> used;
+        const std::size_t want = std::min(degree, span);
+        while (n.pins.size() < want) {
+            const auto id = static_cast<cell_id>(lo + rng.next_below(span));
+            if (!used.insert(id).second) continue;
+            const cell& c = nl.cell_at(id);
+            pin p;
+            p.cell = id;
+            p.offset = point(rng.next_range(-0.4, 0.4) * c.width,
+                             rng.next_range(-0.4, 0.4) * c.height);
+            n.pins.push_back(p);
+        }
+        // Driver = strictly smallest level among the pins.
+        std::size_t best = 0;
+        for (std::size_t k = 1; k < n.pins.size(); ++k) {
+            if (levels[n.pins[k].cell] < levels[n.pins[best].cell]) best = k;
+        }
+        n.driver = best;
+        nl.add_net(std::move(n));
+    }
+
+    // --- pads ----------------------------------------------------------------
+    // Evenly spaced along the region perimeter; input pads drive a net,
+    // output pads sink one.
+    const rect region = nl.region();
+    const double perimeter = 2.0 * (region.width() + region.height());
+    for (std::size_t pi = 0; pi < opt.num_pads; ++pi) {
+        cell c;
+        c.name = "p" + std::to_string(pi);
+        c.width = 1.0;
+        c.height = 1.0;
+        c.kind = cell_kind::pad;
+        c.fixed = true;
+        const double t =
+            perimeter * (static_cast<double>(pi) + 0.5) / static_cast<double>(opt.num_pads);
+        if (t < region.width()) {
+            c.position = point(region.xlo + t, region.ylo);
+        } else if (t < region.width() + region.height()) {
+            c.position = point(region.xhi, region.ylo + (t - region.width()));
+        } else if (t < 2.0 * region.width() + region.height()) {
+            c.position =
+                point(region.xhi - (t - region.width() - region.height()), region.yhi);
+        } else {
+            c.position = point(
+                region.xlo, region.yhi - (t - 2.0 * region.width() - region.height()));
+        }
+        const bool is_input = pi < opt.num_pads / 2;
+        c.sequential = false;
+        const cell_id pad_id = nl.add_cell(std::move(c));
+
+        if (!rng.next_bool(opt.pad_net_fraction) || nl.num_nets() == 0) continue;
+        const auto target = static_cast<net_id>(rng.next_below(nl.num_nets()));
+        net& n = nl.net_at(target);
+        bool already = false;
+        for (const pin& p : n.pins) already |= (p.cell == pad_id);
+        if (already) continue;
+        pin p;
+        p.cell = pad_id;
+        n.pins.push_back(p);
+        if (is_input) {
+            n.driver = n.pins.size() - 1; // pad sources the net
+        }
+    }
+
+    nl.validate();
+    return nl;
+}
+
+} // namespace gpf

@@ -1,0 +1,47 @@
+// Deterministic synthetic circuit generator.
+//
+// Stand-in for the MCNC benchmark archive (see DESIGN.md §4): produces
+// row-based standard-cell circuits with a target cell/net/row/pad count, a
+// realistic net-degree distribution (dominated by 2- and 3-pin nets with a
+// geometric tail), Rent-style locality (nets preferentially connect cells
+// that are close in an implicit cluster hierarchy), boundary I/O pads,
+// optional macro blocks for floorplanning experiments, and a combinational
+// DAG orientation so the timing substrate has well-defined longest paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace gpf {
+
+struct generator_options {
+    std::string name = "synthetic";
+    std::size_t num_cells = 1000;  ///< movable standard cells
+    std::size_t num_nets = 1100;
+    std::size_t num_pads = 64;     ///< fixed boundary I/O pads
+    std::size_t num_rows = 20;
+    std::size_t num_blocks = 0;            ///< macro blocks for floorplanning
+    double block_area_fraction = 0.0;      ///< of movable area, when blocks > 0
+    double target_utilization = 0.8;       ///< movable area / region area
+    double mean_cell_width = 2.0;          ///< in row-height units
+    double frac_two_pin = 0.55;            ///< net degree distribution
+    double frac_three_pin = 0.22;
+    double tail_decay = 0.65;              ///< geometric decay for degree >= 4
+    std::size_t max_degree = 32;
+    double rent_locality = 0.8;            ///< P(descend one cluster level)
+    double pad_net_fraction = 0.9;         ///< fraction of pads attached to a net
+    double sequential_fraction = 0.12;     ///< registers (timing path boundaries)
+    double min_gate_delay = 0.2e-9;        ///< seconds
+    double max_gate_delay = 0.8e-9;
+    std::uint64_t seed = 1;
+};
+
+/// Generate a circuit. The result validates, has a region sized for the
+/// requested utilization and row count, and every net with >= 2 pins has a
+/// driver whose topological level is strictly below all its sinks (the
+/// orientation forms a DAG).
+netlist generate_circuit(const generator_options& options);
+
+} // namespace gpf

@@ -1,0 +1,171 @@
+#include "netlist/netlist.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace gpf {
+
+cell_id netlist::add_cell(cell c) {
+    GPF_CHECK_MSG(c.width > 0.0 && c.height > 0.0,
+                  "cell '" << c.name << "' must have positive dimensions");
+    if (c.kind == cell_kind::pad) c.fixed = true;
+    cells_.push_back(std::move(c));
+    adjacency_valid_ = false;
+    return static_cast<cell_id>(cells_.size() - 1);
+}
+
+net_id netlist::add_net(net n) {
+    for (const pin& p : n.pins) {
+        GPF_CHECK_MSG(p.cell < cells_.size(),
+                      "net '" << n.name << "' references unknown cell " << p.cell);
+    }
+    if (n.driver != no_driver) {
+        GPF_CHECK_MSG(n.driver < n.pins.size(),
+                      "net '" << n.name << "' driver index out of range");
+    }
+    nets_.push_back(std::move(n));
+    adjacency_valid_ = false;
+    return static_cast<net_id>(nets_.size() - 1);
+}
+
+std::size_t netlist::num_pins() const {
+    std::size_t count = 0;
+    for (const net& n : nets_) count += n.pins.size();
+    return count;
+}
+
+const cell& netlist::cell_at(cell_id id) const {
+    GPF_CHECK(id < cells_.size());
+    return cells_[id];
+}
+
+cell& netlist::cell_at(cell_id id) {
+    GPF_CHECK(id < cells_.size());
+    return cells_[id];
+}
+
+const net& netlist::net_at(net_id id) const {
+    GPF_CHECK(id < nets_.size());
+    return nets_[id];
+}
+
+net& netlist::net_at(net_id id) {
+    GPF_CHECK(id < nets_.size());
+    return nets_[id];
+}
+
+std::size_t netlist::num_rows() const {
+    if (row_height_ <= 0.0) return 0;
+    return static_cast<std::size_t>(std::floor(region_.height() / row_height_ + 0.5));
+}
+
+double netlist::movable_area() const {
+    double area = 0.0;
+    for (const cell& c : cells_) {
+        if (!c.fixed) area += c.area();
+    }
+    return area;
+}
+
+double netlist::core_cell_area() const {
+    double area = 0.0;
+    for (const cell& c : cells_) {
+        if (c.kind != cell_kind::pad) area += c.area();
+    }
+    return area;
+}
+
+double netlist::utilization() const {
+    const double region_area = region_.area();
+    return region_area > 0.0 ? movable_area() / region_area : 0.0;
+}
+
+std::size_t netlist::num_movable() const {
+    std::size_t count = 0;
+    for (const cell& c : cells_) {
+        if (!c.fixed) ++count;
+    }
+    return count;
+}
+
+std::size_t netlist::num_fixed() const { return cells_.size() - num_movable(); }
+
+const std::vector<std::vector<net_id>>& netlist::cell_nets() const {
+    if (!adjacency_valid_) {
+        cell_nets_.assign(cells_.size(), {});
+        for (net_id ni = 0; ni < nets_.size(); ++ni) {
+            for (const pin& p : nets_[ni].pins) {
+                // A cell can appear on the same net through several pins;
+                // record the net once per cell.
+                auto& list = cell_nets_[p.cell];
+                if (list.empty() || list.back() != ni) list.push_back(ni);
+            }
+        }
+        adjacency_valid_ = true;
+    }
+    return cell_nets_;
+}
+
+void netlist::invalidate_adjacency() { adjacency_valid_ = false; }
+
+placement netlist::initial_placement() const {
+    placement pl(cells_.size());
+    for (std::size_t i = 0; i < cells_.size(); ++i) pl[i] = cells_[i].position;
+    return pl;
+}
+
+placement netlist::centered_placement() const {
+    placement pl(cells_.size());
+    const point c = region_.center();
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        pl[i] = cells_[i].fixed ? cells_[i].position : c;
+    }
+    return pl;
+}
+
+void netlist::commit_placement(const placement& pl) {
+    GPF_CHECK(pl.size() == cells_.size());
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        if (!cells_[i].fixed) cells_[i].position = pl[i];
+    }
+}
+
+void netlist::validate() const {
+    GPF_CHECK_MSG(!region_.empty(), "placement region is empty");
+    GPF_CHECK_MSG(row_height_ > 0.0, "row height must be positive");
+
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        const cell& c = cells_[i];
+        GPF_CHECK_MSG(c.width > 0.0 && c.height > 0.0,
+                      "cell '" << c.name << "' has non-positive dimensions");
+        if (c.kind == cell_kind::pad) {
+            GPF_CHECK_MSG(c.fixed, "pad '" << c.name << "' must be fixed");
+        }
+    }
+
+    for (const net& n : nets_) {
+        std::unordered_set<cell_id> seen;
+        for (const pin& p : n.pins) {
+            GPF_CHECK_MSG(p.cell < cells_.size(),
+                          "net '" << n.name << "' references unknown cell");
+            GPF_CHECK_MSG(seen.insert(p.cell).second,
+                          "net '" << n.name << "' has duplicate pin on cell "
+                                  << cells_[p.cell].name);
+        }
+        if (n.driver != no_driver) {
+            GPF_CHECK_MSG(n.driver < n.pins.size(),
+                          "net '" << n.name << "' driver index out of range");
+        }
+        GPF_CHECK_MSG(n.weight > 0.0, "net '" << n.name << "' has non-positive weight");
+    }
+}
+
+point pin_position(const netlist& nl, const placement& pl, const pin& p) {
+    GPF_CHECK(p.cell < pl.size());
+    static_cast<void>(nl);
+    return pl[p.cell] + p.offset;
+}
+
+} // namespace gpf

@@ -1,0 +1,138 @@
+// Netlist data model: cells (standard cells, macro blocks, fixed I/O pads),
+// nets as pin lists with optional driver information, and the placement
+// region. The model is deliberately generic — the paper's key point is that
+// blocks and cells are *not* treated differently by the placer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "geometry/geometry.hpp"
+
+namespace gpf {
+
+using cell_id = std::uint32_t;
+using net_id = std::uint32_t;
+
+inline constexpr cell_id invalid_cell = std::numeric_limits<cell_id>::max();
+inline constexpr net_id invalid_net = std::numeric_limits<net_id>::max();
+inline constexpr std::size_t no_driver = std::numeric_limits<std::size_t>::max();
+
+enum class cell_kind {
+    standard, ///< row-based standard cell
+    block,    ///< macro block (multi-row); movable unless fixed
+    pad,      ///< I/O pad; always fixed on the region boundary
+};
+
+struct cell {
+    std::string name;
+    double width = 1.0;
+    double height = 1.0;
+    cell_kind kind = cell_kind::standard;
+    bool fixed = false;      ///< true → position is a constraint, not a variable
+    point position;          ///< center; authoritative only for fixed cells
+    double intrinsic_delay = 0.0; ///< gate delay in seconds (timing substrate)
+    double power = 0.0;      ///< dissipated power in watts (thermal substrate)
+    bool sequential = false; ///< register: timing paths start/end here
+
+    double area() const { return width * height; }
+};
+
+/// A net terminal: which cell it lands on and the pin offset from the cell
+/// center. With offset (0,0) the model degenerates to the paper's
+/// cell-center formulation.
+struct pin {
+    cell_id cell = invalid_cell;
+    point offset;
+};
+
+struct net {
+    std::string name;
+    double weight = 1.0;             ///< user/base weight (timing weights multiply this)
+    std::vector<pin> pins;
+    std::size_t driver = no_driver;  ///< index into pins; no_driver for undirected nets
+
+    std::size_t degree() const { return pins.size(); }
+    bool has_driver() const { return driver != no_driver; }
+};
+
+/// A full placement: one center point per cell, indexed by cell_id.
+using placement = std::vector<point>;
+
+class netlist {
+public:
+    // --- construction ------------------------------------------------------
+    cell_id add_cell(cell c);
+    net_id add_net(net n);
+
+    /// Set the placement region (core area including rows).
+    void set_region(const rect& r) { region_ = r; }
+    void set_row_height(double h) { row_height_ = h; }
+
+    // --- access -------------------------------------------------------------
+    std::size_t num_cells() const { return cells_.size(); }
+    std::size_t num_nets() const { return nets_.size(); }
+    std::size_t num_pins() const;
+
+    const cell& cell_at(cell_id id) const;
+    cell& cell_at(cell_id id);
+    const net& net_at(net_id id) const;
+    net& net_at(net_id id);
+
+    const std::vector<cell>& cells() const { return cells_; }
+    const std::vector<net>& nets() const { return nets_; }
+
+    const rect& region() const { return region_; }
+    double row_height() const { return row_height_; }
+    std::size_t num_rows() const;
+
+    /// Total area of movable cells.
+    double movable_area() const;
+    /// Total cell area (movable + fixed, pads excluded since they sit
+    /// outside/on the boundary of the core region).
+    double core_cell_area() const;
+    /// movable_area / region area — the paper's supply scaling factor s.
+    double utilization() const;
+
+    std::size_t num_movable() const;
+    std::size_t num_fixed() const;
+
+    // --- connectivity -------------------------------------------------------
+    /// Nets incident to each cell. Built lazily; invalidated by structural
+    /// edits (add_cell / add_net / invalidate_adjacency).
+    const std::vector<std::vector<net_id>>& cell_nets() const;
+    void invalidate_adjacency();
+
+    // --- placement state helpers -------------------------------------------
+    /// A placement initialized from each cell's stored position (fixed cells
+    /// keep their constraint position; movable cells whatever was stored,
+    /// by default the origin).
+    placement initial_placement() const;
+
+    /// Paper initialization: all movable cells at the region center.
+    placement centered_placement() const;
+
+    /// Copy pl into the cells' stored positions (fixed cells unchanged).
+    void commit_placement(const placement& pl);
+
+    // --- validation ---------------------------------------------------------
+    /// Throws check_error describing the first structural problem found:
+    /// bad pin references, non-positive dimensions, empty region, fixed
+    /// cells outside a sane bounding box, duplicate pins on a net.
+    void validate() const;
+
+private:
+    std::vector<cell> cells_;
+    std::vector<net> nets_;
+    rect region_{0.0, 0.0, 1.0, 1.0};
+    double row_height_ = 1.0;
+    mutable std::vector<std::vector<net_id>> cell_nets_;
+    mutable bool adjacency_valid_ = false;
+};
+
+/// Pin location for a net terminal under a given placement.
+point pin_position(const netlist& nl, const placement& pl, const pin& p);
+
+} // namespace gpf

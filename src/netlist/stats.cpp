@@ -1,0 +1,40 @@
+#include "netlist/stats.hpp"
+
+#include <ostream>
+
+namespace gpf {
+
+netlist_stats compute_stats(const netlist& nl) {
+    netlist_stats s;
+    s.num_cells = nl.num_cells();
+    s.num_movable = nl.num_movable();
+    s.num_nets = nl.num_nets();
+    s.num_pins = nl.num_pins();
+    for (const cell& c : nl.cells()) {
+        if (c.kind == cell_kind::pad) ++s.num_pads;
+        if (c.kind == cell_kind::block) ++s.num_blocks;
+    }
+    for (const net& n : nl.nets()) {
+        ++s.degree_histogram[n.degree()];
+        s.max_net_degree = std::max(s.max_net_degree, n.degree());
+    }
+    if (s.num_nets > 0) {
+        s.avg_net_degree = static_cast<double>(s.num_pins) / static_cast<double>(s.num_nets);
+    }
+    s.total_movable_area = nl.movable_area();
+    s.region_area = nl.region().area();
+    s.utilization = nl.utilization();
+    s.num_rows = nl.num_rows();
+    return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const netlist_stats& s) {
+    os << "cells=" << s.num_cells << " (movable=" << s.num_movable
+       << ", pads=" << s.num_pads << ", blocks=" << s.num_blocks << ")"
+       << " nets=" << s.num_nets << " pins=" << s.num_pins
+       << " avg_degree=" << s.avg_net_degree << " max_degree=" << s.max_net_degree
+       << " rows=" << s.num_rows << " utilization=" << s.utilization;
+    return os;
+}
+
+} // namespace gpf

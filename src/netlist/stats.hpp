@@ -1,0 +1,35 @@
+// Structural statistics of a netlist, used by reports and by the synthetic
+// generator's self-checks (the generated circuits must match the published
+// MCNC statistics they stand in for).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace gpf {
+
+struct netlist_stats {
+    std::size_t num_cells = 0;
+    std::size_t num_movable = 0;
+    std::size_t num_pads = 0;
+    std::size_t num_blocks = 0;
+    std::size_t num_nets = 0;
+    std::size_t num_pins = 0;
+    double avg_net_degree = 0.0;
+    std::size_t max_net_degree = 0;
+    std::map<std::size_t, std::size_t> degree_histogram; ///< net degree → count
+    double total_movable_area = 0.0;
+    double region_area = 0.0;
+    double utilization = 0.0;
+    std::size_t num_rows = 0;
+};
+
+netlist_stats compute_stats(const netlist& nl);
+
+std::ostream& operator<<(std::ostream& os, const netlist_stats& s);
+
+} // namespace gpf

@@ -1,0 +1,71 @@
+#include "netlist/suite.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netlist/generator.hpp"
+#include "util/check.hpp"
+
+namespace gpf {
+
+const std::vector<suite_circuit>& mcnc_suite() {
+    static const std::vector<suite_circuit> suite = {
+        // name        cells   nets   rows pads
+        {"fract",        125,   147,    6,  24},
+        {"primary1",     752,   904,   16,  81},
+        {"struct",      1888,  1920,   21,  64},
+        {"primary2",    2907,  3029,   28, 107},
+        {"biomed",      6417,  5742,   46,  97},
+        {"industry2",  12142, 13419,   72, 495},
+        {"industry3",  15059, 21940,   54, 374},
+        {"avq.small",  21854, 22124,   80,  64},
+        {"avq.large",  25114, 25384,   86,  64},
+    };
+    return suite;
+}
+
+const suite_circuit& suite_circuit_by_name(const std::string& name) {
+    for (const suite_circuit& c : mcnc_suite()) {
+        if (c.name == name) return c;
+    }
+    GPF_CHECK_MSG(false, "unknown suite circuit '" << name << "'");
+    // unreachable
+    return mcnc_suite().front();
+}
+
+netlist make_suite_circuit(const suite_circuit& descriptor, double scale,
+                           std::uint64_t seed) {
+    GPF_CHECK(scale > 0.0 && scale <= 1.0);
+    auto scaled = [](std::size_t v, double s, std::size_t floor_value) {
+        const auto r =
+            static_cast<std::size_t>(std::llround(static_cast<double>(v) * s));
+        return std::max(floor_value, r);
+    };
+
+    generator_options opt;
+    opt.name = descriptor.name;
+    opt.num_cells = scaled(descriptor.num_cells, scale, 16);
+    opt.num_nets = scaled(descriptor.num_nets, scale, 16);
+    // Cell count scales with area; rows and pads follow the linear
+    // dimension (√scale) so the chip aspect ratio and perimeter/area ratio
+    // stay realistic at any scale.
+    opt.num_rows = scaled(descriptor.num_rows, std::sqrt(scale), 4);
+    opt.num_pads = scaled(descriptor.num_pads, std::sqrt(scale), 8);
+    // Mix the circuit name into the seed so each circuit gets an
+    // independent (but reproducible) structure.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char ch : descriptor.name) {
+        h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(ch));
+        h *= 1099511628211ULL;
+    }
+    opt.seed = seed ^ h;
+    return generate_circuit(opt);
+}
+
+const std::vector<std::string>& timing_suite_names() {
+    static const std::vector<std::string> names = {"fract", "struct", "biomed",
+                                                   "avq.small", "avq.large"};
+    return names;
+}
+
+} // namespace gpf

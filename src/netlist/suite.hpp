@@ -1,0 +1,39 @@
+// The benchmark suite of the paper's evaluation (Table 1): nine MCNC
+// standard-cell circuits. The original archives are not redistributable, so
+// each entry records the published circuit statistics and the suite builds
+// a synthetic circuit matching them (DESIGN.md §4). A `scale` < 1 shrinks
+// every count proportionally for quick runs; the relative comparisons the
+// paper makes are preserved at any scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gpf {
+
+struct suite_circuit {
+    std::string name;
+    std::size_t num_cells;
+    std::size_t num_nets;
+    std::size_t num_rows;
+    std::size_t num_pads;
+};
+
+/// The nine circuits of Table 1 with their published statistics.
+const std::vector<suite_circuit>& mcnc_suite();
+
+/// Look up a suite circuit by name; throws check_error when unknown.
+const suite_circuit& suite_circuit_by_name(const std::string& name);
+
+/// Instantiate a synthetic equivalent of a suite circuit. The same
+/// (descriptor, scale, seed) triple always yields the identical netlist.
+netlist make_suite_circuit(const suite_circuit& descriptor, double scale = 1.0,
+                           std::uint64_t seed = 1998);
+
+/// Names of the circuits used in the timing experiments (Tables 3 and 4).
+const std::vector<std::string>& timing_suite_names();
+
+} // namespace gpf

@@ -1,0 +1,35 @@
+#include "report/csv.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace gpf {
+
+std::string csv_escape(const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) return field;
+    std::string out = "\"";
+    for (const char ch : field) {
+        if (ch == '"') out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+csv_writer::csv_writer(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+    if (!out_) throw std::runtime_error("cannot open CSV file '" + path + "'");
+    add_row(header);
+}
+
+void csv_writer::add_row(const std::vector<std::string>& cells) {
+    GPF_CHECK(cells.size() == columns_);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0) out_ << ',';
+        out_ << csv_escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+} // namespace gpf

@@ -1,0 +1,27 @@
+// CSV export for benchmark results (one file per experiment next to the
+// binary, so runs can be compared and plotted externally).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gpf {
+
+class csv_writer {
+public:
+    /// Opens path for writing and emits the header row. Throws
+    /// std::runtime_error when the file cannot be created.
+    csv_writer(const std::string& path, const std::vector<std::string>& header);
+
+    void add_row(const std::vector<std::string>& cells);
+
+private:
+    std::ofstream out_;
+    std::size_t columns_;
+};
+
+/// RFC-4180-ish escaping: quote fields containing separators or quotes.
+std::string csv_escape(const std::string& field);
+
+} // namespace gpf

@@ -1,0 +1,30 @@
+// SVG export of placements and density maps — the visual sanity check for
+// every flow (examples write these next to their outputs).
+#pragma once
+
+#include <string>
+
+#include "density/density_map.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gpf {
+
+struct svg_options {
+    double pixels_per_unit = 8.0;  ///< image scale
+    bool draw_nets = false;        ///< bounding boxes of nets (slow for big designs)
+    std::size_t max_net_boxes = 400;
+    bool color_by_kind = true;     ///< cells grey, blocks blue, pads black
+};
+
+/// Write the placement as an SVG image. Throws io_error when the file
+/// cannot be created.
+void write_placement_svg(const netlist& nl, const placement& pl,
+                         const std::string& path, const svg_options& options = {});
+
+/// Write a density (or congestion / thermal) map as an SVG heat map.
+/// `values` must have map dimensions nx*ny (row-major, ix major); pass
+/// e.g. density.demand() or a rudy/thermal map.
+void write_heatmap_svg(const density_map& grid, const std::vector<double>& values,
+                       const std::string& path, double pixels_per_unit = 8.0);
+
+} // namespace gpf

@@ -1,0 +1,82 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace gpf {
+
+ascii_table::ascii_table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+    GPF_CHECK(!headers_.empty());
+}
+
+void ascii_table::add_row(std::vector<std::string> cells) {
+    GPF_CHECK_MSG(cells.size() == headers_.size(),
+                  "row has " << cells.size() << " cells, expected " << headers_.size());
+    rows_.push_back(std::move(cells));
+    if (separator_before_.size() < rows_.size()) separator_before_.push_back(false);
+}
+
+void ascii_table::add_separator() {
+    separator_before_.resize(rows_.size());
+    separator_before_.push_back(true);
+}
+
+void ascii_table::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    const auto hline = [&]() {
+        os << '+';
+        for (const std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    const auto print_row = [&](const std::vector<std::string>& row) {
+        os << '|';
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+        }
+        os << '\n';
+    };
+
+    hline();
+    print_row(headers_);
+    hline();
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (r < separator_before_.size() && separator_before_[r]) hline();
+        print_row(rows_[r]);
+    }
+    hline();
+}
+
+std::string ascii_table::to_string() const {
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+std::string fmt_double(double v, int precision) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+    return os.str();
+}
+
+std::string fmt_percent(double fraction, int precision) {
+    return fmt_double(fraction * 100.0, precision) + "%";
+}
+
+std::string fmt_ratio(double v, int precision) { return fmt_double(v, precision); }
+
+std::string fmt_count(std::size_t v) { return std::to_string(v); }
+
+} // namespace gpf

@@ -1,0 +1,36 @@
+// Paper-style ASCII tables for the experiment harness.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gpf {
+
+class ascii_table {
+public:
+    explicit ascii_table(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+    /// Horizontal separator before the next added row (e.g. above an
+    /// "average" footer).
+    void add_separator();
+
+    void print(std::ostream& os) const;
+    std::string to_string() const;
+
+    std::size_t num_rows() const { return rows_.size(); }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<bool> separator_before_;
+};
+
+/// Fixed-precision formatting helpers for table cells.
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_percent(double fraction, int precision = 1); ///< 0.53 → "53.0%"
+std::string fmt_ratio(double v, int precision = 2);
+std::string fmt_count(std::size_t v);
+
+} // namespace gpf

@@ -1,0 +1,82 @@
+#include "route/congestion.hpp"
+
+#include <algorithm>
+
+#include "core/metrics.hpp"
+#include "util/check.hpp"
+
+namespace gpf {
+
+std::vector<double> rudy_map(const netlist& nl, const placement& pl, const rect& region,
+                             std::size_t nx, std::size_t ny,
+                             const congestion_options& options) {
+    GPF_CHECK(pl.size() == nl.num_cells());
+    GPF_CHECK(nx >= 1 && ny >= 1);
+    std::vector<double> map(nx * ny, 0.0);
+    const double bin_w = region.width() / static_cast<double>(nx);
+    const double bin_h = region.height() / static_cast<double>(ny);
+    const double bin_area = bin_w * bin_h;
+
+    for (const net& n : nl.nets()) {
+        if (n.degree() < 2) continue;
+        rect bbox;
+        for (const pin& p : n.pins) bbox.expand_to(pin_position(nl, pl, p));
+        // Degenerate boxes still carry wire volume; inflate to a wire width.
+        const double w = std::max(bbox.width(), options.wire_width);
+        const double h = std::max(bbox.height(), options.wire_width);
+        const rect inflated(bbox.xlo, bbox.ylo, bbox.xlo + w, bbox.ylo + h);
+        // RUDY: wire volume = HPWL · wire_width spread uniformly.
+        const double volume = (w + h) * options.wire_width;
+        const double density = volume / (w * h);
+
+        const rect clipped = intersect(inflated, region);
+        if (clipped.empty()) continue;
+        const auto clampi = [](double v, std::size_t count) {
+            return std::min(count - 1,
+                            static_cast<std::size_t>(std::max(0.0, v)));
+        };
+        const std::size_t x0 = clampi((clipped.xlo - region.xlo) / bin_w, nx);
+        const std::size_t x1 = clampi((clipped.xhi - region.xlo) / bin_w, nx);
+        const std::size_t y0 = clampi((clipped.ylo - region.ylo) / bin_h, ny);
+        const std::size_t y1 = clampi((clipped.yhi - region.ylo) / bin_h, ny);
+        for (std::size_t ix = x0; ix <= x1; ++ix) {
+            const double bxlo = region.xlo + static_cast<double>(ix) * bin_w;
+            const double ox = overlap(interval(bxlo, bxlo + bin_w), clipped.x_range());
+            if (ox <= 0.0) continue;
+            for (std::size_t iy = y0; iy <= y1; ++iy) {
+                const double bylo = region.ylo + static_cast<double>(iy) * bin_h;
+                const double oy =
+                    overlap(interval(bylo, bylo + bin_h), clipped.y_range());
+                if (oy <= 0.0) continue;
+                map[ix * ny + iy] += density * ox * oy / bin_area;
+            }
+        }
+    }
+    return map;
+}
+
+congestion_stats summarize_congestion(const std::vector<double>& map, double capacity) {
+    congestion_stats s;
+    for (const double v : map) {
+        s.peak = std::max(s.peak, v);
+        s.average += v;
+        s.overflow += std::max(0.0, v - capacity);
+    }
+    if (!map.empty()) s.average /= static_cast<double>(map.size());
+    return s;
+}
+
+placer::density_hook make_congestion_hook(const netlist& nl,
+                                          congestion_options options) {
+    return [&nl, options](density_map& density, const placement& pl) {
+        std::vector<double> map =
+            rudy_map(nl, pl, density.region(), density.nx(), density.ny(), options);
+        double mean = 0.0;
+        for (const double v : map) mean += v;
+        mean /= static_cast<double>(map.size());
+        for (double& v : map) v = std::max(0.0, v - mean);
+        density.add_field(map, options.density_weight);
+    };
+}
+
+} // namespace gpf

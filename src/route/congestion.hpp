@@ -1,0 +1,47 @@
+// Congestion-driven placement support (section 5): before each placement
+// transformation a routing estimation is executed and the congestion map
+// is combined with the density D(x,y). The estimator is RUDY-style
+// (Rectangular Uniform wire DensitY): every net deposits its expected wire
+// volume uniformly over its bounding box.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/placer.hpp"
+#include "density/density_map.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gpf {
+
+struct congestion_options {
+    double wire_width = 0.15;   ///< routed wire width + spacing, layout units
+    /// Weight of congestion excess relative to cell-area demand when
+    /// feeding the placer's density hook.
+    double density_weight = 1.0;
+};
+
+/// RUDY map on an nx × ny grid over `region`: expected routing coverage
+/// per bin (dimensionless, comparable to cell coverage).
+std::vector<double> rudy_map(const netlist& nl, const placement& pl, const rect& region,
+                             std::size_t nx, std::size_t ny,
+                             const congestion_options& options = {});
+
+struct congestion_stats {
+    double peak = 0.0;    ///< max bin routing coverage
+    double average = 0.0;
+    double overflow = 0.0; ///< Σ max(0, coverage − capacity) over bins
+};
+
+/// Summary of a RUDY map against a per-bin routing capacity (in coverage
+/// units, e.g. 1.0 = tracks fully used).
+congestion_stats summarize_congestion(const std::vector<double>& map, double capacity);
+
+/// Density hook for the placer: adds max(0, rudy − mean) · density_weight
+/// to the demand, so congested regions repel cells exactly like dense
+/// regions do. "The placement and the congestion map converge
+/// simultaneously."
+placer::density_hook make_congestion_hook(const netlist& nl,
+                                          congestion_options options = {});
+
+} // namespace gpf

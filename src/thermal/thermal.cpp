@@ -1,0 +1,89 @@
+#include "thermal/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/fft.hpp"
+#include "util/check.hpp"
+
+namespace gpf {
+
+std::vector<double> thermal_map(const netlist& nl, const placement& pl,
+                                const rect& region, std::size_t nx, std::size_t ny,
+                                const thermal_options& options) {
+    GPF_CHECK(pl.size() == nl.num_cells());
+    GPF_CHECK(nx >= 1 && ny >= 1);
+    GPF_CHECK(options.conductivity > 0.0);
+
+    const double bin_w = region.width() / static_cast<double>(nx);
+    const double bin_h = region.height() / static_cast<double>(ny);
+
+    // Power per bin (W), stamped by cell footprint overlap.
+    density_map power(region, nx, ny);
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        const cell& c = nl.cell_at(i);
+        if (c.power <= 0.0) continue;
+        // Deposit power/area as "coverage"; multiply back by bin area below.
+        power.add_rect(rect::from_center(pl[i], c.width, c.height),
+                       c.power / c.area());
+    }
+
+    std::vector<double> src(nx * ny);
+    const double bin_area = bin_w * bin_h;
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+        for (std::size_t iy = 0; iy < ny; ++iy) {
+            src[ix * ny + iy] = power.demand_at(ix, iy) * bin_area; // watts
+        }
+    }
+
+    // Green's function of −κ ΔT = q: T(r) = Σ q·ln(R/|r−r'|)/(2πκ), with a
+    // finite ambient radius R where T reaches 0.
+    const double r_ambient = options.ambient_radius > 0.0
+                                 ? options.ambient_radius
+                                 : 4.0 * (region.width() + region.height());
+    const std::size_t k0 = 2 * nx - 1;
+    const std::size_t k1 = 2 * ny - 1;
+    std::vector<double> kernel(k0 * k1, 0.0);
+    const double scale = 1.0 / (2.0 * M_PI * options.conductivity);
+    const double self = std::log(r_ambient / (0.5 * std::sqrt(bin_w * bin_h))) * scale;
+    for (std::size_t i = 0; i < k0; ++i) {
+        const double dx = (static_cast<double>(i) - static_cast<double>(nx - 1)) * bin_w;
+        for (std::size_t j = 0; j < k1; ++j) {
+            const double dy =
+                (static_cast<double>(j) - static_cast<double>(ny - 1)) * bin_h;
+            const double r = std::hypot(dx, dy);
+            kernel[i * k1 + j] = r == 0.0 ? self : std::max(0.0, std::log(r_ambient / r)) * scale;
+        }
+    }
+    return convolve_2d(src, nx, ny, kernel);
+}
+
+thermal_stats summarize_thermal(const std::vector<double>& map) {
+    thermal_stats s;
+    for (const double v : map) {
+        s.peak = std::max(s.peak, v);
+        s.average += v;
+    }
+    if (!map.empty()) s.average /= static_cast<double>(map.size());
+    return s;
+}
+
+placer::density_hook make_thermal_hook(const netlist& nl, thermal_options options) {
+    return [&nl, options](density_map& density, const placement& pl) {
+        std::vector<double> map = thermal_map(nl, pl, density.region(), density.nx(),
+                                              density.ny(), options);
+        double mean = 0.0;
+        double peak = 0.0;
+        for (const double v : map) {
+            mean += v;
+            peak = std::max(peak, v);
+        }
+        mean /= static_cast<double>(map.size());
+        if (peak <= mean) return;
+        const double scale = 1.0 / (peak - mean);
+        for (double& v : map) v = std::max(0.0, v - mean) * scale;
+        density.add_field(map, options.density_weight);
+    };
+}
+
+} // namespace gpf

@@ -1,0 +1,43 @@
+// Heat-driven placement support (section 5): "by replacing the congestion
+// map with a heat map we can use the same approach to avoid hot spots".
+//
+// The thermal substrate computes a steady-state temperature-rise map from
+// per-cell power dissipation by convolving the power density with the 2-D
+// free-space Green's function of the heat equation, −ln|r| / (2πκ) — the
+// same machinery as the placement force field (one FFT convolution).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/placer.hpp"
+#include "density/density_map.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gpf {
+
+struct thermal_options {
+    double conductivity = 1.0;  ///< effective sheet thermal conductivity (W/K)
+    double ambient_radius = 0.0; ///< kernel cutoff radius; 0 → 4×(W+H) default
+    /// Weight of normalized heat excess in the placer's density hook.
+    double density_weight = 1.0;
+};
+
+/// Temperature rise (K) per bin on an nx × ny grid over `region`.
+std::vector<double> thermal_map(const netlist& nl, const placement& pl,
+                                const rect& region, std::size_t nx, std::size_t ny,
+                                const thermal_options& options = {});
+
+struct thermal_stats {
+    double peak = 0.0;
+    double average = 0.0;
+};
+
+thermal_stats summarize_thermal(const std::vector<double>& map);
+
+/// Density hook: hot regions repel cells like dense regions do. The heat
+/// excess over the mean is normalized by the map's peak so the weight is
+/// comparable to cell coverage.
+placer::density_hook make_thermal_hook(const netlist& nl, thermal_options options = {});
+
+} // namespace gpf

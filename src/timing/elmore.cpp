@@ -1,0 +1,20 @@
+#include "timing/elmore.hpp"
+
+namespace gpf {
+
+double elmore_net_delay(double hpwl_units, std::size_t num_sinks,
+                        const timing_config& config) {
+    const double length_m = hpwl_units * config.unit_meters;
+    const double r_wire = config.resistance_per_meter * length_m;
+    const double c_wire = config.capacitance_per_meter * length_m;
+    const double c_sinks = config.sink_capacitance * static_cast<double>(num_sinks);
+    return config.driver_resistance * (c_wire + c_sinks) +
+           r_wire * (c_wire / 2.0 + c_sinks);
+}
+
+double elmore_net_delay_zero_wire(std::size_t num_sinks, const timing_config& config) {
+    return config.driver_resistance * config.sink_capacitance *
+           static_cast<double>(num_sinks);
+}
+
+} // namespace gpf

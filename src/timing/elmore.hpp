@@ -1,0 +1,31 @@
+// Net delay: "Elmore delay model based on the half perimeter of the
+// enclosing rectangle" (section 5) with the paper's experimental constants
+// (section 6.2): 242 pF/m capacitance and 25.5 kΩ/m resistance per unit
+// length. Layout coordinates are dimensionless row-height units; the
+// configuration maps them to meters.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace gpf {
+
+struct timing_config {
+    double resistance_per_meter = 25.5e3;  ///< Ω/m (paper section 6.2)
+    double capacitance_per_meter = 242e-12; ///< F/m (paper section 6.2)
+    double unit_meters = 20e-6;            ///< meters per layout unit (row height)
+    double sink_capacitance = 15e-15;      ///< F per sink pin
+    double driver_resistance = 1.0e3;      ///< Ω output resistance of a driver
+    std::size_t max_net_pins = 60;         ///< timing excludes larger nets
+};
+
+/// Elmore delay of a net with total HPWL wire, lumped as one segment:
+///   R_drv·(C_wire + C_sinks) + R_wire·(C_wire/2 + C_sinks)
+/// where R_wire = r·L, C_wire = c·L, L = hpwl (layout units) · unit_meters.
+/// `wire_length_zero` computes the intrinsic (placement-independent) part.
+double elmore_net_delay(double hpwl_units, std::size_t num_sinks,
+                        const timing_config& config);
+
+/// Net delay with all wire lengths forced to zero (lower-bound analysis).
+double elmore_net_delay_zero_wire(std::size_t num_sinks, const timing_config& config);
+
+} // namespace gpf

@@ -1,0 +1,61 @@
+#include "timing/net_weighting.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gpf {
+
+criticality_tracker::criticality_tracker(const netlist& nl,
+                                         net_weighting_options options)
+    : options_(options) {
+    GPF_CHECK(options_.critical_fraction > 0.0 && options_.critical_fraction <= 1.0);
+    criticality_.assign(nl.num_nets(), 0.0);
+    original_weight_.reserve(nl.num_nets());
+    for (const net& n : nl.nets()) original_weight_.push_back(n.weight);
+}
+
+void criticality_tracker::update(netlist& nl, const sta_result& sta) {
+    GPF_CHECK(sta.net_slack.size() == nl.num_nets());
+
+    // Rank timed nets by slack; the lowest-slack `critical_fraction` are
+    // "critical" this step.
+    std::vector<net_id> timed;
+    for (net_id ni = 0; ni < nl.num_nets(); ++ni) {
+        if (std::isfinite(sta.net_slack[ni])) timed.push_back(ni);
+    }
+    const auto critical_count = static_cast<std::size_t>(
+        std::ceil(options_.critical_fraction * static_cast<double>(timed.size())));
+    std::vector<char> is_critical(nl.num_nets(), 0);
+    if (critical_count > 0 && !timed.empty()) {
+        const std::size_t k = std::min(critical_count, timed.size());
+        std::nth_element(timed.begin(), timed.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                         timed.end(), [&](net_id a, net_id b) {
+                             return sta.net_slack[a] < sta.net_slack[b];
+                         });
+        for (std::size_t i = 0; i < k; ++i) is_critical[timed[i]] = 1;
+    }
+
+    for (net_id ni = 0; ni < nl.num_nets(); ++ni) {
+        if (is_critical[ni]) {
+            criticality_[ni] = (criticality_[ni] + 1.0) / 2.0;
+        } else {
+            criticality_[ni] /= 2.0;
+        }
+        if (std::isfinite(sta.net_slack[ni])) {
+            net& n = nl.net_at(ni);
+            n.weight = std::min(n.weight * (1.0 + criticality_[ni]),
+                                original_weight_[ni] * options_.max_weight_factor);
+        }
+    }
+}
+
+void criticality_tracker::restore_weights(netlist& nl) const {
+    GPF_CHECK(original_weight_.size() == nl.num_nets());
+    for (net_id ni = 0; ni < nl.num_nets(); ++ni) {
+        nl.net_at(ni).weight = original_weight_[ni];
+    }
+}
+
+} // namespace gpf

@@ -1,0 +1,51 @@
+// The paper's iterative net-weighting scheme (section 5, "Timing
+// Optimization"): each net carries a criticality c_j(m), initialized to 0
+// and updated before every placement transformation:
+//
+//   c(m) = (c(m−1) + 1) / 2   if the net is among the `critical_fraction`
+//                             (3%) most critical nets,
+//   c(m) =  c(m−1) / 2        otherwise.
+//
+// Net weights are then multiplied by (1 + c): a never-critical net keeps
+// its weight, an always-critical net's weight doubles every step. The
+// exponential memory "effectively reduces oscillations of netweights".
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "timing/sta.hpp"
+
+namespace gpf {
+
+struct net_weighting_options {
+    double critical_fraction = 0.03; ///< paper: 3 percent most critical nets
+    /// Cumulative weight cap (relative to the original weight): the
+    /// paper's scheme doubles an always-critical net's weight every step,
+    /// which overflows after a few dozen steps; the cap keeps the system
+    /// solvable while preserving the ordering pressure.
+    double max_weight_factor = 64.0;
+};
+
+class criticality_tracker {
+public:
+    explicit criticality_tracker(const netlist& nl,
+                                 net_weighting_options options = {});
+
+    /// Update criticalities from an STA result and multiply the netlist's
+    /// weights by (1 + c). Nets without timing information (no driver /
+    /// too many pins) keep their weight.
+    void update(netlist& nl, const sta_result& sta);
+
+    const std::vector<double>& criticality() const { return criticality_; }
+
+    /// Restore all net weights to their values at construction.
+    void restore_weights(netlist& nl) const;
+
+private:
+    net_weighting_options options_;
+    std::vector<double> criticality_;
+    std::vector<double> original_weight_;
+};
+
+} // namespace gpf

@@ -1,0 +1,142 @@
+#include "timing/sta.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/metrics.hpp"
+#include "util/check.hpp"
+
+namespace gpf {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Output arrival contribution of a cell acting as a path source.
+double source_launch(const cell& c) {
+    if (c.kind == cell_kind::pad) return 0.0;
+    return c.intrinsic_delay; // register clk→q or input-less gate
+}
+
+bool propagates_through(const cell& c) {
+    return !c.sequential && c.kind != cell_kind::pad;
+}
+
+} // namespace
+
+sta_result run_sta(const timing_graph& graph, const placement& pl,
+                   const timing_config& config, bool zero_wire) {
+    const netlist& nl = graph.circuit();
+    GPF_CHECK(pl.size() == nl.num_cells());
+
+    // Net delays (shared by all arcs of a net).
+    std::vector<double> net_delay(nl.num_nets(), 0.0);
+    for (net_id ni = 0; ni < nl.num_nets(); ++ni) {
+        const net& n = nl.net_at(ni);
+        if (!n.has_driver() || n.degree() > config.max_net_pins) continue;
+        const std::size_t sinks = n.degree() - 1;
+        net_delay[ni] = zero_wire
+                            ? elmore_net_delay_zero_wire(sinks, config)
+                            : elmore_net_delay(net_hpwl(nl, pl, n), sinks, config);
+    }
+
+    sta_result result;
+    result.arrival.assign(nl.num_cells(), 0.0);
+    result.net_slack.assign(nl.num_nets(), kInf);
+
+    // Forward pass: output arrival times in topological order. For cells
+    // that end paths we track the input arrival separately.
+    std::vector<double> arrival_in(nl.num_cells(), 0.0);
+    for (const cell_id u : graph.topological_order()) {
+        const cell& c = nl.cell_at(u);
+        double in = 0.0;
+        for (const std::size_t a : graph.fanin()[u]) {
+            const timing_arc& arc = graph.arcs()[a];
+            in = std::max(in, result.arrival[arc.from] + net_delay[arc.net]);
+        }
+        arrival_in[u] = in;
+        if (propagates_through(c)) {
+            result.arrival[u] = in + c.intrinsic_delay;
+        } else {
+            result.arrival[u] = source_launch(c);
+        }
+    }
+
+    // Non-propagating cells (pads, registers) may appear before their
+    // drivers in the topological order — their input arrivals are only
+    // final now that every propagating arrival is; recompute them.
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        if (propagates_through(nl.cell_at(i))) continue;
+        double in = 0.0;
+        for (const std::size_t a : graph.fanin()[i]) {
+            const timing_arc& arc = graph.arcs()[a];
+            in = std::max(in, result.arrival[arc.from] + net_delay[arc.net]);
+        }
+        arrival_in[i] = in;
+    }
+
+    // Longest path over endpoints.
+    cell_id worst = invalid_cell;
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        if (!graph.is_endpoint(i)) continue;
+        if (arrival_in[i] > result.max_delay) {
+            result.max_delay = arrival_in[i];
+            worst = i;
+        }
+    }
+
+    // Backward pass: required output times; arc slack → net slack.
+    std::vector<double> required_out(nl.num_cells(), kInf);
+    const auto& topo = graph.topological_order();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const cell_id u = *it;
+        for (const std::size_t a : graph.fanout()[u]) {
+            const timing_arc& arc = graph.arcs()[a];
+            const cell& to = nl.cell_at(arc.to);
+            // Pads/registers and dangling combinational cells (no timed
+            // fanout) end paths: their input is required by max_delay.
+            const bool ends_path =
+                !propagates_through(to) || graph.fanout()[arc.to].empty();
+            const double required_in = ends_path
+                                           ? result.max_delay
+                                           : required_out[arc.to] - to.intrinsic_delay;
+            const double req = required_in - net_delay[arc.net];
+            required_out[u] = std::min(required_out[u], req);
+            const double slack = required_in - net_delay[arc.net] - result.arrival[arc.from];
+            result.net_slack[arc.net] = std::min(result.net_slack[arc.net], slack);
+        }
+    }
+
+    // Critical path: walk back from the worst endpoint along tight arcs.
+    if (worst != invalid_cell) {
+        cell_id cur = worst;
+        result.critical_path.push_back(cur);
+        constexpr double kTol = 1e-15;
+        for (;;) {
+            const double target = arrival_in[cur];
+            if (graph.fanin()[cur].empty() || target <= kTol) break;
+            cell_id next = invalid_cell;
+            for (const std::size_t a : graph.fanin()[cur]) {
+                const timing_arc& arc = graph.arcs()[a];
+                if (std::abs(result.arrival[arc.from] + net_delay[arc.net] - target) <=
+                    kTol + 1e-9 * target) {
+                    next = arc.from;
+                    break;
+                }
+            }
+            if (next == invalid_cell) break;
+            result.critical_path.push_back(next);
+            if (!propagates_through(nl.cell_at(next))) break;
+            cur = next;
+        }
+        std::reverse(result.critical_path.begin(), result.critical_path.end());
+    }
+    return result;
+}
+
+double timing_lower_bound(const timing_graph& graph, const timing_config& config) {
+    const placement dummy(graph.circuit().num_cells());
+    return run_sta(graph, dummy, config, /*zero_wire=*/true).max_delay;
+}
+
+} // namespace gpf

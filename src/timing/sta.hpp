@@ -1,0 +1,30 @@
+// Static timing analysis: longest-path search over the timing graph with
+// Elmore net delays (the paper's "longest path search for timing
+// analysis", section 5). Produces the maximum delay, per-net minimum
+// slack, and the critical path.
+#pragma once
+
+#include <vector>
+
+#include "timing/elmore.hpp"
+#include "timing/timing_graph.hpp"
+
+namespace gpf {
+
+struct sta_result {
+    double max_delay = 0.0;               ///< longest path, seconds
+    std::vector<double> arrival;          ///< output arrival per cell
+    std::vector<double> net_slack;        ///< min slack per net (+inf if untimed)
+    std::vector<cell_id> critical_path;   ///< cells along the longest path
+};
+
+/// Run STA on the placement. When `zero_wire` is set all net delays use
+/// zero wire length — this yields the paper's lower bound for the longest
+/// path ("all cells would be interconnected by abutment", section 6.2).
+sta_result run_sta(const timing_graph& graph, const placement& pl,
+                   const timing_config& config, bool zero_wire = false);
+
+/// The lower bound used by Tables 3/4: longest path with zero wire length.
+double timing_lower_bound(const timing_graph& graph, const timing_config& config);
+
+} // namespace gpf

@@ -1,0 +1,114 @@
+#include "timing/timing_driven.hpp"
+
+#include <algorithm>
+
+#include "core/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace gpf {
+
+namespace {
+
+/// Shared machinery: a placer whose weight hook runs STA + criticality
+/// weighting before every transformation, tracing (hpwl, delay) per step.
+struct timing_session {
+    timing_session(netlist& nl, const timing_driven_options& options)
+        : nl_ref(nl), graph(nl, options.timing.max_net_pins), tracker(nl, options.weighting),
+          config(options.timing) {}
+
+    netlist& nl_ref;
+    timing_graph graph;
+    criticality_tracker tracker;
+    timing_config config;
+    double last_delay = 0.0;
+
+    void adapt_weights(const placement& current) {
+        const sta_result sta = run_sta(graph, current, config);
+        last_delay = sta.max_delay;
+        tracker.update(nl_ref, sta);
+    }
+};
+
+} // namespace
+
+timing_result timing_optimize(netlist& nl, const timing_driven_options& options) {
+    timing_result result;
+    timing_session session(nl, options);
+    result.lower_bound = timing_lower_bound(session.graph, options.timing);
+
+    // Phase 1: the area-driven placement — both the reference point and
+    // the starting point of the weighting phase (the paper's two-phase
+    // structure: weighting adapts a converged placement; starting the
+    // weighting from scratch lets exploding weights distort the early
+    // global decisions).
+    placer p(nl, options.placer);
+    placement current = p.run();
+    placement best = current;
+    double best_delay = run_sta(session.graph, current, options.timing).max_delay;
+    result.delay_before = best_delay;
+    result.trace.push_back({0, total_hpwl(nl, current), best_delay});
+
+    // Phase 2: net weight adaption before each further transformation,
+    // keeping the best placement seen. Nothing is hard-locked, so the
+    // placement can still change globally.
+    p.set_weight_hook([&](const placement& pl) { session.adapt_weights(pl); });
+    for (std::size_t i = 0; i < options.optimization_iterations; ++i) {
+        current = p.transform(current);
+        const double delay = run_sta(session.graph, current, options.timing).max_delay;
+        result.trace.push_back({i + 1, total_hpwl(nl, current), delay});
+        if (delay < best_delay) {
+            best_delay = delay;
+            best = current;
+        }
+    }
+
+    session.tracker.restore_weights(nl);
+    result.pl = std::move(best);
+    result.delay_after = best_delay;
+    log(log_level::info) << "timing_optimize: " << result.delay_before * 1e9 << " ns → "
+                         << result.delay_after * 1e9 << " ns (lower bound "
+                         << result.lower_bound * 1e9 << " ns)";
+    return result;
+}
+
+timing_result meet_timing_requirement(netlist& nl, double requirement,
+                                      const timing_driven_options& options) {
+    timing_result result;
+    timing_session session(nl, options);
+    result.lower_bound = timing_lower_bound(session.graph, options.timing);
+
+    // Phase 1: area-optimized placement (no timing).
+    placer p(nl, options.placer);
+    placement current = p.run();
+    result.delay_before = run_sta(session.graph, current, options.timing).max_delay;
+    result.trace.push_back({0, total_hpwl(nl, current), result.delay_before});
+
+    if (result.delay_before <= requirement) {
+        result.pl = std::move(current);
+        result.delay_after = result.delay_before;
+        result.requirement_met = true;
+        session.tracker.restore_weights(nl);
+        return result;
+    }
+
+    // Phase 2: net weight adaption before each further transformation,
+    // recording the wire-length/delay trade-off curve; stop when met.
+    p.set_weight_hook([&](const placement& pl) { session.adapt_weights(pl); });
+    double delay = result.delay_before;
+    for (std::size_t i = 0; i < options.optimization_iterations; ++i) {
+        current = p.transform(current);
+        delay = run_sta(session.graph, current, options.timing).max_delay;
+        result.trace.push_back({i + 1, total_hpwl(nl, current), delay});
+        if (delay <= requirement) {
+            result.requirement_met = true;
+            break;
+        }
+    }
+
+    session.tracker.restore_weights(nl);
+    result.pl = std::move(current);
+    result.delay_after = delay;
+    return result;
+}
+
+} // namespace gpf

@@ -1,0 +1,62 @@
+// Timing-driven placement flows (section 5):
+//
+//  * timing_optimize — the basic algorithm with a net-weight adaption
+//    before every placement transformation (STA → criticality → weights).
+//  * meet_timing_requirement — the paper's two-phase extension: run the
+//    non-timing-driven algorithm to convergence first, then continue with
+//    weight adaption, recording a wire-length/delay trade-off curve, and
+//    stop as soon as the requirement is met. "Since we used the resulting
+//    placement for timing analysis we can assure that the placement meets
+//    precisely the timing requirements."
+#pragma once
+
+#include <vector>
+
+#include "core/placer.hpp"
+#include "timing/net_weighting.hpp"
+#include "timing/sta.hpp"
+#include "timing/timing_graph.hpp"
+
+namespace gpf {
+
+struct timing_point {
+    std::size_t iteration = 0;
+    double hpwl = 0.0;
+    double max_delay = 0.0;
+};
+
+struct timing_result {
+    placement pl;
+    double delay_before = 0.0; ///< longest path without timing optimization
+    double delay_after = 0.0;  ///< longest path of the returned placement
+    double lower_bound = 0.0;  ///< zero-wire-length longest path
+    std::vector<timing_point> trace; ///< per-step (hpwl, delay) curve
+    bool requirement_met = false;    ///< only meaningful for the requirement flow
+
+    /// Fraction of the optimization potential exploited (Table 4):
+    /// (delay_before − delay_after) / (delay_before − lower_bound).
+    double exploitation() const {
+        const double potential = delay_before - lower_bound;
+        return potential > 0.0 ? (delay_before - delay_after) / potential : 0.0;
+    }
+};
+
+struct timing_driven_options {
+    placer_options placer;
+    timing_config timing;
+    net_weighting_options weighting;
+    /// Extra weight-adaption transformations after the area-driven phase.
+    std::size_t optimization_iterations = 40;
+};
+
+/// Timing optimization: minimize the longest path (Tables 3/4 flow).
+/// `nl` is modified (net weights); weights are restored before returning.
+timing_result timing_optimize(netlist& nl, const timing_driven_options& options = {});
+
+/// Meet a delay requirement (seconds) with minimal area/wire-length cost.
+/// Stops the weight-adaption phase at the first placement meeting the
+/// requirement; `requirement_met` reports success.
+timing_result meet_timing_requirement(netlist& nl, double requirement,
+                                      const timing_driven_options& options = {});
+
+} // namespace gpf

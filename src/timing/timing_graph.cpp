@@ -1,0 +1,103 @@
+#include "timing/timing_graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gpf {
+
+timing_graph::timing_graph(const netlist& nl, std::size_t max_net_pins) : nl_(nl) {
+    const std::size_t n = nl.num_cells();
+    fanin_.assign(n, {});
+    fanout_.assign(n, {});
+    source_.assign(n, 0);
+    endpoint_.assign(n, 0);
+
+    for (net_id ni = 0; ni < nl.num_nets(); ++ni) {
+        const net& net_ref = nl.net_at(ni);
+        if (!net_ref.has_driver()) continue;
+        if (net_ref.degree() > max_net_pins) continue;
+        const cell_id driver = net_ref.pins[net_ref.driver].cell;
+        for (std::size_t k = 0; k < net_ref.pins.size(); ++k) {
+            if (k == net_ref.driver) continue;
+            const cell_id sink = net_ref.pins[k].cell;
+            const std::size_t arc_idx = arcs_.size();
+            arcs_.push_back({driver, sink, ni});
+            fanout_[driver].push_back(arc_idx);
+            fanin_[sink].push_back(arc_idx);
+        }
+    }
+
+    for (cell_id i = 0; i < n; ++i) {
+        const cell& c = nl.cell_at(i);
+        const bool is_pad = c.kind == cell_kind::pad;
+        const bool drives = !fanout_[i].empty();
+        const bool driven = !fanin_[i].empty();
+        if (c.sequential) {
+            source_[i] = drives ? 1 : 0;
+            endpoint_[i] = driven ? 1 : 0;
+        } else if (is_pad) {
+            if (drives) source_[i] = 1;
+            if (driven) endpoint_[i] = 1;
+        } else {
+            // Combinational cells with no fanin behave as sources, with no
+            // fanout as endpoints — keeps dangling logic well-defined.
+            if (!driven && drives) source_[i] = 1;
+            if (!drives && driven) endpoint_[i] = 1;
+        }
+    }
+
+    // Kahn's algorithm over the combinational dependencies. Arcs into
+    // sequential cells or pads terminate there (no propagation), and arcs
+    // out of sequential cells/pads have no upstream dependency.
+    const auto propagates_through = [&](cell_id id) {
+        const cell& c = nl.cell_at(id);
+        return !c.sequential && c.kind != cell_kind::pad;
+    };
+
+    std::vector<std::size_t> pending(n, 0);
+    for (const timing_arc& arc : arcs_) {
+        if (propagates_through(arc.to) && propagates_through(arc.from)) {
+            // counted below
+        }
+    }
+    for (cell_id i = 0; i < n; ++i) {
+        if (!propagates_through(i)) continue;
+        std::size_t deps = 0;
+        for (const std::size_t a : fanin_[i]) {
+            if (propagates_through(arcs_[a].from)) ++deps;
+        }
+        pending[i] = deps;
+    }
+
+    std::vector<cell_id> queue;
+    for (cell_id i = 0; i < n; ++i) {
+        if (!propagates_through(i)) {
+            topo_.push_back(i); // pads / registers first; order irrelevant
+        } else if (pending[i] == 0) {
+            queue.push_back(i);
+        }
+    }
+    std::size_t processed = 0;
+    while (!queue.empty()) {
+        const cell_id u = queue.back();
+        queue.pop_back();
+        topo_.push_back(u);
+        ++processed;
+        for (const std::size_t a : fanout_[u]) {
+            const cell_id v = arcs_[a].to;
+            if (!propagates_through(v)) continue;
+            GPF_DCHECK(pending[v] > 0);
+            if (--pending[v] == 0) queue.push_back(v);
+        }
+    }
+
+    std::size_t combinational = 0;
+    for (cell_id i = 0; i < n; ++i) {
+        if (propagates_through(i)) ++combinational;
+    }
+    GPF_CHECK_MSG(processed == combinational,
+                  "combinational cycle detected in the timing graph");
+}
+
+} // namespace gpf

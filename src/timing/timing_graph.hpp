@@ -1,0 +1,55 @@
+// Timing graph over the netlist: one node per cell, one arc per
+// (driver → sink) pair of every directed net. Combinational paths start at
+// input pads and sequential-cell outputs and end at output pads and
+// sequential-cell inputs. Nets above a pin-count cap are excluded from
+// timing ("Since having big nets in the longest path is not realistic we
+// disregard nets with more than 60 pins", section 6.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gpf {
+
+struct timing_arc {
+    cell_id from; ///< driving cell
+    cell_id to;   ///< sink cell
+    net_id net;
+};
+
+class timing_graph {
+public:
+    /// Builds the graph; throws check_error if the combinational part has
+    /// a cycle (the synthetic generator guarantees acyclicity).
+    explicit timing_graph(const netlist& nl, std::size_t max_net_pins = 60);
+
+    const std::vector<timing_arc>& arcs() const { return arcs_; }
+
+    /// Cells in a topological order of the combinational dependencies.
+    const std::vector<cell_id>& topological_order() const { return topo_; }
+
+    /// Arc indices entering / leaving each cell.
+    const std::vector<std::vector<std::size_t>>& fanin() const { return fanin_; }
+    const std::vector<std::vector<std::size_t>>& fanout() const { return fanout_; }
+
+    /// True when the cell starts paths (input pad or sequential output).
+    bool is_source(cell_id id) const { return source_[id]; }
+    /// True when the cell ends paths (output pad or sequential input).
+    bool is_endpoint(cell_id id) const { return endpoint_[id]; }
+
+    std::size_t num_cells() const { return fanin_.size(); }
+    const netlist& circuit() const { return nl_; }
+
+private:
+    const netlist& nl_;
+    std::vector<timing_arc> arcs_;
+    std::vector<std::vector<std::size_t>> fanin_;
+    std::vector<std::vector<std::size_t>> fanout_;
+    std::vector<char> source_;
+    std::vector<char> endpoint_;
+    std::vector<cell_id> topo_;
+};
+
+} // namespace gpf

@@ -1,0 +1,53 @@
+// Precondition / invariant checking helpers.
+//
+// GPF_CHECK is always on (cheap, used for API preconditions); GPF_DCHECK
+// compiles away in release builds and guards internal invariants on hot
+// paths. Violations throw gpf::check_error so library users can recover
+// and tests can assert on failure behaviour.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gpf {
+
+/// Thrown when a checked precondition or invariant is violated.
+class check_error : public std::logic_error {
+public:
+    explicit check_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+    std::ostringstream os;
+    os << file << ':' << line << ": check failed: " << expr;
+    if (!msg.empty()) os << " — " << msg;
+    throw check_error(os.str());
+}
+
+} // namespace detail
+
+} // namespace gpf
+
+#define GPF_CHECK(expr)                                                      \
+    do {                                                                     \
+        if (!(expr)) ::gpf::detail::check_failed(#expr, __FILE__, __LINE__, {}); \
+    } while (false)
+
+#define GPF_CHECK_MSG(expr, msg)                                             \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            std::ostringstream gpf_check_os;                                 \
+            gpf_check_os << msg;                                             \
+            ::gpf::detail::check_failed(#expr, __FILE__, __LINE__, gpf_check_os.str()); \
+        }                                                                    \
+    } while (false)
+
+#ifdef NDEBUG
+#define GPF_DCHECK(expr) static_cast<void>(0)
+#else
+#define GPF_DCHECK(expr) GPF_CHECK(expr)
+#endif

@@ -1,0 +1,51 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace gpf {
+
+namespace {
+
+std::atomic<log_level> g_level{log_level::warning};
+std::mutex g_sink_mutex;
+std::function<void(log_level, const std::string&)> g_sink;
+
+const char* level_name(log_level level) {
+    switch (level) {
+        case log_level::debug: return "DEBUG";
+        case log_level::info: return "INFO";
+        case log_level::warning: return "WARN";
+        case log_level::error: return "ERROR";
+        case log_level::off: return "OFF";
+    }
+    return "?";
+}
+
+} // namespace
+
+void set_log_level(log_level level) { g_level.store(level); }
+
+log_level get_log_level() { return g_level.load(); }
+
+void set_log_sink(std::function<void(log_level, const std::string&)> sink) {
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    g_sink = std::move(sink);
+}
+
+namespace detail {
+
+void log_emit(log_level level, const std::string& message) {
+    if (level < g_level.load()) return;
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    if (g_sink) {
+        g_sink(level, message);
+    } else {
+        std::fprintf(stderr, "[gpf %s] %s\n", level_name(level), message.c_str());
+    }
+}
+
+} // namespace detail
+
+} // namespace gpf

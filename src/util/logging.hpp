@@ -1,0 +1,45 @@
+// Minimal leveled logger. A single global sink (stderr by default) with a
+// runtime-adjustable threshold; placement loops log per-iteration progress
+// at `debug`, per-run summaries at `info`.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace gpf {
+
+enum class log_level { debug = 0, info = 1, warning = 2, error = 3, off = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(log_level level);
+log_level get_log_level();
+
+/// Redirect log output (e.g. into a test buffer). Pass nullptr to restore
+/// the default stderr sink.
+void set_log_sink(std::function<void(log_level, const std::string&)> sink);
+
+namespace detail {
+void log_emit(log_level level, const std::string& message);
+}
+
+/// Stream-style log statement: gpf::log(gpf::log_level::info) << "...";
+class log {
+public:
+    explicit log(log_level level) : level_(level) {}
+    log(const log&) = delete;
+    log& operator=(const log&) = delete;
+    ~log() { detail::log_emit(level_, os_.str()); }
+
+    template <typename T>
+    log& operator<<(const T& value) {
+        os_ << value;
+        return *this;
+    }
+
+private:
+    log_level level_;
+    std::ostringstream os_;
+};
+
+} // namespace gpf

@@ -1,0 +1,79 @@
+#include "util/prng.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gpf {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+} // namespace
+
+prng::prng(std::uint64_t seed) {
+    // Seed the full 256-bit state from splitmix64 per the xoshiro authors'
+    // recommendation; guards against the all-zero state.
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t prng::next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double prng::next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t prng::next_below(std::uint64_t bound) {
+    GPF_CHECK(bound > 0);
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t r = next_u64();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+std::int64_t prng::next_int(std::int64_t lo, std::int64_t hi) {
+    GPF_CHECK(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // span == 0 means the full 64-bit range.
+    if (span == 0) return static_cast<std::int64_t>(next_u64());
+    return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double prng::next_range(double lo, double hi) {
+    GPF_CHECK(lo <= hi);
+    return lo + (hi - lo) * next_double();
+}
+
+double prng::next_gaussian() {
+    // Box-Muller; u1 in (0,1] to avoid log(0).
+    const double u1 = 1.0 - next_double();
+    const double u2 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+bool prng::next_bool(double p) { return next_double() < p; }
+
+prng prng::split() { return prng(next_u64()); }
+
+} // namespace gpf

@@ -1,0 +1,12 @@
+#include "util/stopwatch.hpp"
+
+namespace gpf {
+
+void stopwatch::reset() { start_ = std::chrono::steady_clock::now(); }
+
+double stopwatch::elapsed_seconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+}
+
+} // namespace gpf

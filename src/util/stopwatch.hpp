@@ -1,0 +1,24 @@
+// Wall-clock stopwatch used for the CPU-time columns of the experiment
+// tables. The paper reports seconds on an Alphastation 250; we report
+// single-threaded wall-clock seconds on the host and only compare methods
+// relative to each other (as the paper itself does for scaled CPU times).
+#pragma once
+
+#include <chrono>
+
+namespace gpf {
+
+class stopwatch {
+public:
+    stopwatch() { reset(); }
+
+    void reset();
+
+    /// Seconds elapsed since construction or the last reset().
+    double elapsed_seconds() const;
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace gpf

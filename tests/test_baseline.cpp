@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "baseline/annealer.hpp"
+#include "baseline/gordian.hpp"
+#include "core/metrics.hpp"
+#include "legal/legalize.hpp"
+#include "netlist/generator.hpp"
+#include "util/prng.hpp"
+
+namespace gpf {
+namespace {
+
+netlist baseline_circuit(std::uint64_t seed = 31) {
+    generator_options opt;
+    opt.num_cells = 250;
+    opt.num_nets = 280;
+    opt.num_rows = 8;
+    opt.num_pads = 24;
+    opt.seed = seed;
+    return generate_circuit(opt);
+}
+
+placement random_start(const netlist& nl, std::uint64_t seed) {
+    prng rng(seed);
+    placement pl = nl.initial_placement();
+    const rect r = nl.region();
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        if (nl.cell_at(i).fixed) continue;
+        pl[i] = point(rng.next_range(r.xlo, r.xhi), rng.next_range(r.ylo, r.yhi));
+    }
+    return pl;
+}
+
+TEST(Gordian, SpreadsCellsOverTheRegion) {
+    const netlist nl = baseline_circuit();
+    gordian_stats stats;
+    const placement pl = gordian_place(nl, {}, &stats);
+    EXPECT_GT(stats.levels, 2u);
+    EXPECT_GT(stats.final_regions, 4u);
+
+    const density_map d = compute_density(nl, pl, 1024);
+    const density_map pile = compute_density(nl, nl.centered_placement(), 1024);
+    EXPECT_LT(d.max_density(), pile.max_density() / 4.0);
+}
+
+TEST(Gordian, HpwlGrowsWithPartitioningDepth) {
+    // Level 0 is the unconstrained optimum; constraining to regions can
+    // only cost wire length.
+    const netlist nl = baseline_circuit();
+    gordian_stats stats;
+    gordian_place(nl, {}, &stats);
+    ASSERT_GE(stats.hpwl_per_level.size(), 2u);
+    EXPECT_LE(stats.hpwl_per_level.front(), stats.hpwl_per_level.back() * 1.01);
+}
+
+TEST(Gordian, LegalizesCleanly) {
+    const netlist nl = baseline_circuit();
+    const placement global = gordian_place(nl);
+    placement legal;
+    legalize(nl, global, legal);
+    EXPECT_NEAR(total_overlap_area(nl, legal), 0.0, 1e-6);
+}
+
+TEST(Gordian, RespectsMinCellsPerRegion) {
+    const netlist nl = baseline_circuit();
+    gordian_options opt;
+    opt.min_cells_per_region = 100;
+    gordian_stats stats;
+    gordian_place(nl, opt, &stats);
+    // 250 cells, stop at <=100 per region → about 4 regions, few levels.
+    EXPECT_LE(stats.final_regions, 8u);
+}
+
+TEST(Gordian, Deterministic) {
+    const netlist nl = baseline_circuit();
+    const placement a = gordian_place(nl);
+    const placement b = gordian_place(nl);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+        EXPECT_DOUBLE_EQ(a[i].y, b[i].y);
+    }
+}
+
+TEST(Annealer, ImprovesCostOverRandomStart) {
+    const netlist nl = baseline_circuit();
+    const placement start = random_start(nl, 9);
+    annealer_options opt;
+    opt.moves_per_cell = 4;
+    annealer_stats stats;
+    const placement out = anneal_place(nl, start, opt, &stats);
+    EXPECT_GT(stats.temperatures, 10u);
+    EXPECT_GT(stats.attempted, 1000u);
+    EXPECT_LT(stats.final_cost, stats.initial_cost);
+    EXPECT_LT(total_hpwl(nl, out), total_hpwl(nl, start));
+}
+
+TEST(Annealer, KeepsCellsOnRowCenters) {
+    const netlist nl = baseline_circuit();
+    const placement out = anneal_place(nl, random_start(nl, 10), {});
+    const double h = nl.row_height();
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        const cell& c = nl.cell_at(i);
+        if (c.fixed || c.kind != cell_kind::standard) continue;
+        const double bottom = out[i].y - c.height / 2 - nl.region().ylo;
+        EXPECT_NEAR(bottom / h, std::round(bottom / h), 1e-6);
+    }
+}
+
+TEST(Annealer, DeterministicForSameSeed) {
+    const netlist nl = baseline_circuit();
+    annealer_options opt;
+    opt.moves_per_cell = 2;
+    opt.seed = 4;
+    const placement a = anneal_place(nl, random_start(nl, 11), opt);
+    const placement b = anneal_place(nl, random_start(nl, 11), opt);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+        EXPECT_DOUBLE_EQ(a[i].y, b[i].y);
+    }
+}
+
+TEST(Annealer, SeedChangesResult) {
+    const netlist nl = baseline_circuit();
+    annealer_options a_opt;
+    a_opt.moves_per_cell = 2;
+    a_opt.seed = 4;
+    annealer_options b_opt = a_opt;
+    b_opt.seed = 5;
+    const placement a = anneal_place(nl, random_start(nl, 11), a_opt);
+    const placement b = anneal_place(nl, random_start(nl, 11), b_opt);
+    bool differ = false;
+    for (std::size_t i = 0; i < a.size(); ++i) differ |= !(a[i] == b[i]);
+    EXPECT_TRUE(differ);
+}
+
+TEST(Annealer, FixedCellsNeverMove) {
+    const netlist nl = baseline_circuit();
+    const placement start = random_start(nl, 12);
+    const placement out = anneal_place(nl, start, {});
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        if (!nl.cell_at(i).fixed) continue;
+        EXPECT_EQ(out[i], start[i]);
+    }
+}
+
+TEST(Annealer, LegalizesCleanly) {
+    const netlist nl = baseline_circuit();
+    annealer_options opt;
+    opt.moves_per_cell = 4;
+    const placement annealed = anneal_place(nl, random_start(nl, 13), opt);
+    placement legal;
+    legalize(nl, annealed, legal);
+    EXPECT_NEAR(total_overlap_area(nl, legal), 0.0, 1e-6);
+}
+
+} // namespace
+} // namespace gpf

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "netlist/bookshelf.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/stats.hpp"
+
+namespace gpf {
+namespace {
+
+class BookshelfTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        base_ = (std::filesystem::temp_directory_path() / "gpf_bookshelf_test").string();
+    }
+    void TearDown() override {
+        for (const char* ext : {".nodes", ".nets", ".pl", ".scl"}) {
+            std::filesystem::remove(base_ + ext);
+        }
+    }
+    std::string base_;
+};
+
+TEST_F(BookshelfTest, RoundTripPreservesStructure) {
+    generator_options opt;
+    opt.num_cells = 120;
+    opt.num_nets = 130;
+    opt.num_rows = 6;
+    opt.num_pads = 16;
+    const netlist nl = generate_circuit(opt);
+    const placement pl = nl.centered_placement();
+
+    write_bookshelf(nl, pl, base_);
+    const bookshelf_design design = read_bookshelf(base_);
+
+    EXPECT_EQ(design.nl.num_cells(), nl.num_cells());
+    EXPECT_EQ(design.nl.num_nets(), nl.num_nets());
+    EXPECT_EQ(design.nl.num_pins(), nl.num_pins());
+    EXPECT_EQ(design.nl.num_fixed(), nl.num_fixed());
+    EXPECT_EQ(design.nl.num_rows(), nl.num_rows());
+    EXPECT_NO_THROW(design.nl.validate());
+}
+
+TEST_F(BookshelfTest, RoundTripPreservesPositionsAndDimensions) {
+    generator_options opt;
+    opt.num_cells = 40;
+    opt.num_nets = 45;
+    opt.num_rows = 4;
+    opt.num_pads = 8;
+    const netlist nl = generate_circuit(opt);
+    placement pl = nl.centered_placement();
+    pl[0] = point(3.25, 1.5);
+
+    write_bookshelf(nl, pl, base_);
+    const bookshelf_design design = read_bookshelf(base_);
+
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        EXPECT_NEAR(design.nl.cell_at(i).width, nl.cell_at(i).width, 1e-6);
+        EXPECT_NEAR(design.nl.cell_at(i).height, nl.cell_at(i).height, 1e-6);
+        EXPECT_NEAR(design.pl[i].x, pl[i].x, 1e-6) << i;
+        EXPECT_NEAR(design.pl[i].y, pl[i].y, 1e-6) << i;
+    }
+}
+
+TEST_F(BookshelfTest, RoundTripPreservesDriversAndOffsets) {
+    generator_options opt;
+    opt.num_cells = 50;
+    opt.num_nets = 60;
+    opt.num_rows = 4;
+    opt.num_pads = 8;
+    const netlist nl = generate_circuit(opt);
+    write_bookshelf(nl, nl.centered_placement(), base_);
+    const bookshelf_design design = read_bookshelf(base_);
+
+    ASSERT_EQ(design.nl.num_nets(), nl.num_nets());
+    for (net_id i = 0; i < nl.num_nets(); ++i) {
+        const net& a = nl.net_at(i);
+        const net& b = design.nl.net_at(i);
+        ASSERT_EQ(a.degree(), b.degree());
+        EXPECT_EQ(a.driver, b.driver);
+        for (std::size_t k = 0; k < a.pins.size(); ++k) {
+            EXPECT_NEAR(a.pins[k].offset.x, b.pins[k].offset.x, 1e-6);
+            EXPECT_NEAR(a.pins[k].offset.y, b.pins[k].offset.y, 1e-6);
+        }
+    }
+}
+
+TEST_F(BookshelfTest, ReaderToleratesCommentsAndBlankLines) {
+    {
+        std::ofstream nodes(base_ + ".nodes");
+        nodes << "UCLA nodes 1.0\n# a comment\n\nNumNodes : 2\nNumTerminals : 1\n"
+              << "  a 2 1\n  p 1 1 terminal\n";
+        std::ofstream nets(base_ + ".nets");
+        nets << "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+             << "NetDegree : 2  n0\n  a O : 0 0\n  p I : 0 0\n";
+        std::ofstream pl(base_ + ".pl");
+        pl << "UCLA pl 1.0\n# positions\na 1.0 2.0 : N\np 0 0 : N /FIXED\n";
+    }
+    const bookshelf_design design = read_bookshelf(base_);
+    EXPECT_EQ(design.nl.num_cells(), 2u);
+    EXPECT_EQ(design.nl.num_nets(), 1u);
+    EXPECT_TRUE(design.nl.cell_at(1).fixed);
+    EXPECT_EQ(design.nl.net_at(0).driver, 0u);
+    // Bookshelf stores the lower-left corner; center = corner + w/2.
+    EXPECT_NEAR(design.pl[0].x, 2.0, 1e-9);
+    EXPECT_NEAR(design.pl[0].y, 2.5, 1e-9);
+}
+
+TEST_F(BookshelfTest, MissingFileThrowsIoError) {
+    EXPECT_THROW(read_bookshelf(base_ + "_nonexistent"), io_error);
+}
+
+TEST_F(BookshelfTest, TallMovableNodesBecomeBlocks) {
+    {
+        std::ofstream nodes(base_ + ".nodes");
+        nodes << "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\n"
+              << "  a 2 1\n  macro 8 6\n";
+        std::ofstream nets(base_ + ".nets");
+        nets << "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+             << "NetDegree : 2 n\n  a O : 0 0\n  macro I : 0 0\n";
+        std::ofstream pl(base_ + ".pl");
+        pl << "UCLA pl 1.0\na 0 0 : N\nmacro 3 0 : N\n";
+    }
+    const bookshelf_design design = read_bookshelf(base_);
+    EXPECT_EQ(design.nl.cell_at(0).kind, cell_kind::standard);
+    EXPECT_EQ(design.nl.cell_at(1).kind, cell_kind::block);
+}
+
+} // namespace
+} // namespace gpf

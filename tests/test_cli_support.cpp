@@ -1,0 +1,103 @@
+// Behavior the gpf_place CLI and the experiment harness rely on that is
+// not covered elsewhere: suite scaling invariants, placement export
+// round-trips through the toolchain path, and log-level plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "gpf.hpp"
+
+namespace gpf {
+namespace {
+
+TEST(SuiteScaling, AspectRatioPreservedAcrossScales) {
+    // Rows scale with the linear dimension, so the die aspect ratio must be
+    // roughly scale-invariant (the 0.08-scale bug class this guards
+    // against produced 130:1 slivers).
+    const suite_circuit& desc = suite_circuit_by_name("avq.small");
+    const netlist full = make_suite_circuit(desc, 0.5, 1);
+    const netlist small = make_suite_circuit(desc, 0.05, 1);
+    const double aspect_full = full.region().width() / full.region().height();
+    const double aspect_small = small.region().width() / small.region().height();
+    EXPECT_LT(std::abs(std::log(aspect_small / aspect_full)), std::log(2.5));
+}
+
+TEST(SuiteScaling, PadPerimeterDensityStable) {
+    const suite_circuit& desc = suite_circuit_by_name("industry2");
+    for (const double scale : {0.05, 0.2}) {
+        const netlist nl = make_suite_circuit(desc, scale, 1);
+        std::size_t pads = 0;
+        for (const cell& c : nl.cells()) {
+            if (c.kind == cell_kind::pad) ++pads;
+        }
+        const double perimeter = 2 * (nl.region().width() + nl.region().height());
+        const double density = static_cast<double>(pads) / perimeter;
+        // Pads per unit perimeter stays within a sane window at any scale.
+        EXPECT_GT(density, 0.05) << scale;
+        EXPECT_LT(density, 5.0) << scale;
+    }
+}
+
+TEST(ExportRoundTrip, LegalizedPlacementSurvivesBookshelf) {
+    generator_options gen;
+    gen.num_cells = 200;
+    gen.num_nets = 220;
+    gen.num_rows = 8;
+    gen.num_pads = 16;
+    gen.seed = 55;
+    const netlist nl = generate_circuit(gen);
+    placer p(nl, {});
+    placement legal;
+    legalize(nl, p.run(), legal);
+
+    const std::string base =
+        (std::filesystem::temp_directory_path() / "gpf_cli_roundtrip").string();
+    write_bookshelf(nl, legal, base);
+    const bookshelf_design design = read_bookshelf(base);
+    // The re-imported placement is still legal (row alignment + no overlap).
+    EXPECT_NEAR(total_overlap_area(design.nl, design.pl), 0.0, 1e-6);
+    EXPECT_NEAR(total_hpwl(design.nl, design.pl), total_hpwl(nl, legal), 1e-6);
+    for (const char* ext : {".nodes", ".nets", ".pl", ".scl"}) {
+        std::filesystem::remove(base + ext);
+    }
+}
+
+TEST(PlacerOptions, RejectsDegenerateConfiguration) {
+    generator_options gen;
+    gen.num_cells = 50;
+    gen.num_nets = 55;
+    gen.num_rows = 4;
+    gen.num_pads = 8;
+    const netlist nl = generate_circuit(gen);
+
+    placer_options bad;
+    bad.force_scale_k = 0.0;
+    EXPECT_THROW(placer(nl, bad), check_error);
+    placer_options tiny;
+    tiny.density_bins = 4;
+    EXPECT_THROW(placer(nl, tiny), check_error);
+}
+
+TEST(MeetRequirementFlow, TradeoffCurveIsMonotoneInIteration) {
+    generator_options gen;
+    gen.num_cells = 200;
+    gen.num_nets = 220;
+    gen.num_rows = 8;
+    gen.num_pads = 24;
+    gen.seed = 66;
+    netlist nl = generate_circuit(gen);
+
+    timing_driven_options opt;
+    opt.placer.density_bins = 1024;
+    opt.placer.max_iterations = 60;
+    opt.optimization_iterations = 8;
+    const timing_result res = meet_timing_requirement(nl, 1e-15, opt);
+    // Iterations recorded in order.
+    for (std::size_t i = 1; i < res.trace.size(); ++i) {
+        EXPECT_GT(res.trace[i].iteration, res.trace[i - 1].iteration);
+    }
+}
+
+} // namespace
+} // namespace gpf

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "density/density_map.hpp"
+#include "density/empty_square.hpp"
+#include "netlist/generator.hpp"
+#include "util/check.hpp"
+
+namespace gpf {
+namespace {
+
+TEST(DensityMap, BinGeometry) {
+    const density_map d(rect(0, 0, 8, 4), 8, 4);
+    EXPECT_DOUBLE_EQ(d.bin_width(), 1.0);
+    EXPECT_DOUBLE_EQ(d.bin_height(), 1.0);
+    EXPECT_EQ(d.bin_center(0, 0), point(0.5, 0.5));
+    EXPECT_EQ(d.bin_center(7, 3), point(7.5, 3.5));
+}
+
+TEST(DensityMap, ExactRectangleStamping) {
+    density_map d(rect(0, 0, 4, 4), 4, 4);
+    d.add_rect(rect(0.5, 0.5, 1.5, 1.5)); // unit square across 4 bins
+    d.finalize();
+    EXPECT_DOUBLE_EQ(d.demand_at(0, 0), 0.25);
+    EXPECT_DOUBLE_EQ(d.demand_at(1, 0), 0.25);
+    EXPECT_DOUBLE_EQ(d.demand_at(0, 1), 0.25);
+    EXPECT_DOUBLE_EQ(d.demand_at(1, 1), 0.25);
+    EXPECT_DOUBLE_EQ(d.demand_at(2, 2), 0.0);
+}
+
+TEST(DensityMap, StampedAreaIsConserved) {
+    density_map d(rect(0, 0, 10, 10), 16, 16);
+    d.add_rect(rect(1.3, 2.7, 4.9, 6.1));
+    double total = 0.0;
+    for (std::size_t ix = 0; ix < d.nx(); ++ix)
+        for (std::size_t iy = 0; iy < d.ny(); ++iy)
+            total += d.demand_at(ix, iy) * d.bin_area();
+    EXPECT_NEAR(total, 3.6 * 3.4, 1e-9);
+}
+
+TEST(DensityMap, ClipsOutsideRegion) {
+    density_map d(rect(0, 0, 4, 4), 4, 4);
+    d.add_rect(rect(-2, -2, 1, 1)); // only 1x1 inside
+    double total = 0.0;
+    for (std::size_t ix = 0; ix < 4; ++ix)
+        for (std::size_t iy = 0; iy < 4; ++iy) total += d.demand_at(ix, iy);
+    EXPECT_NEAR(total * d.bin_area(), 1.0, 1e-9);
+}
+
+TEST(DensityMap, FinalizeMakesZeroMeanDensity) {
+    density_map d(rect(0, 0, 4, 4), 4, 4);
+    d.add_rect(rect(0, 0, 2, 2));
+    d.finalize();
+    double sum = 0.0;
+    for (std::size_t ix = 0; ix < 4; ++ix)
+        for (std::size_t iy = 0; iy < 4; ++iy) sum += d.density_at(ix, iy);
+    EXPECT_NEAR(sum, 0.0, 1e-12);
+    EXPECT_GT(d.density_at(0, 0), 0.0);  // covered bin: positive
+    EXPECT_LT(d.density_at(3, 3), 0.0);  // empty bin: negative
+}
+
+TEST(DensityMap, WeightScalesDeposit) {
+    density_map d(rect(0, 0, 2, 2), 2, 2);
+    d.add_rect(rect(0, 0, 1, 1), 3.0);
+    EXPECT_DOUBLE_EQ(d.demand_at(0, 0), 3.0);
+}
+
+TEST(DensityMap, AddPointDepositsIntoOneBin) {
+    density_map d(rect(0, 0, 4, 4), 4, 4);
+    d.add_point(point(2.5, 3.5), 2.0);
+    EXPECT_DOUBLE_EQ(d.demand_at(2, 3), 2.0);
+    d.add_point(point(100, 100), 5.0); // outside → ignored
+    double total = 0.0;
+    for (std::size_t ix = 0; ix < 4; ++ix)
+        for (std::size_t iy = 0; iy < 4; ++iy) total += d.demand_at(ix, iy);
+    EXPECT_DOUBLE_EQ(total, 2.0);
+}
+
+TEST(DensityMap, AddFieldRequiresMatchingSize) {
+    density_map d(rect(0, 0, 2, 2), 2, 2);
+    EXPECT_THROW(d.add_field(std::vector<double>(3, 1.0)), check_error);
+    d.add_field(std::vector<double>{1, 2, 3, 4}, 0.5);
+    EXPECT_DOUBLE_EQ(d.demand_at(0, 0), 0.5);
+    EXPECT_DOUBLE_EQ(d.demand_at(1, 1), 2.0);
+}
+
+TEST(DensityMap, DemandNearClampsToGrid) {
+    density_map d(rect(0, 0, 2, 2), 2, 2);
+    d.add_rect(rect(0, 0, 1, 1));
+    EXPECT_DOUBLE_EQ(d.demand_near(point(0.5, 0.5)), 1.0);
+    EXPECT_DOUBLE_EQ(d.demand_near(point(-5, -5)), 1.0);  // clamped to (0,0)
+    EXPECT_DOUBLE_EQ(d.demand_near(point(5, 5)), 0.0);
+}
+
+TEST(DensityMap, OverflowAndMaxDensity) {
+    density_map d(rect(0, 0, 2, 2), 2, 2);
+    d.add_rect(rect(0, 0, 1, 1), 4.0); // coverage 4 in one bin
+    d.finalize();
+    EXPECT_DOUBLE_EQ(d.supply_level(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max_density(), 3.0);
+    EXPECT_DOUBLE_EQ(d.overflow_area(), 3.0 * d.bin_area());
+}
+
+TEST(DensityMap, ComputeDensityFromNetlist) {
+    generator_options opt;
+    opt.num_cells = 200;
+    opt.num_nets = 220;
+    opt.num_rows = 8;
+    opt.num_pads = 16;
+    const netlist nl = generate_circuit(opt);
+    const density_map d = compute_density(nl, nl.centered_placement(), 1024);
+    // All movable area must be stamped (cells clamped inside the region).
+    double total = 0.0;
+    for (std::size_t ix = 0; ix < d.nx(); ++ix)
+        for (std::size_t iy = 0; iy < d.ny(); ++iy)
+            total += d.demand_at(ix, iy) * d.bin_area();
+    EXPECT_NEAR(total, nl.movable_area(), nl.movable_area() * 0.02);
+    EXPECT_TRUE(d.finalized());
+}
+
+TEST(EmptySquare, FullyEmptyGrid) {
+    density_map d(rect(0, 0, 8, 8), 8, 8);
+    d.finalize();
+    EXPECT_DOUBLE_EQ(largest_empty_square_side(d), 8.0);
+}
+
+TEST(EmptySquare, FullGridHasNone) {
+    density_map d(rect(0, 0, 4, 4), 4, 4);
+    d.add_rect(rect(0, 0, 4, 4));
+    d.finalize();
+    EXPECT_DOUBLE_EQ(largest_empty_square_side(d), 0.0);
+}
+
+TEST(EmptySquare, FindsHole) {
+    density_map d(rect(0, 0, 8, 8), 8, 8);
+    d.add_rect(rect(0, 0, 8, 8)); // fill all
+    // carve a 3x3 hole by subtracting demand
+    std::vector<double> carve(64, 0.0);
+    for (std::size_t ix = 2; ix < 5; ++ix)
+        for (std::size_t iy = 3; iy < 6; ++iy) carve[ix * 8 + iy] = -1.0;
+    d.add_field(carve);
+    d.finalize();
+    EXPECT_DOUBLE_EQ(largest_empty_square_side(d), 3.0);
+}
+
+TEST(EmptySquare, SpreadCriterionMatchesPaperRule) {
+    density_map d(rect(0, 0, 8, 8), 8, 8);
+    d.add_rect(rect(0, 0, 8, 8));
+    std::vector<double> carve(64, 0.0);
+    for (std::size_t ix = 0; ix < 2; ++ix)
+        for (std::size_t iy = 0; iy < 2; ++iy) carve[ix * 8 + iy] = -1.0;
+    d.add_field(carve);
+    d.finalize();
+    // Largest empty square: 2x2 = 4 area. Paper: spread iff area <= 4*avg.
+    EXPECT_TRUE(placement_is_spread(d, /*average_cell_area=*/1.0));
+    EXPECT_FALSE(placement_is_spread(d, /*average_cell_area=*/0.9));
+}
+
+TEST(EmptySquare, ThresholdControlsEmptiness) {
+    density_map d(rect(0, 0, 4, 4), 4, 4);
+    d.add_rect(rect(0, 0, 4, 4), 0.04); // light uniform coverage
+    d.finalize();
+    EXPECT_DOUBLE_EQ(largest_empty_square_side(d, 0.05), 4.0);
+    EXPECT_DOUBLE_EQ(largest_empty_square_side(d, 0.03), 0.0);
+}
+
+} // namespace
+} // namespace gpf

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/placer.hpp"
+#include "eco/eco.hpp"
+#include "netlist/generator.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace gpf {
+namespace {
+
+netlist base_circuit() {
+    generator_options opt;
+    opt.num_cells = 250;
+    opt.num_nets = 270;
+    opt.num_rows = 8;
+    opt.num_pads = 24;
+    opt.seed = 61;
+    return generate_circuit(opt);
+}
+
+/// Add `count` buffer cells, each wired to a couple of existing cells.
+void apply_eco(netlist& nl, std::size_t count, std::size_t preexisting) {
+    prng rng(17);
+    for (std::size_t i = 0; i < count; ++i) {
+        cell c;
+        c.name = "eco" + std::to_string(i);
+        c.width = 1.5;
+        const cell_id id = nl.add_cell(std::move(c));
+        net n;
+        n.name = "eco_net" + std::to_string(i);
+        n.pins.push_back({id, {}});
+        const auto t1 = static_cast<cell_id>(rng.next_below(preexisting));
+        n.pins.push_back({t1, {}});
+        const auto t2 = static_cast<cell_id>(rng.next_below(preexisting));
+        if (t2 != t1 && t2 != id) n.pins.push_back({t2, {}});
+        n.driver = 0;
+        nl.add_net(std::move(n));
+    }
+    nl.invalidate_adjacency();
+}
+
+TEST(Eco, SeedPlacesNewCellsAtNeighborCentroid) {
+    netlist nl = base_circuit();
+    placer p(nl, {});
+    const placement before = p.run();
+    const std::size_t pre = nl.num_cells();
+
+    // One new cell wired to two specific existing cells.
+    cell c;
+    c.name = "new";
+    const cell_id id = nl.add_cell(std::move(c));
+    net n;
+    n.pins = {{id, {}}, {3, {}}, {7, {}}};
+    n.driver = 0;
+    nl.add_net(n);
+    nl.invalidate_adjacency();
+
+    const placement seeded = seed_new_cells(nl, before, pre);
+    EXPECT_NEAR(seeded[id].x, (before[3].x + before[7].x) / 2, 1e-9);
+    EXPECT_NEAR(seeded[id].y, (before[3].y + before[7].y) / 2, 1e-9);
+    // Pre-existing cells untouched.
+    for (cell_id i = 0; i < pre; ++i) {
+        EXPECT_EQ(seeded[i], before[i]);
+    }
+}
+
+TEST(Eco, UnconnectedNewCellSeedsAtRegionCenter) {
+    netlist nl = base_circuit();
+    const placement before = nl.centered_placement();
+    const std::size_t pre = nl.num_cells();
+    cell c;
+    c.name = "lonely";
+    const cell_id id = nl.add_cell(std::move(c));
+    nl.invalidate_adjacency();
+    const placement seeded = seed_new_cells(nl, before, pre);
+    EXPECT_EQ(seeded[id], nl.region().center());
+}
+
+TEST(Eco, IncrementalDisplacementIsSmall) {
+    netlist nl = base_circuit();
+    placer p(nl, {});
+    const placement before = p.run();
+    const std::size_t pre = nl.num_cells();
+    apply_eco(nl, 6, pre);
+
+    const placement seeded = seed_new_cells(nl, before, pre);
+    const eco_result res = incremental_place(nl, seeded, pre);
+    // "The placement of cells relative to each other is preserved": the
+    // mean movement of pre-existing cells is a small fraction of the chip.
+    const double chip = (nl.region().width() + nl.region().height()) / 2;
+    EXPECT_LT(res.mean_displacement, 0.1 * chip);
+    EXPECT_GT(res.hpwl_after, 0.0);
+}
+
+TEST(Eco, SmallerChangeSmallerDisturbance) {
+    netlist nl_small = base_circuit();
+    netlist nl_large = base_circuit();
+    placer p(nl_small, {});
+    const placement before = p.run();
+    const std::size_t pre = nl_small.num_cells();
+
+    apply_eco(nl_small, 2, pre);
+    apply_eco(nl_large, 30, pre);
+
+    const eco_result small_res =
+        incremental_place(nl_small, seed_new_cells(nl_small, before, pre), pre);
+    const eco_result large_res =
+        incremental_place(nl_large, seed_new_cells(nl_large, before, pre), pre);
+    EXPECT_LE(small_res.mean_displacement, large_res.mean_displacement * 1.5);
+}
+
+TEST(Eco, RequiresHoldAndMove) {
+    netlist nl = base_circuit();
+    const placement pl = nl.centered_placement();
+    eco_options opt;
+    opt.placer.mode = placer_options::force_mode::accumulate;
+    EXPECT_THROW(incremental_place(nl, pl, nl.num_cells(), opt), check_error);
+}
+
+TEST(Eco, ResizedCellsResolveOverlap) {
+    netlist nl = base_circuit();
+    placer p(nl, {});
+    const placement before = p.run();
+    const std::size_t pre = nl.num_cells();
+
+    // Upsize a handful of cells (gate resizing ECO).
+    for (cell_id i = 0; i < 10; ++i) {
+        if (!nl.cell_at(i).fixed) nl.cell_at(i).width *= 2.0;
+    }
+    const eco_result res = incremental_place(nl, before, pre);
+    // Density deviations produce forces; the placement adapts locally.
+    EXPECT_LT(res.mean_displacement, 5.0);
+    EXPECT_GT(res.mean_displacement, 0.0);
+}
+
+} // namespace
+} // namespace gpf

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "linalg/fft.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace gpf {
+namespace {
+
+TEST(Fft, PowerOfTwoHelpers) {
+    EXPECT_TRUE(is_power_of_two(1));
+    EXPECT_TRUE(is_power_of_two(2));
+    EXPECT_TRUE(is_power_of_two(1024));
+    EXPECT_FALSE(is_power_of_two(0));
+    EXPECT_FALSE(is_power_of_two(3));
+    EXPECT_FALSE(is_power_of_two(1023));
+    EXPECT_EQ(next_power_of_two(1), 1u);
+    EXPECT_EQ(next_power_of_two(5), 8u);
+    EXPECT_EQ(next_power_of_two(8), 8u);
+    EXPECT_EQ(next_power_of_two(1000), 1024u);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+    std::vector<std::complex<double>> a(3);
+    EXPECT_THROW(fft(a, false), check_error);
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+    prng rng(4);
+    std::vector<std::complex<double>> a(64);
+    for (auto& c : a) c = {rng.next_range(-1, 1), rng.next_range(-1, 1)};
+    const auto original = a;
+    fft(a, false);
+    fft(a, true);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(a[i].real(), original[i].real(), 1e-10);
+        EXPECT_NEAR(a[i].imag(), original[i].imag(), 1e-10);
+    }
+}
+
+TEST(Fft, MatchesNaiveDft) {
+    prng rng(9);
+    constexpr std::size_t n = 16;
+    std::vector<std::complex<double>> a(n);
+    for (auto& c : a) c = {rng.next_range(-1, 1), rng.next_range(-1, 1)};
+
+    // Naive O(n²) DFT reference.
+    std::vector<std::complex<double>> ref(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        std::complex<double> acc{0.0, 0.0};
+        for (std::size_t j = 0; j < n; ++j) {
+            const double angle = -2.0 * M_PI * static_cast<double>(k * j) / n;
+            acc += a[j] * std::complex<double>(std::cos(angle), std::sin(angle));
+        }
+        ref[k] = acc;
+    }
+
+    fft(a, false);
+    for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_NEAR(a[k].real(), ref[k].real(), 1e-9);
+        EXPECT_NEAR(a[k].imag(), ref[k].imag(), 1e-9);
+    }
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+    std::vector<std::complex<double>> a(8, {0.0, 0.0});
+    a[0] = {1.0, 0.0};
+    fft(a, false);
+    for (const auto& c : a) {
+        EXPECT_NEAR(c.real(), 1.0, 1e-12);
+        EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(Fft2d, RoundTrip) {
+    prng rng(31);
+    constexpr std::size_t n0 = 8;
+    constexpr std::size_t n1 = 16;
+    std::vector<std::complex<double>> a(n0 * n1);
+    for (auto& c : a) c = {rng.next_range(-1, 1), 0.0};
+    const auto original = a;
+    fft_2d(a, n0, n1, false);
+    fft_2d(a, n0, n1, true);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(a[i].real(), original[i].real(), 1e-10);
+        EXPECT_NEAR(a[i].imag(), original[i].imag(), 1e-10);
+    }
+}
+
+double naive_conv_at(const std::vector<double>& data, std::size_t n0, std::size_t n1,
+                     const std::vector<double>& kernel, std::size_t i, std::size_t j) {
+    const std::size_t k1 = 2 * n1 - 1;
+    double acc = 0.0;
+    for (std::size_t k = 0; k < n0; ++k) {
+        for (std::size_t l = 0; l < n1; ++l) {
+            const std::size_t ki = i - k + n0 - 1;
+            const std::size_t kj = j - l + n1 - 1;
+            acc += data[k * n1 + l] * kernel[ki * k1 + kj];
+        }
+    }
+    return acc;
+}
+
+TEST(Convolve2d, MatchesNaiveConvolution) {
+    prng rng(55);
+    constexpr std::size_t n0 = 6;
+    constexpr std::size_t n1 = 5;
+    std::vector<double> data(n0 * n1);
+    for (double& v : data) v = rng.next_range(-1, 1);
+    std::vector<double> kernel((2 * n0 - 1) * (2 * n1 - 1));
+    for (double& v : kernel) v = rng.next_range(-1, 1);
+
+    const std::vector<double> out = convolve_2d(data, n0, n1, kernel);
+    ASSERT_EQ(out.size(), n0 * n1);
+    for (std::size_t i = 0; i < n0; ++i) {
+        for (std::size_t j = 0; j < n1; ++j) {
+            EXPECT_NEAR(out[i * n1 + j], naive_conv_at(data, n0, n1, kernel, i, j), 1e-9)
+                << "at (" << i << ", " << j << ")";
+        }
+    }
+}
+
+TEST(Convolve2d, IdentityKernel) {
+    constexpr std::size_t n0 = 4;
+    constexpr std::size_t n1 = 4;
+    std::vector<double> data(n0 * n1);
+    for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<double>(i);
+    std::vector<double> kernel((2 * n0 - 1) * (2 * n1 - 1), 0.0);
+    kernel[(n0 - 1) * (2 * n1 - 1) + (n1 - 1)] = 1.0; // zero-offset tap
+    const std::vector<double> out = convolve_2d(data, n0, n1, kernel);
+    for (std::size_t i = 0; i < data.size(); ++i) EXPECT_NEAR(out[i], data[i], 1e-10);
+}
+
+TEST(Convolve2d, ShiftKernelTranslates) {
+    constexpr std::size_t n0 = 4;
+    constexpr std::size_t n1 = 4;
+    std::vector<double> data(n0 * n1, 0.0);
+    data[1 * n1 + 1] = 1.0;
+    std::vector<double> kernel((2 * n0 - 1) * (2 * n1 - 1), 0.0);
+    // Tap at offset (+1, 0): out(i,j) = data(i-1, j).
+    kernel[(n0) * (2 * n1 - 1) + (n1 - 1)] = 1.0;
+    const std::vector<double> out = convolve_2d(data, n0, n1, kernel);
+    EXPECT_NEAR(out[2 * n1 + 1], 1.0, 1e-10);
+    EXPECT_NEAR(out[1 * n1 + 1], 0.0, 1e-10);
+}
+
+} // namespace
+} // namespace gpf

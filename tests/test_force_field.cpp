@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "density/force_field.hpp"
+#include "util/check.hpp"
+
+namespace gpf {
+namespace {
+
+/// Density with a single positive blob and uniform negative background
+/// (zero mean after finalize).
+density_map blob_density(std::size_t n, std::size_t bx, std::size_t by) {
+    density_map d(rect(0, 0, static_cast<double>(n), static_cast<double>(n)), n, n);
+    d.add_rect(rect(static_cast<double>(bx), static_cast<double>(by),
+                    static_cast<double>(bx + 1), static_cast<double>(by + 1)),
+               4.0);
+    d.finalize();
+    return d;
+}
+
+TEST(ForceField, RequiresFinalizedDensity) {
+    density_map d(rect(0, 0, 4, 4), 4, 4);
+    EXPECT_THROW(compute_force_field(d), check_error);
+}
+
+TEST(ForceField, FftMatchesDirectReference) {
+    // The central property test: the O(m² log m) FFT evaluation of eq. (9)
+    // must match the literal O(m⁴) double sum.
+    const density_map d = blob_density(12, 3, 7);
+    const force_field fft = compute_force_field(d);
+    const force_field direct = compute_force_field_direct(d);
+    for (std::size_t ix = 0; ix < 12; ++ix) {
+        for (std::size_t iy = 0; iy < 12; ++iy) {
+            EXPECT_NEAR(fft.fx_at(ix, iy), direct.fx_at(ix, iy), 1e-9)
+                << "fx at " << ix << "," << iy;
+            EXPECT_NEAR(fft.fy_at(ix, iy), direct.fy_at(ix, iy), 1e-9)
+                << "fy at " << ix << "," << iy;
+        }
+    }
+}
+
+TEST(ForceField, PointsAwayFromPositiveBlob) {
+    const density_map d = blob_density(16, 8, 8);
+    const force_field f = compute_force_field(d);
+    // Right of the blob: fx > 0; left: fx < 0; above: fy > 0; below: fy < 0.
+    EXPECT_GT(f.fx_at(12, 8), 0.0);
+    EXPECT_LT(f.fx_at(4, 8), 0.0);
+    EXPECT_GT(f.fy_at(8, 12), 0.0);
+    EXPECT_LT(f.fy_at(8, 4), 0.0);
+}
+
+TEST(ForceField, SymmetricBlobGivesSymmetricField) {
+    // 17x17 grid with the blob in the central bin (8): the whole problem is
+    // mirror-symmetric around the region center, so bin i pairs with 16-i.
+    const density_map d = blob_density(17, 8, 8);
+    const force_field f = compute_force_field(d);
+    EXPECT_NEAR(f.fx_at(12, 8), -f.fx_at(4, 8), 1e-9);
+    EXPECT_NEAR(f.fy_at(8, 12), -f.fy_at(8, 4), 1e-9);
+    EXPECT_NEAR(f.fx_at(8, 8), 0.0, 1e-9);
+    EXPECT_NEAR(f.fy_at(8, 8), 0.0, 1e-9);
+}
+
+TEST(ForceField, ZeroDensityGivesZeroField) {
+    density_map d(rect(0, 0, 8, 8), 8, 8);
+    d.finalize(); // all zero
+    const force_field f = compute_force_field(d);
+    EXPECT_NEAR(f.max_magnitude(), 0.0, 1e-12);
+}
+
+TEST(ForceField, UniformDensityGivesNearZeroField) {
+    density_map d(rect(0, 0, 8, 8), 8, 8);
+    d.add_rect(rect(0, 0, 8, 8), 0.7);
+    d.finalize(); // D == 0 everywhere after supply subtraction
+    const force_field f = compute_force_field(d);
+    EXPECT_NEAR(f.max_magnitude(), 0.0, 1e-12);
+}
+
+TEST(ForceField, MagnitudeDecaysWithDistance) {
+    const density_map d = blob_density(32, 16, 16);
+    const force_field f = compute_force_field(d);
+    const double near = std::abs(f.fx_at(18, 16));
+    const double far = std::abs(f.fx_at(28, 16));
+    EXPECT_GT(near, far);
+}
+
+TEST(ForceField, SampleInterpolatesBilinearly) {
+    force_field f(rect(0, 0, 2, 1), 2, 1);
+    f.fx()[0] = 1.0; // bin (0,0), center (0.5, 0.5)
+    f.fx()[1] = 3.0; // bin (1,0), center (1.5, 0.5)
+    EXPECT_NEAR(f.sample(point(0.5, 0.5)).x, 1.0, 1e-12);
+    EXPECT_NEAR(f.sample(point(1.5, 0.5)).x, 3.0, 1e-12);
+    EXPECT_NEAR(f.sample(point(1.0, 0.5)).x, 2.0, 1e-12);
+    // Clamped outside the center lattice.
+    EXPECT_NEAR(f.sample(point(-1.0, 0.5)).x, 1.0, 1e-12);
+    EXPECT_NEAR(f.sample(point(9.0, 0.5)).x, 3.0, 1e-12);
+}
+
+TEST(ForceField, ScaleMultipliesBothComponents) {
+    force_field f(rect(0, 0, 1, 1), 1, 1);
+    f.fx()[0] = 2.0;
+    f.fy()[0] = -3.0;
+    f.scale(0.5);
+    EXPECT_DOUBLE_EQ(f.fx_at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(f.fy_at(0, 0), -1.5);
+    EXPECT_DOUBLE_EQ(f.max_magnitude(), std::hypot(1.0, 1.5));
+}
+
+class ForceFieldGridSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ForceFieldGridSizes, FftMatchesDirectOnRectangularGrids) {
+    const std::size_t n = GetParam();
+    density_map d(rect(0, 0, static_cast<double>(2 * n), static_cast<double>(n)),
+                  2 * n, n);
+    // Two blobs, asymmetric.
+    d.add_rect(rect(1, 1, 2, 2), 3.0);
+    d.add_rect(rect(static_cast<double>(n), 0.5, n + 1.5, 2.5), 2.0);
+    d.finalize();
+    const force_field fft = compute_force_field(d);
+    const force_field direct = compute_force_field_direct(d);
+    for (std::size_t ix = 0; ix < d.nx(); ++ix) {
+        for (std::size_t iy = 0; iy < d.ny(); ++iy) {
+            EXPECT_NEAR(fft.fx_at(ix, iy), direct.fx_at(ix, iy), 1e-9);
+            EXPECT_NEAR(fft.fy_at(ix, iy), direct.fy_at(ix, iy), 1e-9);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ForceFieldGridSizes, ::testing::Values(4, 6, 9, 16));
+
+} // namespace
+} // namespace gpf

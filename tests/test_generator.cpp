@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netlist/generator.hpp"
+#include "netlist/stats.hpp"
+#include "netlist/suite.hpp"
+#include "util/check.hpp"
+#include "timing/timing_graph.hpp"
+
+namespace gpf {
+namespace {
+
+generator_options small_options() {
+    generator_options opt;
+    opt.num_cells = 300;
+    opt.num_nets = 330;
+    opt.num_rows = 10;
+    opt.num_pads = 24;
+    opt.seed = 5;
+    return opt;
+}
+
+TEST(Generator, ProducesRequestedCounts) {
+    const generator_options opt = small_options();
+    const netlist nl = generate_circuit(opt);
+    const netlist_stats s = compute_stats(nl);
+    EXPECT_EQ(s.num_cells, opt.num_cells + opt.num_pads);
+    EXPECT_EQ(s.num_pads, opt.num_pads);
+    EXPECT_EQ(s.num_nets, opt.num_nets);
+    EXPECT_EQ(s.num_rows, opt.num_rows);
+}
+
+TEST(Generator, Deterministic) {
+    const netlist a = generate_circuit(small_options());
+    const netlist b = generate_circuit(small_options());
+    ASSERT_EQ(a.num_cells(), b.num_cells());
+    ASSERT_EQ(a.num_nets(), b.num_nets());
+    for (cell_id i = 0; i < a.num_cells(); ++i) {
+        EXPECT_DOUBLE_EQ(a.cell_at(i).width, b.cell_at(i).width);
+    }
+    for (net_id i = 0; i < a.num_nets(); ++i) {
+        EXPECT_EQ(a.net_at(i).degree(), b.net_at(i).degree());
+        EXPECT_EQ(a.net_at(i).driver, b.net_at(i).driver);
+    }
+}
+
+TEST(Generator, SeedChangesStructure) {
+    generator_options opt = small_options();
+    const netlist a = generate_circuit(opt);
+    opt.seed = 6;
+    const netlist b = generate_circuit(opt);
+    bool any_diff = false;
+    for (net_id i = 0; i < std::min(a.num_nets(), b.num_nets()); ++i) {
+        if (a.net_at(i).degree() != b.net_at(i).degree()) any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, UtilizationNearTarget) {
+    generator_options opt = small_options();
+    opt.target_utilization = 0.7;
+    const netlist nl = generate_circuit(opt);
+    EXPECT_NEAR(nl.utilization(), 0.7, 0.05);
+}
+
+TEST(Generator, DegreeDistributionDominatedBySmallNets) {
+    const netlist nl = generate_circuit(small_options());
+    const netlist_stats s = compute_stats(nl);
+    std::size_t small = 0;
+    if (s.degree_histogram.count(2)) small += s.degree_histogram.at(2);
+    if (s.degree_histogram.count(3)) small += s.degree_histogram.at(3);
+    if (s.degree_histogram.count(4)) small += s.degree_histogram.at(4);
+    EXPECT_GT(static_cast<double>(small) / static_cast<double>(s.num_nets), 0.6);
+    EXPECT_LE(s.max_net_degree, 34u); // cap + possible pad attachments
+}
+
+TEST(Generator, PadsLieOnRegionBoundary) {
+    const netlist nl = generate_circuit(small_options());
+    const rect r = nl.region();
+    for (const cell& c : nl.cells()) {
+        if (c.kind != cell_kind::pad) continue;
+        const bool on_x = c.position.x == r.xlo || c.position.x == r.xhi;
+        const bool on_y = c.position.y == r.ylo || c.position.y == r.yhi;
+        EXPECT_TRUE(on_x || on_y) << c.name << " at " << c.position.x << ","
+                                  << c.position.y;
+    }
+}
+
+TEST(Generator, OrientationIsAcyclic) {
+    // timing_graph throws on combinational cycles.
+    const netlist nl = generate_circuit(small_options());
+    EXPECT_NO_THROW(timing_graph graph(nl));
+}
+
+TEST(Generator, BlocksGetRequestedAreaShare) {
+    generator_options opt = small_options();
+    opt.num_blocks = 4;
+    opt.block_area_fraction = 0.3;
+    const netlist nl = generate_circuit(opt);
+    double block_area = 0.0;
+    double total = 0.0;
+    std::size_t blocks = 0;
+    for (const cell& c : nl.cells()) {
+        if (c.fixed) continue;
+        total += c.area();
+        if (c.kind == cell_kind::block) {
+            block_area += c.area();
+            ++blocks;
+        }
+    }
+    EXPECT_EQ(blocks, 4u);
+    EXPECT_NEAR(block_area / total, 0.3, 0.12);
+    // Block heights are whole row multiples >= 2.
+    for (const cell& c : nl.cells()) {
+        if (c.kind != cell_kind::block) continue;
+        EXPECT_GE(c.height, 2.0);
+        EXPECT_NEAR(c.height, std::round(c.height), 1e-9);
+    }
+}
+
+TEST(Generator, ValidatesAndHasDrivers) {
+    const netlist nl = generate_circuit(small_options());
+    EXPECT_NO_THROW(nl.validate());
+    for (const net& n : nl.nets()) {
+        EXPECT_TRUE(n.has_driver());
+    }
+}
+
+TEST(Suite, HasNineCircuitsWithPublishedStats) {
+    const auto& suite = mcnc_suite();
+    ASSERT_EQ(suite.size(), 9u);
+    EXPECT_EQ(suite.front().name, "fract");
+    EXPECT_EQ(suite.front().num_cells, 125u);
+    EXPECT_EQ(suite.back().name, "avq.large");
+    EXPECT_EQ(suite.back().num_cells, 25114u);
+    // Sorted small to large.
+    for (std::size_t i = 1; i < suite.size(); ++i) {
+        EXPECT_LT(suite[i - 1].num_cells, suite[i].num_cells);
+    }
+}
+
+TEST(Suite, LookupByName) {
+    EXPECT_EQ(suite_circuit_by_name("biomed").num_cells, 6417u);
+    EXPECT_THROW(suite_circuit_by_name("nonexistent"), check_error);
+}
+
+TEST(Suite, ScaledInstantiationMatchesCounts) {
+    const suite_circuit& desc = suite_circuit_by_name("primary1");
+    const netlist nl = make_suite_circuit(desc, 0.1, 7);
+    const netlist_stats s = compute_stats(nl);
+    EXPECT_NEAR(static_cast<double>(s.num_cells - s.num_pads), 75.0, 2.0);
+    EXPECT_NEAR(static_cast<double>(s.num_nets), 90.0, 2.0);
+}
+
+TEST(Suite, DifferentCircuitsDifferStructurally) {
+    const netlist a = make_suite_circuit(suite_circuit_by_name("fract"), 0.5, 1998);
+    const netlist b = make_suite_circuit(suite_circuit_by_name("struct"), 0.05, 1998);
+    EXPECT_NE(a.num_cells(), b.num_cells());
+}
+
+TEST(Suite, TimingSuiteIsSubsetOfMainSuite) {
+    for (const std::string& name : timing_suite_names()) {
+        EXPECT_NO_THROW(suite_circuit_by_name(name));
+    }
+    EXPECT_EQ(timing_suite_names().size(), 5u);
+}
+
+} // namespace
+} // namespace gpf

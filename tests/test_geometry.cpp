@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "geometry/geometry.hpp"
+
+namespace gpf {
+namespace {
+
+TEST(Point, ArithmeticOperators) {
+    const point a(1.0, 2.0);
+    const point b(3.0, -4.0);
+    EXPECT_EQ(a + b, point(4.0, -2.0));
+    EXPECT_EQ(a - b, point(-2.0, 6.0));
+    EXPECT_EQ(a * 2.0, point(2.0, 4.0));
+    EXPECT_EQ(2.0 * a, point(2.0, 4.0));
+}
+
+TEST(Point, Norms) {
+    const point p(3.0, 4.0);
+    EXPECT_DOUBLE_EQ(p.norm(), 5.0);
+    EXPECT_DOUBLE_EQ(p.norm_sq(), 25.0);
+}
+
+TEST(Point, Distances) {
+    const point a(0.0, 0.0);
+    const point b(3.0, 4.0);
+    EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+    EXPECT_DOUBLE_EQ(manhattan_distance(a, b), 7.0);
+}
+
+TEST(Interval, EmptyAndLength) {
+    const interval empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_DOUBLE_EQ(empty.length(), 0.0);
+
+    const interval unit(0.0, 1.0);
+    EXPECT_FALSE(unit.empty());
+    EXPECT_DOUBLE_EQ(unit.length(), 1.0);
+    EXPECT_DOUBLE_EQ(unit.center(), 0.5);
+}
+
+TEST(Interval, Overlap) {
+    EXPECT_DOUBLE_EQ(overlap(interval(0, 2), interval(1, 3)), 1.0);
+    EXPECT_DOUBLE_EQ(overlap(interval(0, 1), interval(2, 3)), 0.0);
+    EXPECT_DOUBLE_EQ(overlap(interval(0, 4), interval(1, 2)), 1.0);
+    EXPECT_DOUBLE_EQ(overlap(interval(0, 1), interval(1, 2)), 0.0); // touching
+}
+
+TEST(Interval, Clamp) {
+    const interval i(-1.0, 1.0);
+    EXPECT_DOUBLE_EQ(i.clamp(-5.0), -1.0);
+    EXPECT_DOUBLE_EQ(i.clamp(0.3), 0.3);
+    EXPECT_DOUBLE_EQ(i.clamp(7.0), 1.0);
+}
+
+TEST(Rect, BasicProperties) {
+    const rect r(0.0, 0.0, 4.0, 2.0);
+    EXPECT_FALSE(r.empty());
+    EXPECT_DOUBLE_EQ(r.width(), 4.0);
+    EXPECT_DOUBLE_EQ(r.height(), 2.0);
+    EXPECT_DOUBLE_EQ(r.area(), 8.0);
+    EXPECT_DOUBLE_EQ(r.half_perimeter(), 6.0);
+    EXPECT_EQ(r.center(), point(2.0, 1.0));
+}
+
+TEST(Rect, DefaultIsEmpty) {
+    const rect r;
+    EXPECT_TRUE(r.empty());
+    EXPECT_DOUBLE_EQ(r.area(), 0.0);
+}
+
+TEST(Rect, FromCenter) {
+    const rect r = rect::from_center(point(5.0, 5.0), 2.0, 4.0);
+    EXPECT_DOUBLE_EQ(r.xlo, 4.0);
+    EXPECT_DOUBLE_EQ(r.xhi, 6.0);
+    EXPECT_DOUBLE_EQ(r.ylo, 3.0);
+    EXPECT_DOUBLE_EQ(r.yhi, 7.0);
+}
+
+TEST(Rect, Contains) {
+    const rect r(0.0, 0.0, 4.0, 4.0);
+    EXPECT_TRUE(r.contains(point(2.0, 2.0)));
+    EXPECT_TRUE(r.contains(point(0.0, 0.0))); // boundary inclusive
+    EXPECT_FALSE(r.contains(point(5.0, 2.0)));
+    EXPECT_TRUE(r.contains(rect(1.0, 1.0, 2.0, 2.0)));
+    EXPECT_FALSE(r.contains(rect(3.0, 3.0, 5.0, 5.0)));
+}
+
+TEST(Rect, ExpandTo) {
+    rect r;
+    r.expand_to(point(1.0, 1.0));
+    EXPECT_DOUBLE_EQ(r.area(), 0.0);
+    EXPECT_TRUE(r.contains(point(1.0, 1.0)));
+    r.expand_to(point(3.0, -1.0));
+    EXPECT_DOUBLE_EQ(r.xlo, 1.0);
+    EXPECT_DOUBLE_EQ(r.xhi, 3.0);
+    EXPECT_DOUBLE_EQ(r.ylo, -1.0);
+    EXPECT_DOUBLE_EQ(r.yhi, 1.0);
+    EXPECT_DOUBLE_EQ(r.half_perimeter(), 4.0);
+}
+
+TEST(Rect, OverlapArea) {
+    const rect a(0, 0, 2, 2);
+    const rect b(1, 1, 3, 3);
+    EXPECT_DOUBLE_EQ(overlap_area(a, b), 1.0);
+    EXPECT_DOUBLE_EQ(overlap_area(a, rect(5, 5, 6, 6)), 0.0);
+    EXPECT_DOUBLE_EQ(overlap_area(a, a), 4.0);
+}
+
+TEST(Rect, IntersectAndUnion) {
+    const rect a(0, 0, 2, 2);
+    const rect b(1, 1, 3, 3);
+    const rect i = intersect(a, b);
+    EXPECT_DOUBLE_EQ(i.area(), 1.0);
+    const rect u = bounding_union(a, b);
+    EXPECT_DOUBLE_EQ(u.area(), 9.0);
+    EXPECT_TRUE(intersect(a, rect(5, 5, 6, 6)).empty());
+    EXPECT_DOUBLE_EQ(bounding_union(rect(), a).area(), 4.0);
+}
+
+TEST(Rect, Translated) {
+    const rect r = rect(0, 0, 1, 1).translated(point(2.0, 3.0));
+    EXPECT_DOUBLE_EQ(r.xlo, 2.0);
+    EXPECT_DOUBLE_EQ(r.ylo, 3.0);
+}
+
+TEST(Geometry, StreamOutput) {
+    std::ostringstream os;
+    os << point(1.0, 2.0) << ' ' << rect(0, 0, 1, 1);
+    EXPECT_FALSE(os.str().empty());
+    EXPECT_NE(os.str().find('('), std::string::npos);
+}
+
+} // namespace
+} // namespace gpf

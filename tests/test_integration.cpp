@@ -1,0 +1,158 @@
+// End-to-end flows across modules: the scenarios the examples and the
+// experiment harness rely on, at reduced sizes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "gpf.hpp"
+
+namespace gpf {
+namespace {
+
+TEST(Integration, FullFlowGenerateplaceLegalizeExport) {
+    generator_options gen;
+    gen.num_cells = 400;
+    gen.num_nets = 440;
+    gen.num_rows = 12;
+    gen.num_pads = 32;
+    gen.seed = 3;
+    const netlist nl = generate_circuit(gen);
+
+    placer p(nl, {});
+    const placement global = p.run();
+    placement legal;
+    const legalize_result lr = legalize(nl, global, legal);
+
+    EXPECT_NEAR(total_overlap_area(nl, legal), 0.0, 1e-6);
+    EXPECT_LT(lr.hpwl_refined, lr.hpwl_legal * 1.001);
+    EXPECT_DOUBLE_EQ(in_region_fraction(nl, legal), 1.0);
+
+    const std::string base =
+        (std::filesystem::temp_directory_path() / "gpf_integration").string();
+    write_bookshelf(nl, legal, base);
+    const bookshelf_design round = read_bookshelf(base);
+    EXPECT_NEAR(total_hpwl(round.nl, round.pl), total_hpwl(nl, legal), 1e-6);
+    for (const char* ext : {".nodes", ".nets", ".pl", ".scl"}) {
+        std::filesystem::remove(base + ext);
+    }
+}
+
+TEST(Integration, KraftwerkBeatsPileAndTracksGordian) {
+    // Our placer and the GORDIAN baseline must land in the same quality
+    // class on the same circuit (the paper's headline comparison).
+    const netlist nl = make_suite_circuit(suite_circuit_by_name("struct"), 0.25, 7);
+
+    placer p(nl, {});
+    placement ours_legal;
+    legalize(nl, p.run(), ours_legal);
+    const double ours = total_hpwl(nl, ours_legal);
+
+    placement gordian_legal;
+    legalize(nl, gordian_place(nl), gordian_legal);
+    const double gordian = total_hpwl(nl, gordian_legal);
+
+    EXPECT_LT(ours, gordian * 1.3);
+    EXPECT_GT(ours, gordian * 0.3);
+}
+
+TEST(Integration, TimingFlowOnSuiteCircuit) {
+    netlist nl = make_suite_circuit(suite_circuit_by_name("fract"), 1.0, 11);
+    timing_driven_options opt;
+    opt.placer.density_bins = 1024;
+    opt.optimization_iterations = 10;
+    const timing_result res = timing_optimize(nl, opt);
+    EXPECT_GE(res.exploitation(), 0.0);
+    EXPECT_GE(res.delay_before, res.delay_after);
+}
+
+TEST(Integration, MixedFloorplanFlow) {
+    generator_options gen;
+    gen.num_cells = 400;
+    gen.num_nets = 420;
+    gen.num_rows = 14;
+    gen.num_pads = 32;
+    gen.num_blocks = 5;
+    gen.block_area_fraction = 0.25;
+    gen.seed = 13;
+    const netlist nl = generate_circuit(gen);
+
+    placer p(nl, {});
+    const placement global = p.run();
+    placement legal;
+    const legalize_result lr = legalize(nl, global, legal);
+    EXPECT_NEAR(lr.blocks.residual_overlap, 0.0, 1e-6);
+    EXPECT_NEAR(total_overlap_area(nl, legal), 0.0, 1e-6);
+
+    // Blocks stayed inside the region.
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        const cell& c = nl.cell_at(i);
+        if (c.kind != cell_kind::block) continue;
+        EXPECT_TRUE(nl.region().contains(rect::from_center(legal[i], c.width, c.height)))
+            << c.name;
+    }
+}
+
+TEST(Integration, EcoAfterFullFlow) {
+    generator_options gen;
+    gen.num_cells = 300;
+    gen.num_nets = 320;
+    gen.num_rows = 10;
+    gen.num_pads = 24;
+    gen.seed = 17;
+    netlist nl = generate_circuit(gen);
+
+    placer p(nl, {});
+    const placement before = p.run();
+    const std::size_t pre = nl.num_cells();
+
+    // Netlist change.
+    cell c;
+    c.name = "eco";
+    const cell_id id = nl.add_cell(std::move(c));
+    net n;
+    n.pins = {{id, {}}, {0, {}}, {1, {}}};
+    n.driver = 0;
+    nl.add_net(n);
+    nl.invalidate_adjacency();
+
+    const eco_result eco =
+        incremental_place(nl, seed_new_cells(nl, before, pre), pre);
+    placement legal;
+    legalize(nl, eco.pl, legal);
+    EXPECT_NEAR(total_overlap_area(nl, legal), 0.0, 1e-6);
+    EXPECT_LT(eco.mean_displacement, 3.0);
+}
+
+TEST(Integration, CongestionAndHeatHooksComposeWithLegalization) {
+    generator_options gen;
+    gen.num_cells = 250;
+    gen.num_nets = 270;
+    gen.num_rows = 8;
+    gen.num_pads = 24;
+    gen.seed = 19;
+    const netlist nl = generate_circuit(gen);
+
+    placer p(nl, {});
+    p.set_density_hook([&](density_map& d, const placement& pl) {
+        make_congestion_hook(nl)(d, pl);
+        make_thermal_hook(nl)(d, pl);
+    });
+    placement legal;
+    legalize(nl, p.run(), legal);
+    EXPECT_NEAR(total_overlap_area(nl, legal), 0.0, 1e-6);
+}
+
+TEST(Integration, FastAndStandardModeBothLegalizable) {
+    const netlist nl = make_suite_circuit(suite_circuit_by_name("primary1"), 0.3, 23);
+    for (const double k : {0.2, 1.0}) {
+        placer_options opt;
+        opt.force_scale_k = k;
+        placer p(nl, opt);
+        placement legal;
+        legalize(nl, p.run(), legal);
+        EXPECT_NEAR(total_overlap_area(nl, legal), 0.0, 1e-6) << "K=" << k;
+    }
+}
+
+} // namespace
+} // namespace gpf

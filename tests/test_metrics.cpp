@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "util/prng.hpp"
+#include "netlist/generator.hpp"
+
+namespace gpf {
+namespace {
+
+netlist two_cell_netlist() {
+    netlist nl;
+    nl.set_region(rect(0, 0, 10, 10));
+    cell a;
+    a.name = "a";
+    a.width = 2.0;
+    nl.add_cell(a);
+    cell b;
+    b.name = "b";
+    b.width = 2.0;
+    nl.add_cell(b);
+    net n;
+    n.name = "n";
+    n.pins = {{0, {}}, {1, {}}};
+    n.driver = 0;
+    nl.add_net(n);
+    return nl;
+}
+
+TEST(Metrics, NetHpwlIsHalfPerimeter) {
+    const netlist nl = two_cell_netlist();
+    placement pl(2);
+    pl[0] = point(1, 1);
+    pl[1] = point(4, 3);
+    EXPECT_DOUBLE_EQ(net_hpwl(nl, pl, nl.net_at(0)), 3.0 + 2.0);
+}
+
+TEST(Metrics, SinglePinNetHasZeroHpwl) {
+    netlist nl = two_cell_netlist();
+    net n;
+    n.name = "single";
+    n.pins = {{0, {}}};
+    nl.add_net(n);
+    const placement pl(2, point(3, 3));
+    EXPECT_DOUBLE_EQ(net_hpwl(nl, pl, nl.net_at(1)), 0.0);
+}
+
+TEST(Metrics, HpwlIncludesPinOffsets) {
+    netlist nl;
+    nl.set_region(rect(0, 0, 10, 10));
+    cell a;
+    a.name = "a";
+    a.width = 4.0;
+    nl.add_cell(a);
+    cell b;
+    b.name = "b";
+    nl.add_cell(b);
+    net n;
+    n.pins = {{0, point(2.0, 0.0)}, {1, {}}};
+    nl.add_net(n);
+    placement pl(2);
+    pl[0] = point(0, 0);
+    pl[1] = point(5, 0);
+    // Pin of a is at x=2, so span is 3, not 5.
+    EXPECT_DOUBLE_EQ(total_hpwl(nl, pl), 3.0);
+}
+
+TEST(Metrics, WeightedHpwlScalesByNetWeight) {
+    netlist nl = two_cell_netlist();
+    nl.net_at(0).weight = 2.5;
+    placement pl(2);
+    pl[0] = point(0, 0);
+    pl[1] = point(2, 0);
+    EXPECT_DOUBLE_EQ(total_hpwl(nl, pl), 2.0);
+    EXPECT_DOUBLE_EQ(weighted_hpwl(nl, pl), 5.0);
+}
+
+TEST(Metrics, OverlapAreaOfTwoCells) {
+    const netlist nl = two_cell_netlist(); // both 2x1
+    placement pl(2);
+    pl[0] = point(5, 5);
+    pl[1] = point(6, 5); // overlap 1x1
+    EXPECT_NEAR(total_overlap_area(nl, pl), 1.0, 1e-9);
+    pl[1] = point(8, 5); // disjoint
+    EXPECT_NEAR(total_overlap_area(nl, pl), 0.0, 1e-9);
+    pl[1] = pl[0]; // coincident: full 2x1
+    EXPECT_NEAR(total_overlap_area(nl, pl), 2.0, 1e-9);
+}
+
+TEST(Metrics, OverlapMatchesBruteForceOnRandomPlacement) {
+    generator_options opt;
+    opt.num_cells = 60;
+    opt.num_nets = 66;
+    opt.num_rows = 6;
+    opt.num_pads = 8;
+    const netlist nl = generate_circuit(opt);
+    prng rng(3);
+    placement pl = nl.initial_placement();
+    const rect r = nl.region();
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        if (nl.cell_at(i).fixed) continue;
+        pl[i] = point(rng.next_range(r.xlo, r.xhi), rng.next_range(r.ylo, r.yhi));
+    }
+    // Brute force O(n²).
+    double brute = 0.0;
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        if (nl.cell_at(i).kind == cell_kind::pad) continue;
+        for (cell_id j = i + 1; j < nl.num_cells(); ++j) {
+            if (nl.cell_at(j).kind == cell_kind::pad) continue;
+            brute += overlap_area(
+                rect::from_center(pl[i], nl.cell_at(i).width, nl.cell_at(i).height),
+                rect::from_center(pl[j], nl.cell_at(j).width, nl.cell_at(j).height));
+        }
+    }
+    EXPECT_NEAR(total_overlap_area(nl, pl), brute, 1e-6);
+}
+
+TEST(Metrics, InRegionFraction) {
+    const netlist nl = two_cell_netlist();
+    placement pl(2);
+    pl[0] = point(5, 5);    // inside
+    pl[1] = point(9.9, 5);  // cell sticks out (width 2)
+    EXPECT_DOUBLE_EQ(in_region_fraction(nl, pl), 0.5);
+    pl[1] = point(9.0, 5.0); // exactly at the edge: inside
+    EXPECT_DOUBLE_EQ(in_region_fraction(nl, pl), 1.0);
+}
+
+TEST(Metrics, EvaluatePlacementBundlesEverything) {
+    generator_options opt;
+    opt.num_cells = 150;
+    opt.num_nets = 160;
+    opt.num_rows = 6;
+    opt.num_pads = 16;
+    const netlist nl = generate_circuit(opt);
+    const placement pl = nl.centered_placement();
+    const placement_quality q = evaluate_placement(nl, pl, 1024);
+    EXPECT_GT(q.hpwl, 0.0);
+    EXPECT_GT(q.overlap_area, 0.0);  // everything piled at center
+    EXPECT_GT(q.max_density, 1.0);
+    EXPECT_GT(q.largest_empty_square, 0.0);
+    EXPECT_DOUBLE_EQ(q.in_region, 1.0);
+}
+
+} // namespace
+} // namespace gpf

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "netlist/generator.hpp"
+#include "timing/net_weighting.hpp"
+
+namespace gpf {
+namespace {
+
+/// Fabricated STA result with chosen slacks.
+sta_result fake_sta(const std::vector<double>& slacks) {
+    sta_result res;
+    res.net_slack = slacks;
+    return res;
+}
+
+netlist simple_netlist(std::size_t nets) {
+    netlist nl;
+    nl.set_region(rect(0, 0, 10, 10));
+    cell a;
+    a.name = "a";
+    nl.add_cell(a);
+    cell b;
+    b.name = "b";
+    nl.add_cell(b);
+    for (std::size_t i = 0; i < nets; ++i) {
+        net n;
+        n.name = "n" + std::to_string(i);
+        n.pins = {{0, {}}, {1, {}}};
+        n.driver = 0;
+        nl.add_net(n);
+    }
+    return nl;
+}
+
+TEST(NetWeighting, CriticalityFollowsPaperUpdate) {
+    netlist nl = simple_netlist(100);
+    net_weighting_options opt;
+    opt.critical_fraction = 0.03;
+    criticality_tracker tracker(nl, opt);
+
+    // Net 0 has the worst slack → always critical.
+    std::vector<double> slacks(100, 1.0);
+    slacks[0] = -1.0;
+
+    tracker.update(nl, fake_sta(slacks));
+    // After one update: critical net c = (0+1)/2 = 0.5, others 0.
+    EXPECT_DOUBLE_EQ(tracker.criticality()[0], 0.5);
+    EXPECT_DOUBLE_EQ(tracker.criticality()[1], 0.0);
+
+    tracker.update(nl, fake_sta(slacks));
+    // c = (0.5+1)/2 = 0.75.
+    EXPECT_DOUBLE_EQ(tracker.criticality()[0], 0.75);
+}
+
+TEST(NetWeighting, CriticalityConvergesToOne) {
+    netlist nl = simple_netlist(100);
+    criticality_tracker tracker(nl);
+    std::vector<double> slacks(100, 1.0);
+    slacks[7] = -5.0;
+    for (int i = 0; i < 30; ++i) tracker.update(nl, fake_sta(slacks));
+    EXPECT_NEAR(tracker.criticality()[7], 1.0, 1e-6);
+}
+
+TEST(NetWeighting, CriticalityDecaysByHalf) {
+    netlist nl = simple_netlist(100);
+    criticality_tracker tracker(nl);
+    std::vector<double> slacks(100, 1.0);
+    slacks[3] = -1.0;
+    tracker.update(nl, fake_sta(slacks)); // c[3] = 0.5
+    slacks[3] = 1.0;
+    slacks[4] = -1.0; // now net 4 is the critical one
+    tracker.update(nl, fake_sta(slacks));
+    EXPECT_DOUBLE_EQ(tracker.criticality()[3], 0.25);
+    EXPECT_DOUBLE_EQ(tracker.criticality()[4], 0.5);
+}
+
+TEST(NetWeighting, AlwaysCriticalNetWeightDoubles) {
+    // Paper: "The weight of a net which has always been critical is
+    // multiplied by a factor of 2" — asymptotically, as c → 1 (before the
+    // cumulative cap engages).
+    netlist nl = simple_netlist(100);
+    net_weighting_options opt;
+    opt.max_weight_factor = 1e9; // disable the cap for this property
+    criticality_tracker tracker(nl, opt);
+    std::vector<double> slacks(100, 1.0);
+    slacks[0] = -1.0;
+    for (int i = 0; i < 8; ++i) tracker.update(nl, fake_sta(slacks));
+    const double w_before = nl.net_at(0).weight;
+    tracker.update(nl, fake_sta(slacks));
+    EXPECT_NEAR(nl.net_at(0).weight / w_before, 2.0, 0.01);
+}
+
+TEST(NetWeighting, CumulativeWeightIsCapped) {
+    netlist nl = simple_netlist(100);
+    net_weighting_options opt;
+    opt.max_weight_factor = 64.0;
+    criticality_tracker tracker(nl, opt);
+    std::vector<double> slacks(100, 1.0);
+    slacks[0] = -1.0;
+    for (int i = 0; i < 40; ++i) tracker.update(nl, fake_sta(slacks));
+    EXPECT_DOUBLE_EQ(nl.net_at(0).weight, 64.0);
+}
+
+TEST(NetWeighting, NeverCriticalNetKeepsWeight) {
+    netlist nl = simple_netlist(100);
+    criticality_tracker tracker(nl);
+    std::vector<double> slacks(100, 1.0);
+    slacks[0] = -1.0;
+    for (int i = 0; i < 5; ++i) tracker.update(nl, fake_sta(slacks));
+    EXPECT_DOUBLE_EQ(nl.net_at(50).weight, 1.0);
+}
+
+TEST(NetWeighting, UntimedNetsAreIgnored) {
+    netlist nl = simple_netlist(10);
+    criticality_tracker tracker(nl);
+    std::vector<double> slacks(10, std::numeric_limits<double>::infinity());
+    slacks[0] = -1.0;
+    tracker.update(nl, fake_sta(slacks));
+    // Only net 0 is timed; it is in the top 3% of 1 timed net.
+    EXPECT_GT(nl.net_at(0).weight, 1.0);
+    for (net_id i = 1; i < 10; ++i) EXPECT_DOUBLE_EQ(nl.net_at(i).weight, 1.0);
+}
+
+TEST(NetWeighting, CriticalFractionSelectsCount) {
+    netlist nl = simple_netlist(100);
+    net_weighting_options opt;
+    opt.critical_fraction = 0.10;
+    criticality_tracker tracker(nl, opt);
+    std::vector<double> slacks(100);
+    for (std::size_t i = 0; i < 100; ++i) slacks[i] = static_cast<double>(i);
+    tracker.update(nl, fake_sta(slacks));
+    std::size_t bumped = 0;
+    for (net_id i = 0; i < 100; ++i) {
+        if (tracker.criticality()[i] > 0.0) ++bumped;
+    }
+    EXPECT_EQ(bumped, 10u);
+    // And they are exactly the lowest-slack nets.
+    for (net_id i = 0; i < 10; ++i) EXPECT_GT(tracker.criticality()[i], 0.0);
+}
+
+TEST(NetWeighting, RestoreWeightsUndoesEverything) {
+    netlist nl = simple_netlist(50);
+    nl.net_at(5).weight = 3.0; // non-default base weight
+    criticality_tracker tracker(nl);
+    std::vector<double> slacks(50, 1.0);
+    slacks[5] = -1.0;
+    for (int i = 0; i < 4; ++i) tracker.update(nl, fake_sta(slacks));
+    EXPECT_GT(nl.net_at(5).weight, 3.0);
+    tracker.restore_weights(nl);
+    EXPECT_DOUBLE_EQ(nl.net_at(5).weight, 3.0);
+    EXPECT_DOUBLE_EQ(nl.net_at(0).weight, 1.0);
+}
+
+} // namespace
+} // namespace gpf

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.hpp"
+#include "netlist/stats.hpp"
+#include "util/check.hpp"
+
+namespace gpf {
+namespace {
+
+netlist make_small() {
+    netlist nl;
+    nl.set_region(rect(0, 0, 10, 10));
+    nl.set_row_height(1.0);
+    cell a;
+    a.name = "a";
+    a.width = 2.0;
+    nl.add_cell(a);
+    cell b;
+    b.name = "b";
+    b.width = 3.0;
+    nl.add_cell(b);
+    cell p;
+    p.name = "p0";
+    p.kind = cell_kind::pad;
+    p.position = point(0, 5);
+    nl.add_cell(p);
+
+    net n;
+    n.name = "n0";
+    n.pins = {{0, {}}, {1, {}}, {2, {}}};
+    n.driver = 0;
+    nl.add_net(n);
+    return nl;
+}
+
+TEST(Netlist, AddCellReturnsSequentialIds) {
+    netlist nl;
+    cell c;
+    c.name = "x";
+    EXPECT_EQ(nl.add_cell(c), 0u);
+    EXPECT_EQ(nl.add_cell(c), 1u);
+    EXPECT_EQ(nl.num_cells(), 2u);
+}
+
+TEST(Netlist, PadIsForcedFixed) {
+    netlist nl;
+    cell p;
+    p.name = "pad";
+    p.kind = cell_kind::pad;
+    p.fixed = false; // gets overridden
+    const cell_id id = nl.add_cell(p);
+    EXPECT_TRUE(nl.cell_at(id).fixed);
+}
+
+TEST(Netlist, RejectsNonPositiveDimensions) {
+    netlist nl;
+    cell c;
+    c.name = "bad";
+    c.width = 0.0;
+    EXPECT_THROW(nl.add_cell(c), check_error);
+}
+
+TEST(Netlist, RejectsNetWithUnknownCell) {
+    netlist nl;
+    cell c;
+    c.name = "a";
+    nl.add_cell(c);
+    net n;
+    n.pins = {{5, {}}};
+    EXPECT_THROW(nl.add_net(n), check_error);
+}
+
+TEST(Netlist, RejectsBadDriverIndex) {
+    netlist nl;
+    cell c;
+    c.name = "a";
+    nl.add_cell(c);
+    net n;
+    n.pins = {{0, {}}};
+    n.driver = 3;
+    EXPECT_THROW(nl.add_net(n), check_error);
+}
+
+TEST(Netlist, CountsAndAreas) {
+    const netlist nl = make_small();
+    EXPECT_EQ(nl.num_cells(), 3u);
+    EXPECT_EQ(nl.num_nets(), 1u);
+    EXPECT_EQ(nl.num_pins(), 3u);
+    EXPECT_EQ(nl.num_movable(), 2u);
+    EXPECT_EQ(nl.num_fixed(), 1u);
+    EXPECT_DOUBLE_EQ(nl.movable_area(), 5.0);
+    EXPECT_DOUBLE_EQ(nl.utilization(), 0.05);
+    EXPECT_EQ(nl.num_rows(), 10u);
+}
+
+TEST(Netlist, AdjacencyIsBuiltAndInvalidated) {
+    netlist nl = make_small();
+    const auto& adj = nl.cell_nets();
+    ASSERT_EQ(adj.size(), 3u);
+    EXPECT_EQ(adj[0], std::vector<net_id>{0});
+    EXPECT_EQ(adj[1], std::vector<net_id>{0});
+
+    // Adding a net invalidates and rebuilds.
+    net n;
+    n.name = "n1";
+    n.pins = {{0, {}}, {1, {}}};
+    nl.add_net(n);
+    const auto& adj2 = nl.cell_nets();
+    EXPECT_EQ(adj2[0].size(), 2u);
+}
+
+TEST(Netlist, CenteredPlacementKeepsFixedCells) {
+    const netlist nl = make_small();
+    const placement pl = nl.centered_placement();
+    EXPECT_EQ(pl[0], nl.region().center());
+    EXPECT_EQ(pl[1], nl.region().center());
+    EXPECT_EQ(pl[2], point(0, 5)); // pad stays
+}
+
+TEST(Netlist, CommitPlacementSkipsFixed) {
+    netlist nl = make_small();
+    placement pl(3, point(1, 1));
+    nl.commit_placement(pl);
+    EXPECT_EQ(nl.cell_at(0).position, point(1, 1));
+    EXPECT_EQ(nl.cell_at(2).position, point(0, 5)); // pad unchanged
+}
+
+TEST(Netlist, ValidateAcceptsGoodNetlist) {
+    const netlist nl = make_small();
+    EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(Netlist, ValidateRejectsDuplicatePins) {
+    netlist nl = make_small();
+    net n;
+    n.name = "dup";
+    n.pins = {{0, {}}, {0, {}}};
+    nl.add_net(n);
+    EXPECT_THROW(nl.validate(), check_error);
+}
+
+TEST(Netlist, ValidateRejectsNonPositiveWeight) {
+    netlist nl = make_small();
+    nl.net_at(0).weight = 0.0;
+    EXPECT_THROW(nl.validate(), check_error);
+}
+
+TEST(Netlist, PinPositionIncludesOffset) {
+    const netlist nl = make_small();
+    placement pl = nl.initial_placement();
+    pl[0] = point(3, 4);
+    pin p;
+    p.cell = 0;
+    p.offset = point(0.5, -0.25);
+    EXPECT_EQ(pin_position(nl, pl, p), point(3.5, 3.75));
+}
+
+TEST(NetlistStats, ComputesDegreeHistogram) {
+    netlist nl = make_small();
+    net n;
+    n.name = "n1";
+    n.pins = {{0, {}}, {1, {}}};
+    nl.add_net(n);
+
+    const netlist_stats s = compute_stats(nl);
+    EXPECT_EQ(s.num_cells, 3u);
+    EXPECT_EQ(s.num_pads, 1u);
+    EXPECT_EQ(s.num_nets, 2u);
+    EXPECT_EQ(s.num_pins, 5u);
+    EXPECT_EQ(s.max_net_degree, 3u);
+    EXPECT_EQ(s.degree_histogram.at(2), 1u);
+    EXPECT_EQ(s.degree_histogram.at(3), 1u);
+    EXPECT_DOUBLE_EQ(s.avg_net_degree, 2.5);
+}
+
+TEST(NetlistStats, StreamsWithoutCrashing) {
+    const netlist nl = make_small();
+    std::ostringstream os;
+    os << compute_stats(nl);
+    EXPECT_NE(os.str().find("cells=3"), std::string::npos);
+}
+
+} // namespace
+} // namespace gpf

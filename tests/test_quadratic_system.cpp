@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/quadratic_system.hpp"
+#include "netlist/generator.hpp"
+#include "util/check.hpp"
+
+namespace gpf {
+namespace {
+
+/// Two movable cells between two fixed pads on a line:
+/// pad(0,5) — a — b — pad(10,5).
+netlist chain_netlist() {
+    netlist nl;
+    nl.set_region(rect(0, 0, 10, 10));
+    cell a;
+    a.name = "a";
+    nl.add_cell(a);
+    cell b;
+    b.name = "b";
+    nl.add_cell(b);
+    cell p0;
+    p0.name = "p0";
+    p0.kind = cell_kind::pad;
+    p0.position = point(0, 5);
+    nl.add_cell(p0);
+    cell p1;
+    p1.name = "p1";
+    p1.kind = cell_kind::pad;
+    p1.position = point(10, 5);
+    nl.add_cell(p1);
+
+    const auto two_pin = [&](const std::string& name, cell_id x, cell_id y) {
+        net n;
+        n.name = name;
+        n.pins = {{x, {}}, {y, {}}};
+        n.driver = 0;
+        nl.add_net(std::move(n));
+    };
+    two_pin("n0", 2, 0);
+    two_pin("n1", 0, 1);
+    two_pin("n2", 1, 3);
+    return nl;
+}
+
+TEST(QuadraticSystem, VariableMapping) {
+    const netlist nl = chain_netlist();
+    const quadratic_system sys(nl);
+    EXPECT_EQ(sys.num_movable(), 2u);
+    EXPECT_EQ(sys.num_vars(), 2u);
+    EXPECT_EQ(sys.var_of(0), 0u);
+    EXPECT_EQ(sys.var_of(1), 1u);
+    EXPECT_EQ(sys.var_of(2), invalid_var); // pad
+    EXPECT_EQ(sys.cell_of_var(0), 0u);
+}
+
+TEST(QuadraticSystem, SolveBeforeAssembleThrows) {
+    const netlist nl = chain_netlist();
+    const quadratic_system sys(nl);
+    EXPECT_THROW(sys.solve(nl.centered_placement(), {}, {}), check_error);
+}
+
+TEST(QuadraticSystem, ChainEquilibriumIsEquispaced) {
+    const netlist nl = chain_netlist();
+    net_model_options opt;
+    opt.linearize = false; // pure quadratic: exact thirds
+    quadratic_system sys(nl, opt);
+    sys.assemble(nl.centered_placement());
+    const placement pl = sys.solve(nl.centered_placement(), {}, {});
+    EXPECT_NEAR(pl[0].x, 10.0 / 3.0, 1e-6);
+    EXPECT_NEAR(pl[1].x, 20.0 / 3.0, 1e-6);
+    EXPECT_NEAR(pl[0].y, 5.0, 1e-6);
+    EXPECT_NEAR(pl[1].y, 5.0, 1e-6);
+}
+
+TEST(QuadraticSystem, MatricesAreSymmetric) {
+    const netlist nl = chain_netlist();
+    quadratic_system sys(nl);
+    sys.assemble(nl.centered_placement());
+    EXPECT_TRUE(sys.matrix_x().is_symmetric());
+    EXPECT_TRUE(sys.matrix_y().is_symmetric());
+}
+
+TEST(QuadraticSystem, AdditionalForceDisplacesSolution) {
+    // A single movable cell tied to one fixed pad; force e displaces the
+    // equilibrium by -e/w per the sign convention (e enters C p + d + e = 0).
+    netlist nl;
+    nl.set_region(rect(0, 0, 10, 10));
+    cell a;
+    a.name = "a";
+    nl.add_cell(a);
+    cell p;
+    p.name = "p";
+    p.kind = cell_kind::pad;
+    p.position = point(5, 5);
+    nl.add_cell(p);
+    net n;
+    n.pins = {{0, {}}, {1, {}}};
+    n.driver = 0;
+    nl.add_net(n);
+
+    net_model_options opt;
+    opt.linearize = false;
+    quadratic_system sys(nl, opt);
+    sys.assemble(nl.centered_placement());
+
+    // Edge weight for a 2-pin clique net: 1/2.
+    const std::vector<double> ex{-1.0};
+    const std::vector<double> ey{0.5};
+    const placement pl = sys.solve(nl.centered_placement(), ex, ey);
+    EXPECT_NEAR(pl[0].x, 5.0 + 1.0 / 0.5, 1e-6);
+    EXPECT_NEAR(pl[0].y, 5.0 - 0.5 / 0.5, 1e-6);
+}
+
+TEST(QuadraticSystem, AnyPlacementIsReachableWithSuitableForces) {
+    // Section 2.2: "any given placement can fulfill equation (3) if the
+    // additional forces are chosen appropriately": e = -(C p + d).
+    const netlist nl = chain_netlist();
+    net_model_options opt;
+    opt.linearize = false;
+    quadratic_system sys(nl, opt);
+    placement target = nl.centered_placement();
+    target[0] = point(2.0, 7.0);
+    target[1] = point(9.0, 1.0);
+    sys.assemble(target);
+
+    const std::vector<point> vp = sys.variable_positions(target);
+    std::vector<double> px(sys.num_vars()), py(sys.num_vars());
+    for (std::size_t v = 0; v < sys.num_vars(); ++v) {
+        px[v] = vp[v].x;
+        py[v] = vp[v].y;
+    }
+    std::vector<double> ax, ay;
+    sys.matrix_x().multiply(px, ax);
+    sys.matrix_y().multiply(py, ay);
+    std::vector<double> ex(sys.num_vars()), ey(sys.num_vars());
+    for (std::size_t v = 0; v < sys.num_vars(); ++v) {
+        ex[v] = -(ax[v] + sys.rhs_x()[v]);
+        ey[v] = -(ay[v] + sys.rhs_y()[v]);
+    }
+    const placement recovered = sys.solve(nl.centered_placement(), ex, ey);
+    EXPECT_NEAR(recovered[0].x, 2.0, 1e-6);
+    EXPECT_NEAR(recovered[0].y, 7.0, 1e-6);
+    EXPECT_NEAR(recovered[1].x, 9.0, 1e-6);
+    EXPECT_NEAR(recovered[1].y, 1.0, 1e-6);
+}
+
+TEST(QuadraticSystem, PinOffsetsShiftEquilibrium) {
+    netlist nl;
+    nl.set_region(rect(0, 0, 10, 10));
+    cell a;
+    a.name = "a";
+    a.width = 2.0;
+    nl.add_cell(a);
+    cell p;
+    p.name = "p";
+    p.kind = cell_kind::pad;
+    p.position = point(5, 5);
+    nl.add_cell(p);
+    net n;
+    // Pin at the cell's right edge: center settles so pin meets the pad.
+    n.pins = {{0, point(1.0, 0.0)}, {1, {}}};
+    n.driver = 0;
+    nl.add_net(n);
+
+    net_model_options opt;
+    opt.linearize = false;
+    quadratic_system sys(nl, opt);
+    sys.assemble(nl.centered_placement());
+    const placement pl = sys.solve(nl.centered_placement(), {}, {});
+    EXPECT_NEAR(pl[0].x, 4.0, 1e-6);
+}
+
+TEST(QuadraticSystem, StarModelMatchesCliqueSolution) {
+    // Star with edge weight w eliminates to a clique with w/k — identical
+    // equilibria for the cells.
+    generator_options gen;
+    gen.num_cells = 120;
+    gen.num_nets = 140;
+    gen.num_rows = 6;
+    gen.num_pads = 16;
+    gen.max_degree = 12;
+    const netlist nl = generate_circuit(gen);
+
+    net_model_options clique_opt;
+    clique_opt.kind = net_model_kind::clique;
+    clique_opt.linearize = false;
+    quadratic_system clique_sys(nl, clique_opt);
+    clique_sys.assemble(nl.centered_placement());
+    cg_options cg;
+    cg.tolerance = 1e-12;
+    const placement clique_pl = clique_sys.solve(nl.centered_placement(), {}, {}, cg);
+
+    net_model_options star_opt;
+    star_opt.kind = net_model_kind::star;
+    star_opt.linearize = false;
+    quadratic_system star_sys(nl, star_opt);
+    star_sys.assemble(nl.centered_placement());
+    const placement star_pl = star_sys.solve(nl.centered_placement(), {}, {}, cg);
+
+    EXPECT_GT(star_sys.num_vars(), star_sys.num_movable()); // has star centers
+
+    // The two formulations share the same objective (the star eliminates to
+    // the clique), so the star solution must be clique-optimal. Positions
+    // can differ measurably along near-flat directions (dangling cells), so
+    // the position check is loose and the objective check is the tight one.
+    const double obj_clique = clique_sys.objective(clique_pl);
+    const double obj_star = clique_sys.objective(star_pl);
+    EXPECT_NEAR(obj_star / obj_clique, 1.0, 1e-6);
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        if (nl.cell_at(i).fixed) continue;
+        EXPECT_NEAR(clique_pl[i].x, star_pl[i].x, 0.5);
+        EXPECT_NEAR(clique_pl[i].y, star_pl[i].y, 0.5);
+    }
+}
+
+TEST(QuadraticSystem, HybridUsesStarsOnlyAboveThreshold) {
+    generator_options gen;
+    gen.num_cells = 100;
+    gen.num_nets = 120;
+    gen.num_rows = 6;
+    gen.num_pads = 8;
+    const netlist nl = generate_circuit(gen);
+
+    net_model_options opt;
+    opt.kind = net_model_kind::hybrid;
+    opt.star_threshold = 5;
+    const quadratic_system sys(nl, opt);
+    std::size_t big_nets = 0;
+    for (const net& n : nl.nets()) {
+        if (n.degree() > 5) ++big_nets;
+    }
+    EXPECT_EQ(sys.num_vars() - sys.num_movable(), big_nets);
+}
+
+TEST(QuadraticSystem, LiveNetWeightUpdates) {
+    netlist nl = chain_netlist();
+    net_model_options opt;
+    opt.linearize = false;
+    quadratic_system sys(nl, opt);
+    sys.assemble(nl.centered_placement());
+    const double d0 = sys.matrix_x().at(0, 0);
+
+    nl.net_at(0).weight = 4.0; // heavier pull toward the left pad
+    sys.assemble(nl.centered_placement());
+    const double d1 = sys.matrix_x().at(0, 0);
+    EXPECT_GT(d1, d0);
+
+    const placement pl = sys.solve(nl.centered_placement(), {}, {});
+    EXPECT_LT(pl[0].x, 10.0 / 3.0); // cell a pulled toward pad p0
+}
+
+TEST(QuadraticSystem, LinearizationReducesLongEdgeInfluence) {
+    const netlist nl = chain_netlist();
+    net_model_options lin;
+    lin.linearize = true;
+    quadratic_system sys(nl, lin);
+    // Current placement: cell a near the left pad, so edge n0 is short and
+    // n1 long → n0's weight per unit length is larger.
+    placement current = nl.centered_placement();
+    current[0] = point(1.0, 5.0);
+    current[1] = point(9.0, 5.0);
+    sys.assemble(current);
+    const placement pl = sys.solve(current, {}, {});
+    // With 1/length weights the equilibrium is dragged toward the current
+    // positions relative to the pure quadratic thirds.
+    EXPECT_LT(pl[0].x, 10.0 / 3.0);
+    EXPECT_GT(pl[1].x, 20.0 / 3.0);
+}
+
+TEST(QuadraticSystem, ObjectiveDecreasesAtSolution) {
+    const netlist nl = chain_netlist();
+    net_model_options opt;
+    opt.linearize = false;
+    quadratic_system sys(nl, opt);
+    const placement start = nl.centered_placement();
+    sys.assemble(start);
+    const placement solved = sys.solve(start, {}, {});
+    EXPECT_LE(sys.objective(solved), sys.objective(start) + 1e-9);
+}
+
+TEST(QuadraticSystem, MeanStiffnessPositive) {
+    const netlist nl = chain_netlist();
+    const quadratic_system sys(nl);
+    EXPECT_GT(sys.mean_stiffness(), 0.0);
+}
+
+} // namespace
+} // namespace gpf

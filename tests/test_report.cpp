@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "util/check.hpp"
+
+namespace gpf {
+namespace {
+
+TEST(AsciiTable, AlignsColumns) {
+    ascii_table t({"name", "value"});
+    t.add_row({"a", "1"});
+    t.add_row({"long-name", "22"});
+    const std::string s = t.to_string();
+    // Every line has the same width.
+    std::istringstream is(s);
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(is, line)) {
+        if (width == 0) width = line.size();
+        EXPECT_EQ(line.size(), width) << s;
+    }
+    EXPECT_NE(s.find("long-name"), std::string::npos);
+}
+
+TEST(AsciiTable, RejectsWrongCellCount) {
+    ascii_table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), check_error);
+}
+
+TEST(AsciiTable, SeparatorBeforeFooter) {
+    ascii_table t({"c"});
+    t.add_row({"x"});
+    t.add_separator();
+    t.add_row({"avg"});
+    const std::string s = t.to_string();
+    // 5 horizontal rules: top, under header, before footer, bottom... count '+--' lines.
+    std::size_t rules = 0;
+    std::istringstream is(s);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (!line.empty() && line[0] == '+') ++rules;
+    }
+    EXPECT_EQ(rules, 4u);
+}
+
+TEST(Formatting, Helpers) {
+    EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt_double(2.0, 0), "2");
+    EXPECT_EQ(fmt_percent(0.531, 1), "53.1%");
+    EXPECT_EQ(fmt_ratio(0.3333333, 2), "0.33");
+    EXPECT_EQ(fmt_count(42), "42");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+    EXPECT_EQ(csv_escape("plain"), "plain");
+    EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "gpf_csv_test.csv").string();
+    {
+        csv_writer w(path, {"x", "y"});
+        w.add_row({"1", "2"});
+        w.add_row({"a,b", "3"});
+    }
+    std::ifstream in(path);
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_EQ(all, "x,y\n1,2\n\"a,b\",3\n");
+    std::filesystem::remove(path);
+}
+
+TEST(Csv, RowWidthChecked) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "gpf_csv_test2.csv").string();
+    csv_writer w(path, {"a", "b"});
+    EXPECT_THROW(w.add_row({"1"}), check_error);
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace gpf

@@ -1,0 +1,96 @@
+// Additional row-model and refinement edge cases: multi-segment rows,
+// obstacle-adjacent placement, and refinement invariants around blockages.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "legal/legalize.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gpf {
+namespace {
+
+/// Region with one central fixed block and movable cells around it.
+netlist blocked_netlist(std::size_t cells) {
+    netlist nl;
+    nl.set_region(rect(0, 0, 30, 6));
+    nl.set_row_height(1.0);
+    cell blk;
+    blk.name = "blk";
+    blk.width = 6.0;
+    blk.height = 4.0;
+    blk.kind = cell_kind::block;
+    blk.fixed = true;
+    blk.position = point(15, 2); // rows 0..3, x in [12,18]
+    nl.add_cell(blk);
+    for (std::size_t i = 0; i < cells; ++i) {
+        cell c;
+        c.name = "c" + std::to_string(i);
+        c.width = 1.5;
+        nl.add_cell(c);
+    }
+    // Chain nets keep the cells related so refinement has work to do.
+    for (std::size_t i = 0; i + 1 < cells; ++i) {
+        net n;
+        n.name = "n" + std::to_string(i);
+        n.pins = {{static_cast<cell_id>(i + 1), {}}, {static_cast<cell_id>(i + 2), {}}};
+        n.driver = 0;
+        nl.add_net(n);
+    }
+    return nl;
+}
+
+TEST(RowsExtra, LegalizersKeepCellsOffTheBlock) {
+    const netlist nl = blocked_netlist(40);
+    // Pile everything on top of the block to force segment handling.
+    placement global(nl.num_cells(), point(15, 2));
+    global[0] = nl.cell_at(0).position;
+
+    for (const auto algo : {row_legalizer::tetris, row_legalizer::abacus}) {
+        legalize_options opt;
+        opt.algorithm = algo;
+        placement legal;
+        legalize(nl, global, legal, opt);
+        const rect blk = rect::from_center(nl.cell_at(0).position, 6.0, 4.0);
+        for (cell_id i = 1; i < nl.num_cells(); ++i) {
+            const rect r = rect::from_center(legal[i], nl.cell_at(i).width, 1.0);
+            EXPECT_LE(overlap_area(r, blk), 1e-9)
+                << nl.cell_at(i).name << " overlaps the block";
+        }
+    }
+}
+
+TEST(RowsExtra, RefinementRespectsBlockages) {
+    const netlist nl = blocked_netlist(40);
+    placement global(nl.num_cells(), point(15, 2));
+    global[0] = nl.cell_at(0).position;
+    placement legal;
+    legalize(nl, global, legal); // includes refinement
+    EXPECT_NEAR(total_overlap_area(nl, legal), 0.0, 1e-6);
+}
+
+TEST(RowsExtra, SegmentsOnBothSidesAreUsed) {
+    const netlist nl = blocked_netlist(60);
+    placement global(nl.num_cells(), point(15, 2));
+    global[0] = nl.cell_at(0).position;
+    placement legal = tetris_legalize(nl, global);
+    bool left = false;
+    bool right = false;
+    for (cell_id i = 1; i < nl.num_cells(); ++i) {
+        if (legal[i].x < 12) left = true;
+        if (legal[i].x > 18) right = true;
+    }
+    EXPECT_TRUE(left);
+    EXPECT_TRUE(right);
+}
+
+TEST(RowsExtra, TopRowAboveBlockIsUsable) {
+    // Rows 4 and 5 are clear of the block; legalization may use them.
+    const netlist nl = blocked_netlist(60);
+    const row_model rows(nl, nl.initial_placement(), true);
+    EXPECT_EQ(rows.row(4).segments.size(), 1u);
+    EXPECT_DOUBLE_EQ(rows.total_free_width(4), 30.0);
+    EXPECT_EQ(rows.row(1).segments.size(), 2u);
+}
+
+} // namespace
+} // namespace gpf

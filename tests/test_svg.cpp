@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "netlist/generator.hpp"
+#include "report/svg.hpp"
+#include "util/check.hpp"
+
+namespace gpf {
+namespace {
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+class SvgTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        path_ = (std::filesystem::temp_directory_path() / "gpf_svg_test.svg").string();
+    }
+    void TearDown() override { std::filesystem::remove(path_); }
+    std::string path_;
+};
+
+TEST_F(SvgTest, PlacementProducesWellFormedSvg) {
+    generator_options opt;
+    opt.num_cells = 50;
+    opt.num_nets = 55;
+    opt.num_rows = 4;
+    opt.num_pads = 8;
+    const netlist nl = generate_circuit(opt);
+    write_placement_svg(nl, nl.centered_placement(), path_);
+
+    const std::string svg = slurp(path_);
+    EXPECT_NE(svg.find("<svg"), std::string::npos);
+    EXPECT_NE(svg.find("</svg>"), std::string::npos);
+    // One rect per cell at least (plus background and region).
+    std::size_t rects = 0;
+    for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+         pos = svg.find("<rect", pos + 1)) {
+        ++rects;
+    }
+    EXPECT_GE(rects, nl.num_cells());
+}
+
+TEST_F(SvgTest, NetBoxesAreOptionalAndCapped) {
+    generator_options opt;
+    opt.num_cells = 40;
+    opt.num_nets = 50;
+    opt.num_rows = 4;
+    opt.num_pads = 8;
+    const netlist nl = generate_circuit(opt);
+
+    svg_options so;
+    so.draw_nets = true;
+    so.max_net_boxes = 5;
+    write_placement_svg(nl, nl.centered_placement(), path_, so);
+    const std::string with_nets = slurp(path_);
+
+    svg_options off;
+    off.draw_nets = false;
+    write_placement_svg(nl, nl.centered_placement(), path_, off);
+    const std::string without = slurp(path_);
+
+    EXPECT_GT(with_nets.size(), without.size());
+}
+
+TEST_F(SvgTest, HeatmapCoversAllBins) {
+    const density_map grid(rect(0, 0, 8, 4), 8, 4);
+    std::vector<double> values(8 * 4);
+    for (std::size_t i = 0; i < values.size(); ++i) values[i] = static_cast<double>(i);
+    write_heatmap_svg(grid, values, path_);
+    const std::string svg = slurp(path_);
+    std::size_t rects = 0;
+    for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+         pos = svg.find("<rect", pos + 1)) {
+        ++rects;
+    }
+    EXPECT_EQ(rects, 32u);
+    // Hottest bin is red, coldest blue.
+    EXPECT_NE(svg.find("#ff0000"), std::string::npos);
+    EXPECT_NE(svg.find("#0000ff"), std::string::npos);
+}
+
+TEST_F(SvgTest, HeatmapRejectsWrongSize) {
+    const density_map grid(rect(0, 0, 4, 4), 4, 4);
+    EXPECT_THROW(write_heatmap_svg(grid, std::vector<double>(3), path_), check_error);
+}
+
+TEST_F(SvgTest, ConstantHeatmapDoesNotDivideByZero) {
+    const density_map grid(rect(0, 0, 2, 2), 2, 2);
+    EXPECT_NO_THROW(write_heatmap_svg(grid, std::vector<double>(4, 1.0), path_));
+}
+
+} // namespace
+} // namespace gpf

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/placer.hpp"
+#include "netlist/generator.hpp"
+#include "thermal/thermal.hpp"
+
+namespace gpf {
+namespace {
+
+/// One hot cell in the middle of an otherwise cold chip.
+netlist hot_spot_circuit() {
+    netlist nl;
+    nl.set_region(rect(0, 0, 16, 16));
+    cell hot;
+    hot.name = "hot";
+    hot.width = 2.0;
+    hot.height = 2.0;
+    hot.power = 1.0;
+    hot.position = point(8, 8);
+    hot.fixed = true;
+    nl.add_cell(hot);
+    cell cold;
+    cold.name = "cold";
+    cold.position = point(2, 2);
+    cold.fixed = true;
+    nl.add_cell(cold);
+    return nl;
+}
+
+TEST(Thermal, PeakAtTheHotCell) {
+    const netlist nl = hot_spot_circuit();
+    const std::vector<double> map =
+        thermal_map(nl, nl.initial_placement(), nl.region(), 16, 16);
+    // Find the peak bin.
+    std::size_t peak_idx = 0;
+    for (std::size_t i = 0; i < map.size(); ++i) {
+        if (map[i] > map[peak_idx]) peak_idx = i;
+    }
+    const std::size_t ix = peak_idx / 16;
+    const std::size_t iy = peak_idx % 16;
+    EXPECT_NEAR(static_cast<double>(ix), 7.5, 1.0);
+    EXPECT_NEAR(static_cast<double>(iy), 7.5, 1.0);
+}
+
+TEST(Thermal, TemperatureDecaysWithDistance) {
+    const netlist nl = hot_spot_circuit();
+    const std::vector<double> map =
+        thermal_map(nl, nl.initial_placement(), nl.region(), 16, 16);
+    const double center = map[8 * 16 + 8];
+    const double mid = map[12 * 16 + 8];
+    const double corner = map[15 * 16 + 15];
+    EXPECT_GT(center, mid);
+    EXPECT_GT(mid, corner);
+    EXPECT_GE(corner, 0.0);
+}
+
+TEST(Thermal, HigherConductivityLowersTemperature) {
+    const netlist nl = hot_spot_circuit();
+    thermal_options low;
+    low.conductivity = 1.0;
+    thermal_options high;
+    high.conductivity = 4.0;
+    const auto map_low =
+        thermal_map(nl, nl.initial_placement(), nl.region(), 16, 16, low);
+    const auto map_high =
+        thermal_map(nl, nl.initial_placement(), nl.region(), 16, 16, high);
+    EXPECT_NEAR(summarize_thermal(map_low).peak / summarize_thermal(map_high).peak,
+                4.0, 0.2);
+}
+
+TEST(Thermal, PowerScalesLinearly) {
+    netlist nl = hot_spot_circuit();
+    const auto map1 = thermal_map(nl, nl.initial_placement(), nl.region(), 16, 16);
+    nl.cell_at(0).power = 2.0;
+    const auto map2 = thermal_map(nl, nl.initial_placement(), nl.region(), 16, 16);
+    EXPECT_NEAR(summarize_thermal(map2).peak, 2.0 * summarize_thermal(map1).peak,
+                1e-9);
+}
+
+TEST(Thermal, SummaryOfEmptyAndUniform) {
+    EXPECT_DOUBLE_EQ(summarize_thermal({}).peak, 0.0);
+    const thermal_stats s = summarize_thermal({2.0, 2.0, 2.0});
+    EXPECT_DOUBLE_EQ(s.peak, 2.0);
+    EXPECT_DOUBLE_EQ(s.average, 2.0);
+}
+
+TEST(Thermal, HookSpreadsHotCells) {
+    generator_options opt;
+    opt.num_cells = 200;
+    opt.num_nets = 220;
+    opt.num_rows = 8;
+    opt.num_pads = 24;
+    opt.seed = 41;
+    const netlist nl = generate_circuit(opt);
+
+    placer plain(nl, {});
+    const placement base = plain.run();
+
+    placer driven(nl, {});
+    thermal_options topt;
+    topt.density_weight = 2.0;
+    driven.set_density_hook(make_thermal_hook(nl, topt));
+    const placement hooked = driven.run();
+
+    const auto heat_base = thermal_map(nl, base, nl.region(), 64, 16);
+    const auto heat_hooked = thermal_map(nl, hooked, nl.region(), 64, 16);
+    EXPECT_LT(summarize_thermal(heat_hooked).peak,
+              summarize_thermal(heat_base).peak * 1.1);
+}
+
+} // namespace
+} // namespace gpf

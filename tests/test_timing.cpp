@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/generator.hpp"
+#include "timing/elmore.hpp"
+#include "timing/sta.hpp"
+#include "timing/timing_graph.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace gpf {
+namespace {
+
+/// pad_in → g1 → g2 → pad_out chain with unit-delay gates.
+netlist chain_circuit() {
+    netlist nl;
+    nl.set_region(rect(0, 0, 100, 10));
+    cell pin_pad;
+    pin_pad.name = "in";
+    pin_pad.kind = cell_kind::pad;
+    pin_pad.position = point(0, 5);
+    nl.add_cell(pin_pad);
+
+    for (int i = 0; i < 2; ++i) {
+        cell g;
+        g.name = "g" + std::to_string(i);
+        g.intrinsic_delay = 1e-9;
+        nl.add_cell(g);
+    }
+    cell pout;
+    pout.name = "out";
+    pout.kind = cell_kind::pad;
+    pout.position = point(100, 5);
+    nl.add_cell(pout);
+
+    const auto wire = [&](const std::string& name, cell_id from, cell_id to) {
+        net n;
+        n.name = name;
+        n.pins = {{from, {}}, {to, {}}};
+        n.driver = 0;
+        nl.add_net(std::move(n));
+    };
+    wire("w0", 0, 1); // in → g0
+    wire("w1", 1, 2); // g0 → g1
+    wire("w2", 2, 3); // g1 → out
+    return nl;
+}
+
+TEST(TimingGraph, BuildsArcsFromDirectedNets) {
+    const netlist nl = chain_circuit();
+    const timing_graph g(nl);
+    EXPECT_EQ(g.arcs().size(), 3u);
+    EXPECT_TRUE(g.is_source(0));
+    EXPECT_TRUE(g.is_endpoint(3));
+    EXPECT_FALSE(g.is_source(1));
+    EXPECT_FALSE(g.is_endpoint(1));
+}
+
+TEST(TimingGraph, ExcludesHugeNets) {
+    netlist nl = chain_circuit();
+    net big;
+    big.name = "big";
+    big.driver = 0;
+    big.pins.push_back({1, {}});
+    big.pins.push_back({2, {}});
+    // Inflate with pads to exceed the cap of 3 pins we pass below.
+    cell extra;
+    extra.name = "x";
+    extra.kind = cell_kind::pad;
+    extra.position = point(50, 0);
+    const cell_id xid = nl.add_cell(extra);
+    big.pins.push_back({xid, {}});
+    big.pins.push_back({0, {}});
+    nl.add_net(big);
+
+    const timing_graph capped(nl, /*max_net_pins=*/3);
+    EXPECT_EQ(capped.arcs().size(), 3u); // only the chain wires
+    const timing_graph uncapped(nl, 60);
+    EXPECT_GT(uncapped.arcs().size(), 3u);
+}
+
+TEST(TimingGraph, DetectsCombinationalCycle) {
+    netlist nl;
+    nl.set_region(rect(0, 0, 10, 10));
+    for (int i = 0; i < 2; ++i) {
+        cell g;
+        g.name = "g" + std::to_string(i);
+        g.intrinsic_delay = 1e-9;
+        nl.add_cell(g);
+    }
+    net a;
+    a.name = "a";
+    a.pins = {{0, {}}, {1, {}}};
+    a.driver = 0;
+    nl.add_net(a);
+    net b;
+    b.name = "b";
+    b.pins = {{1, {}}, {0, {}}};
+    b.driver = 0;
+    nl.add_net(b);
+    EXPECT_THROW(timing_graph g(nl), check_error);
+}
+
+TEST(TimingGraph, SequentialCellsBreakCycles) {
+    netlist nl;
+    nl.set_region(rect(0, 0, 10, 10));
+    cell g;
+    g.name = "g";
+    g.intrinsic_delay = 1e-9;
+    nl.add_cell(g);
+    cell ff;
+    ff.name = "ff";
+    ff.intrinsic_delay = 0.5e-9;
+    ff.sequential = true;
+    nl.add_cell(ff);
+    // g → ff and ff → g: a legal sequential loop.
+    net a;
+    a.name = "a";
+    a.pins = {{0, {}}, {1, {}}};
+    a.driver = 0;
+    nl.add_net(a);
+    net b;
+    b.name = "b";
+    b.pins = {{1, {}}, {0, {}}};
+    b.driver = 0;
+    nl.add_net(b);
+    EXPECT_NO_THROW(timing_graph graph(nl));
+}
+
+TEST(Elmore, ScalesWithLengthQuadratically) {
+    timing_config cfg;
+    const double d0 = elmore_net_delay(0.0, 1, cfg);
+    const double d1 = elmore_net_delay(10.0, 1, cfg);
+    const double d2 = elmore_net_delay(20.0, 1, cfg);
+    EXPECT_GT(d1, d0);
+    EXPECT_GT(d2, d1);
+    // The R_wire·C_wire/2 term is quadratic in L: positive second
+    // difference d(2L) − 2·d(L) + d(0) > 0.
+    EXPECT_GT(d2 - 2.0 * d1 + d0, 0.0);
+}
+
+TEST(Elmore, ZeroWireDelayIsDriverLoadOnly) {
+    timing_config cfg;
+    const double d = elmore_net_delay_zero_wire(3, cfg);
+    EXPECT_DOUBLE_EQ(d, cfg.driver_resistance * cfg.sink_capacitance * 3.0);
+    EXPECT_DOUBLE_EQ(elmore_net_delay(0.0, 3, cfg), d);
+}
+
+TEST(Elmore, MoreSinksMoreDelay) {
+    timing_config cfg;
+    EXPECT_GT(elmore_net_delay(5.0, 4, cfg), elmore_net_delay(5.0, 1, cfg));
+}
+
+TEST(Sta, ChainLongestPath) {
+    const netlist nl = chain_circuit();
+    const timing_graph g(nl);
+    timing_config cfg;
+
+    placement pl = nl.initial_placement();
+    pl[1] = point(30, 5);
+    pl[2] = point(70, 5);
+
+    const sta_result res = run_sta(g, pl, cfg);
+    // Expected: delays of the three wires + two gate delays.
+    const double expected = elmore_net_delay(30, 1, cfg) + 1e-9 +
+                            elmore_net_delay(40, 1, cfg) + 1e-9 +
+                            elmore_net_delay(30, 1, cfg);
+    EXPECT_NEAR(res.max_delay, expected, 1e-15);
+}
+
+TEST(Sta, CriticalPathCoversTheChain) {
+    const netlist nl = chain_circuit();
+    const timing_graph g(nl);
+    placement pl = nl.initial_placement();
+    pl[1] = point(30, 5);
+    pl[2] = point(70, 5);
+    const sta_result res = run_sta(g, pl, timing_config{});
+    ASSERT_GE(res.critical_path.size(), 3u);
+    EXPECT_EQ(res.critical_path.back(), 3u); // ends at the output pad
+}
+
+TEST(Sta, SlackZeroOnCriticalPathNets) {
+    const netlist nl = chain_circuit();
+    const timing_graph g(nl);
+    placement pl = nl.initial_placement();
+    pl[1] = point(30, 5);
+    pl[2] = point(70, 5);
+    const sta_result res = run_sta(g, pl, timing_config{});
+    for (net_id ni = 0; ni < nl.num_nets(); ++ni) {
+        // Single path ⇒ every net is critical with zero slack.
+        EXPECT_NEAR(res.net_slack[ni], 0.0, 1e-15) << ni;
+    }
+}
+
+TEST(Sta, SlackPositiveOffCriticalPath) {
+    // Two parallel paths of different length: the short one has slack.
+    netlist nl;
+    nl.set_region(rect(0, 0, 100, 10));
+    cell in_pad;
+    in_pad.name = "in";
+    in_pad.kind = cell_kind::pad;
+    in_pad.position = point(0, 5);
+    nl.add_cell(in_pad);
+    cell slow;
+    slow.name = "slow";
+    slow.intrinsic_delay = 5e-9;
+    nl.add_cell(slow);
+    cell fast;
+    fast.name = "fast";
+    fast.intrinsic_delay = 1e-9;
+    nl.add_cell(fast);
+    cell out_pad;
+    out_pad.name = "out";
+    out_pad.kind = cell_kind::pad;
+    out_pad.position = point(100, 5);
+    nl.add_cell(out_pad);
+
+    const auto wire = [&](const std::string& name, cell_id a, cell_id b) -> net_id {
+        net n;
+        n.name = name;
+        n.pins = {{a, {}}, {b, {}}};
+        n.driver = 0;
+        return nl.add_net(std::move(n));
+    };
+    wire("ws0", 0, 1);
+    const net_id slow_out = wire("ws1", 1, 3);
+    wire("wf0", 0, 2);
+    const net_id fast_out = wire("wf1", 2, 3);
+
+    placement pl = nl.initial_placement();
+    pl[1] = point(50, 5);
+    pl[2] = point(50, 5);
+    const timing_graph g(nl);
+    const sta_result res = run_sta(g, pl, timing_config{});
+    EXPECT_NEAR(res.net_slack[slow_out], 0.0, 1e-15);
+    EXPECT_GT(res.net_slack[fast_out], 3e-9); // 4 ns gate-delay gap minus wire
+    ASSERT_GE(res.critical_path.size(), 2u);
+    // The critical path runs through the slow gate.
+    bool through_slow = false;
+    for (const cell_id id : res.critical_path) through_slow |= (id == 1);
+    EXPECT_TRUE(through_slow);
+}
+
+TEST(Sta, ZeroWireModeGivesLowerBound) {
+    generator_options opt;
+    opt.num_cells = 200;
+    opt.num_nets = 220;
+    opt.num_rows = 8;
+    opt.num_pads = 24;
+    const netlist nl = generate_circuit(opt);
+    const timing_graph g(nl);
+    timing_config cfg;
+
+    const double lb = timing_lower_bound(g, cfg);
+    EXPECT_GT(lb, 0.0);
+
+    // Any placement's delay is at least the lower bound.
+    prng rng(2);
+    placement pl = nl.initial_placement();
+    const rect r = nl.region();
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        if (nl.cell_at(i).fixed) continue;
+        pl[i] = point(rng.next_range(r.xlo, r.xhi), rng.next_range(r.ylo, r.yhi));
+    }
+    const sta_result res = run_sta(g, pl, cfg);
+    EXPECT_GE(res.max_delay, lb);
+}
+
+TEST(Sta, ShorterWiresShorterDelay) {
+    const netlist nl = chain_circuit();
+    const timing_graph g(nl);
+    timing_config cfg;
+    placement tight = nl.initial_placement();
+    tight[1] = point(45, 5);
+    tight[2] = point(55, 5);
+    placement loose = nl.initial_placement();
+    loose[1] = point(10, 5);
+    loose[2] = point(90, 5);
+    // Same topology; both span the pads, but the loose one has more total
+    // wire (10+80+10=100 vs 45+10+45=100)... use y detour instead.
+    loose[1] = point(30, 5);
+    loose[2] = point(40, 5);
+    const double d_tight = run_sta(g, tight, cfg).max_delay;
+    const double d_loose = run_sta(g, loose, cfg).max_delay;
+    // tight: 45 + 10 + 45 = 100 units of wire; loose: 30 + 10 + 60 = 100 but
+    // quadratic wire delay favors balanced segments.
+    EXPECT_LT(d_tight, d_loose);
+}
+
+} // namespace
+} // namespace gpf

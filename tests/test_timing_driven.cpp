@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "netlist/generator.hpp"
+#include "timing/timing_driven.hpp"
+
+namespace gpf {
+namespace {
+
+netlist timing_circuit(std::uint64_t seed = 71) {
+    generator_options opt;
+    opt.num_cells = 300;
+    opt.num_nets = 330;
+    opt.num_rows = 10;
+    opt.num_pads = 32;
+    opt.sequential_fraction = 0.05; // longer combinational paths
+    opt.seed = seed;
+    return generate_circuit(opt);
+}
+
+timing_driven_options fast_options() {
+    timing_driven_options opt;
+    opt.placer.density_bins = 1024;
+    opt.placer.max_iterations = 80;
+    opt.optimization_iterations = 15;
+    return opt;
+}
+
+TEST(TimingDriven, NeverWorseThanBaseline) {
+    netlist nl = timing_circuit();
+    const timing_result res = timing_optimize(nl, fast_options());
+    EXPECT_LE(res.delay_after, res.delay_before);
+    EXPECT_GT(res.lower_bound, 0.0);
+    EXPECT_GE(res.delay_before, res.lower_bound);
+    EXPECT_GE(res.delay_after, res.lower_bound);
+}
+
+TEST(TimingDriven, ExploitationWithinBounds) {
+    netlist nl = timing_circuit();
+    const timing_result res = timing_optimize(nl, fast_options());
+    EXPECT_GE(res.exploitation(), 0.0);
+    EXPECT_LE(res.exploitation(), 1.0 + 1e-9);
+}
+
+TEST(TimingDriven, RestoresNetWeights) {
+    netlist nl = timing_circuit();
+    std::vector<double> weights_before;
+    for (const net& n : nl.nets()) weights_before.push_back(n.weight);
+    timing_optimize(nl, fast_options());
+    for (net_id i = 0; i < nl.num_nets(); ++i) {
+        EXPECT_DOUBLE_EQ(nl.net_at(i).weight, weights_before[i]);
+    }
+}
+
+TEST(TimingDriven, TraceRecordsHpwlDelayCurve) {
+    netlist nl = timing_circuit();
+    const timing_result res = timing_optimize(nl, fast_options());
+    ASSERT_GE(res.trace.size(), 2u);
+    for (const timing_point& pt : res.trace) {
+        EXPECT_GT(pt.hpwl, 0.0);
+        EXPECT_GT(pt.max_delay, 0.0);
+    }
+}
+
+TEST(MeetRequirement, TrivialRequirementMetImmediately) {
+    netlist nl = timing_circuit();
+    const timing_result res =
+        meet_timing_requirement(nl, /*requirement=*/1.0, fast_options());
+    EXPECT_TRUE(res.requirement_met);
+    EXPECT_EQ(res.trace.size(), 1u); // no weighting phase needed
+}
+
+TEST(MeetRequirement, ImpossibleRequirementReported) {
+    netlist nl = timing_circuit();
+    timing_driven_options opt = fast_options();
+    opt.optimization_iterations = 3;
+    const timing_result res =
+        meet_timing_requirement(nl, /*requirement=*/1e-15, opt);
+    EXPECT_FALSE(res.requirement_met);
+    EXPECT_GT(res.trace.size(), 1u);
+}
+
+TEST(MeetRequirement, AchievableRequirementTerminatesEarly) {
+    netlist nl = timing_circuit();
+    timing_driven_options opt = fast_options();
+    // First find out what is achievable.
+    const timing_result best = timing_optimize(nl, opt);
+    const double requirement =
+        best.delay_after + 0.3 * (best.delay_before - best.delay_after);
+
+    netlist nl2 = timing_circuit();
+    const timing_result res = meet_timing_requirement(nl2, requirement, opt);
+    if (res.requirement_met) {
+        EXPECT_LE(res.delay_after, requirement);
+        // The trade-off curve documents the area cost.
+        EXPECT_GE(res.trace.size(), 1u);
+    }
+}
+
+TEST(MeetRequirement, WeightsRestoredEitherWay) {
+    netlist nl = timing_circuit();
+    timing_driven_options opt = fast_options();
+    opt.optimization_iterations = 3;
+    meet_timing_requirement(nl, 1e-15, opt);
+    for (const net& n : nl.nets()) EXPECT_DOUBLE_EQ(n.weight, 1.0);
+}
+
+} // namespace
+} // namespace gpf

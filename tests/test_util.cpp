@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+#include "util/prng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace gpf {
+namespace {
+
+TEST(Check, PassesOnTrue) { EXPECT_NO_THROW(GPF_CHECK(1 + 1 == 2)); }
+
+TEST(Check, ThrowsOnFalse) {
+    EXPECT_THROW(GPF_CHECK(false), check_error);
+}
+
+TEST(Check, MessageContainsExpression) {
+    try {
+        GPF_CHECK_MSG(2 > 3, "two is not greater, got " << 2);
+        FAIL() << "expected check_error";
+    } catch (const check_error& e) {
+        EXPECT_NE(std::string(e.what()).find("2 > 3"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("two is not greater"), std::string::npos);
+    }
+}
+
+TEST(Prng, Deterministic) {
+    prng a(42);
+    prng b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+    prng a(1);
+    prng b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i) any_diff |= (a.next_u64() != b.next_u64());
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Prng, DoubleInUnitInterval) {
+    prng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.next_double();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Prng, NextBelowRespectsBound) {
+    prng rng(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.next_below(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all residues hit over 1000 draws
+}
+
+TEST(Prng, NextBelowZeroBoundThrows) {
+    prng rng(3);
+    EXPECT_THROW(rng.next_below(0), check_error);
+}
+
+TEST(Prng, NextIntInclusiveRange) {
+    prng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = rng.next_int(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(Prng, GaussianMoments) {
+    prng rng(5);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.next_gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.05);
+    EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Prng, BernoulliFrequency) {
+    prng rng(13);
+    int hits = 0;
+    constexpr int n = 10000;
+    for (int i = 0; i < n; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(Prng, SplitStreamsAreIndependent) {
+    prng parent(21);
+    prng child = parent.split();
+    // Parent keeps producing, child produces its own sequence.
+    bool differ = false;
+    for (int i = 0; i < 8; ++i) differ |= (parent.next_u64() != child.next_u64());
+    EXPECT_TRUE(differ);
+}
+
+TEST(Logging, SinkReceivesMessagesAboveThreshold) {
+    std::vector<std::string> received;
+    set_log_sink([&](log_level, const std::string& msg) { received.push_back(msg); });
+    set_log_level(log_level::warning);
+    log(log_level::debug) << "dropped";
+    log(log_level::error) << "kept " << 42;
+    set_log_sink(nullptr);
+    set_log_level(log_level::warning);
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_EQ(received[0], "kept 42");
+}
+
+TEST(Logging, OffSilencesEverything) {
+    int count = 0;
+    set_log_sink([&](log_level, const std::string&) { ++count; });
+    set_log_level(log_level::off);
+    log(log_level::error) << "nope";
+    set_log_sink(nullptr);
+    set_log_level(log_level::warning);
+    EXPECT_EQ(count, 0);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+    stopwatch sw;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const double t = sw.elapsed_seconds();
+    EXPECT_GE(t, 0.015);
+    EXPECT_LT(t, 5.0);
+    sw.reset();
+    EXPECT_LT(sw.elapsed_seconds(), 0.015);
+}
+
+} // namespace
+} // namespace gpf

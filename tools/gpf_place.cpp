@@ -1,0 +1,195 @@
+// gpf_place — command-line front end of the GPF placer.
+//
+//   gpf_place --cells 2000                    # synthetic circuit
+//   gpf_place --bookshelf path/to/design      # reads design.{nodes,nets,pl[,scl]}
+//   gpf_place --suite avq.small --scale 0.1   # MCNC-class synthetic suite
+//
+// Flow options:
+//   --fast                 K = 1.0 instead of 0.2
+//   --timing               timing-driven net weighting
+//   --congestion           RUDY congestion hook
+//   --legalizer tetris|abacus
+//   --out PREFIX           write PREFIX.{pl,nodes,nets,scl} and PREFIX.svg
+//   --svg                  also write density/heat maps
+//   --seed N, --iterations N, --quiet
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "gpf.hpp"
+#include "report/svg.hpp"
+
+namespace {
+
+struct cli_options {
+    std::optional<std::string> bookshelf;
+    std::optional<std::string> suite;
+    double scale = 0.1;
+    std::size_t cells = 1000;
+    std::uint64_t seed = 1;
+    bool fast = false;
+    bool timing = false;
+    bool congestion = false;
+    bool svg = false;
+    bool quiet = false;
+    std::size_t iterations = 0; // 0 = default
+    std::string legalizer = "abacus";
+    std::string out = "gpf_out";
+};
+
+void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--cells N | --bookshelf BASE | --suite NAME]\n"
+                 "          [--scale S] [--seed N] [--fast] [--timing]\n"
+                 "          [--congestion] [--legalizer tetris|abacus]\n"
+                 "          [--iterations N] [--out PREFIX] [--svg] [--quiet]\n",
+                 argv0);
+}
+
+bool parse(int argc, char** argv, cli_options& opt) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--cells") {
+            const char* v = next();
+            if (!v) return false;
+            opt.cells = static_cast<std::size_t>(std::atoll(v));
+        } else if (arg == "--bookshelf") {
+            const char* v = next();
+            if (!v) return false;
+            opt.bookshelf = v;
+        } else if (arg == "--suite") {
+            const char* v = next();
+            if (!v) return false;
+            opt.suite = v;
+        } else if (arg == "--scale") {
+            const char* v = next();
+            if (!v) return false;
+            opt.scale = std::atof(v);
+        } else if (arg == "--seed") {
+            const char* v = next();
+            if (!v) return false;
+            opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (arg == "--iterations") {
+            const char* v = next();
+            if (!v) return false;
+            opt.iterations = static_cast<std::size_t>(std::atoll(v));
+        } else if (arg == "--legalizer") {
+            const char* v = next();
+            if (!v) return false;
+            opt.legalizer = v;
+        } else if (arg == "--out") {
+            const char* v = next();
+            if (!v) return false;
+            opt.out = v;
+        } else if (arg == "--fast") {
+            opt.fast = true;
+        } else if (arg == "--timing") {
+            opt.timing = true;
+        } else if (arg == "--congestion") {
+            opt.congestion = true;
+        } else if (arg == "--svg") {
+            opt.svg = true;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return false;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(argv[0]);
+            return false;
+        }
+    }
+    return true;
+}
+
+gpf::netlist load_circuit(const cli_options& opt) {
+    if (opt.bookshelf) {
+        gpf::bookshelf_design design = gpf::read_bookshelf(*opt.bookshelf);
+        return std::move(design.nl);
+    }
+    if (opt.suite) {
+        return gpf::make_suite_circuit(gpf::suite_circuit_by_name(*opt.suite),
+                                       opt.scale, opt.seed);
+    }
+    gpf::generator_options gen;
+    gen.num_cells = opt.cells;
+    gen.num_nets = opt.cells + opt.cells / 8;
+    gen.num_rows = std::max<std::size_t>(8, opt.cells / 60);
+    gen.num_pads = 64;
+    gen.seed = opt.seed;
+    return gpf::generate_circuit(gen);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    cli_options cli;
+    if (!parse(argc, argv, cli)) return 2;
+    gpf::set_log_level(cli.quiet ? gpf::log_level::warning : gpf::log_level::info);
+
+    try {
+        gpf::netlist nl = load_circuit(cli);
+        const gpf::netlist_stats stats = gpf::compute_stats(nl);
+        if (!cli.quiet) {
+            std::ostringstream os;
+            os << stats;
+            std::printf("circuit: %s\n", os.str().c_str());
+        }
+
+        gpf::placer_options popt;
+        popt.force_scale_k = cli.fast ? 1.0 : 0.2;
+        if (cli.iterations > 0) popt.max_iterations = cli.iterations;
+
+        gpf::stopwatch sw;
+        gpf::placement global;
+        if (cli.timing) {
+            gpf::timing_driven_options topt;
+            topt.placer = popt;
+            const gpf::timing_result res = gpf::timing_optimize(nl, topt);
+            global = res.pl;
+            std::printf("timing: %.3f ns -> %.3f ns (lower bound %.3f ns, "
+                        "exploitation %.0f%%)\n",
+                        res.delay_before * 1e9, res.delay_after * 1e9,
+                        res.lower_bound * 1e9, res.exploitation() * 100);
+        } else {
+            gpf::placer p(nl, popt);
+            if (cli.congestion) p.set_density_hook(gpf::make_congestion_hook(nl));
+            global = p.run();
+            std::printf("global placement: %zu transformations, HPWL %.1f\n",
+                        p.history().size(), gpf::total_hpwl(nl, global));
+        }
+
+        gpf::legalize_options lopt;
+        lopt.algorithm = cli.legalizer == "tetris" ? gpf::row_legalizer::tetris
+                                                   : gpf::row_legalizer::abacus;
+        gpf::placement legal;
+        const gpf::legalize_result lr = gpf::legalize(nl, global, legal, lopt);
+        std::printf("legalized HPWL %.1f (refined %.1f) in %.2fs total\n",
+                    lr.hpwl_legal, lr.hpwl_refined, sw.elapsed_seconds());
+
+        gpf::write_bookshelf(nl, legal, cli.out);
+        gpf::write_placement_svg(nl, legal, cli.out + ".svg");
+        if (cli.svg) {
+            const gpf::density_map grid = gpf::compute_density(nl, legal, 4096);
+            gpf::write_heatmap_svg(grid, grid.demand(), cli.out + "_density.svg");
+            const auto rudy =
+                gpf::rudy_map(nl, legal, grid.region(), grid.nx(), grid.ny());
+            gpf::write_heatmap_svg(grid, rudy, cli.out + "_congestion.svg");
+        }
+        std::printf("wrote %s.{nodes,nets,pl,scl,svg}\n", cli.out.c_str());
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,13 +1,32 @@
 // Component micro-benchmarks (google-benchmark): the per-transformation
 // building blocks of the placer and both legalizers, so performance
 // regressions in the substrates are visible independently of table runs.
+//
+// The *_threads benchmarks sweep the worker-pool size (1, 2, N=hardware)
+// over the threaded kernels so BENCH_*.json captures the speedup
+// trajectory; results are bitwise identical across the sweep by the
+// determinism contract (tests/test_parallel.cpp).
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
 
 #include "gpf.hpp"
 
 namespace {
 
 using namespace gpf;
+
+/// Pool size for a benchmark arg: 1, 2, ... with 0 meaning "hardware".
+void use_threads(std::int64_t arg) {
+    thread_pool::instance().set_num_threads(
+        arg == 0 ? thread_pool::default_thread_count()
+                 : static_cast<std::size_t>(arg));
+}
+
+void thread_sweep(benchmark::internal::Benchmark* b) {
+    b->Arg(1)->Arg(2)->Arg(0); // 0 = hardware concurrency
+    b->ArgName("threads");
+}
 
 netlist make_circuit(std::size_t cells) {
     generator_options opt;
@@ -102,6 +121,76 @@ void bm_sta(benchmark::State& state) {
     }
 }
 BENCHMARK(bm_sta)->Arg(1000)->Arg(4000);
+
+// --------------------------------------------------------------------------
+// Thread sweeps over the parallel kernels (arg = pool size, 0 = hardware).
+// The acceptance pipeline: density stamping + FFT force field on a 256×256
+// grid, the per-transformation hot path of section 3.3 / eq. (9).
+// --------------------------------------------------------------------------
+
+void bm_density_forcefield_pipeline_threads(benchmark::State& state) {
+    use_threads(state.range(0));
+    const netlist nl = make_circuit(8000);
+    const placement pl = nl.initial_placement();
+    for (auto _ : state) {
+        const density_map d = compute_density_grid(nl, pl, 256, 256);
+        benchmark::DoNotOptimize(compute_force_field(d));
+    }
+    state.SetLabel("256x256 grid");
+    use_threads(1);
+}
+BENCHMARK(bm_density_forcefield_pipeline_threads)->Apply(thread_sweep)
+    ->Unit(benchmark::kMillisecond);
+
+void bm_density_stamping_threads(benchmark::State& state) {
+    use_threads(state.range(0));
+    const netlist nl = make_circuit(8000);
+    const placement pl = nl.initial_placement();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compute_density_grid(nl, pl, 256, 256));
+    }
+    use_threads(1);
+}
+BENCHMARK(bm_density_stamping_threads)->Apply(thread_sweep);
+
+void bm_force_field_fft_threads(benchmark::State& state) {
+    use_threads(state.range(0));
+    const netlist nl = make_circuit(2000);
+    const placement pl = nl.initial_placement();
+    const density_map d = compute_density_grid(nl, pl, 256, 256);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compute_force_field(d));
+    }
+    use_threads(1);
+}
+BENCHMARK(bm_force_field_fft_threads)->Apply(thread_sweep)
+    ->Unit(benchmark::kMillisecond);
+
+void bm_cg_solve_threads(benchmark::State& state) {
+    use_threads(state.range(0));
+    const netlist nl = make_circuit(4000);
+    const placement pl = nl.centered_placement();
+    quadratic_system sys(nl);
+    sys.assemble(pl);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sys.solve(pl, {}, {}));
+    }
+    use_threads(1);
+}
+BENCHMARK(bm_cg_solve_threads)->Apply(thread_sweep);
+
+void bm_placement_transformation_threads(benchmark::State& state) {
+    use_threads(state.range(0));
+    const netlist nl = make_circuit(4000);
+    placer p(nl, {});
+    placement pl = p.run();
+    for (auto _ : state) {
+        pl = p.transform(pl);
+        benchmark::DoNotOptimize(pl.size());
+    }
+    use_threads(1);
+}
+BENCHMARK(bm_placement_transformation_threads)->Apply(thread_sweep);
 
 void bm_rudy(benchmark::State& state) {
     const netlist nl = make_circuit(2000);

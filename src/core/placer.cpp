@@ -9,6 +9,7 @@
 #include "density/force_field.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gpf {
 
@@ -67,8 +68,10 @@ void placer::wire_relax(placement& pl) {
         cg_solve_operator(apply, full_diag, rhs, x, options_.cg);
         return x;
     };
-    const std::vector<double> xs = solve_dim(system_.matrix_x(), system_.rhs_x(), true);
-    const std::vector<double> ys = solve_dim(system_.matrix_y(), system_.rhs_y(), false);
+    std::vector<double> xs, ys;
+    parallel_invoke(
+        [&] { xs = solve_dim(system_.matrix_x(), system_.rhs_x(), true); },
+        [&] { ys = solve_dim(system_.matrix_y(), system_.rhs_y(), false); });
     for (std::size_t v = 0; v < system_.num_movable(); ++v) {
         pl[system_.cell_of_var(v)] = point(xs[v], ys[v]);
     }
@@ -86,11 +89,14 @@ placement placer::transform(const placement& current) {
     // 2. Density of the current placement (+ hooked-in extra sources).
     const auto [nx, ny] = density_dims();
     density_map density(nl_.region(), nx, ny);
+    std::vector<rect> cell_rects;
+    cell_rects.reserve(nl_.num_cells());
     for (cell_id i = 0; i < nl_.num_cells(); ++i) {
         const cell& c = nl_.cell_at(i);
         if (c.kind == cell_kind::pad) continue;
-        density.add_rect(rect::from_center(current[i], c.width, c.height));
+        cell_rects.push_back(rect::from_center(current[i], c.width, c.height));
     }
+    density.add_rects(cell_rects);
     if (density_hook_) density_hook_(density, current);
     density.finalize();
 
@@ -189,8 +195,9 @@ placement placer::transform(const placement& current) {
             return cg_solve_operator(apply, full_diag, rhs, delta, options_.cg);
         };
         std::vector<double> dx, dy;
-        res_x = solve_dim(system_.matrix_x(), diag_x, rhs_x, dx);
-        res_y = solve_dim(system_.matrix_y(), diag_y, rhs_y, dy);
+        parallel_invoke(
+            [&] { res_x = solve_dim(system_.matrix_x(), diag_x, rhs_x, dx); },
+            [&] { res_y = solve_dim(system_.matrix_y(), diag_y, rhs_y, dy); });
         next = current;
         for (std::size_t v = 0; v < system_.num_movable(); ++v) {
             const cell_id id = system_.cell_of_var(v);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gpf {
 
@@ -29,6 +30,11 @@ void density_map::clear() {
 }
 
 void density_map::add_rect(const rect& r, double weight) {
+    stamp(r, weight, demand_);
+    finalized_ = false;
+}
+
+void density_map::stamp(const rect& r, double weight, std::vector<double>& out) const {
     const rect clipped = intersect(r, region_);
     if (clipped.empty()) return;
 
@@ -57,11 +63,44 @@ void density_map::add_rect(const rect& r, double weight) {
             const double bylo = region_.ylo + static_cast<double>(iy) * bin_h_;
             const double oy = overlap(interval(bylo, bylo + bin_h_), clipped.y_range());
             if (oy <= 0.0) continue;
-            demand_[index(static_cast<std::size_t>(ix), static_cast<std::size_t>(iy))] +=
+            out[index(static_cast<std::size_t>(ix), static_cast<std::size_t>(iy))] +=
                 weight * ox * oy * inv_bin_area;
         }
     }
+}
+
+void density_map::add_rects(const std::vector<rect>& rects, double weight) {
+    const std::size_t n = rects.size();
+    if (n == 0) return;
     finalized_ = false;
+
+    // Slab decomposition fixed by n alone (never by the thread count):
+    // each slab accumulates its rects, in index order, into a private
+    // scratch grid; the scratch grids then merge into the demand grid in
+    // slab order. The reduction tree is therefore identical whether the
+    // slabs run inline or on any number of workers — placements stay
+    // bitwise reproducible across GPF_THREADS settings.
+    constexpr std::size_t kMinRectsPerSlab = 256;
+    constexpr std::size_t kMaxSlabs = 32;
+    const std::size_t slabs =
+        std::clamp<std::size_t>(n / kMinRectsPerSlab, 1, kMaxSlabs);
+    if (slabs == 1) {
+        for (const rect& r : rects) stamp(r, weight, demand_);
+        return;
+    }
+
+    std::vector<std::vector<double>> scratch(slabs);
+    parallel_for(slabs, [&](std::size_t s) {
+        std::vector<double> grid(demand_.size(), 0.0);
+        const std::size_t begin = n * s / slabs;
+        const std::size_t end = n * (s + 1) / slabs;
+        for (std::size_t i = begin; i < end; ++i) stamp(rects[i], weight, grid);
+        scratch[s] = std::move(grid);
+    });
+    for (std::size_t s = 0; s < slabs; ++s) {
+        const std::vector<double>& grid = scratch[s];
+        for (std::size_t b = 0; b < demand_.size(); ++b) demand_[b] += grid[b];
+    }
 }
 
 void density_map::add_point(const point& p, double area) {
@@ -141,11 +180,14 @@ density_map compute_density_grid(const netlist& nl, const placement& pl,
                                  std::size_t nx, std::size_t ny) {
     GPF_CHECK(pl.size() == nl.num_cells());
     density_map map(nl.region(), nx, ny);
+    std::vector<rect> rects;
+    rects.reserve(nl.num_cells());
     for (cell_id i = 0; i < nl.num_cells(); ++i) {
         const cell& c = nl.cell_at(i);
         if (c.kind == cell_kind::pad) continue;
-        map.add_rect(rect::from_center(pl[i], c.width, c.height));
+        rects.push_back(rect::from_center(pl[i], c.width, c.height));
     }
+    map.add_rects(rects);
     map.finalize();
     return map;
 }

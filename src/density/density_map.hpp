@@ -39,6 +39,13 @@ public:
     /// clipped to the region). `weight` scales the deposited area.
     void add_rect(const rect& r, double weight = 1.0);
 
+    /// Stamp many rectangles at once, in parallel. Rects are split into
+    /// slabs whose count depends only on rects.size(); each slab
+    /// accumulates into a private scratch grid and the grids merge in slab
+    /// order, so the result is bitwise identical for any thread count
+    /// (though the summation grouping differs from repeated add_rect).
+    void add_rects(const std::vector<rect>& rects, double weight = 1.0);
+
     /// Deposit `area` into the single bin containing p (point model).
     void add_point(const point& p, double area);
 
@@ -72,6 +79,10 @@ public:
 
 private:
     std::size_t index(std::size_t ix, std::size_t iy) const { return ix * ny_ + iy; }
+
+    /// Exact-overlap stamping of one rect into an arbitrary grid (the
+    /// shared core of add_rect and the parallel add_rects scratch path).
+    void stamp(const rect& r, double weight, std::vector<double>& out) const;
 
     rect region_;
     std::size_t nx_;

@@ -5,6 +5,7 @@
 
 #include "linalg/fft.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gpf {
 
@@ -88,7 +89,8 @@ force_field compute_force_field(const density_map& density) {
     std::vector<double> ky(k0 * k1, 0.0);
     const double bw = density.bin_width();
     const double bh = density.bin_height();
-    for (std::size_t i = 0; i < k0; ++i) {
+    // Every kernel tap is an independent write — parallel over rows.
+    parallel_for(k0, [&](std::size_t i) {
         const double dx = (static_cast<double>(i) - static_cast<double>(nx - 1)) * bw;
         for (std::size_t j = 0; j < k1; ++j) {
             const double dy = (static_cast<double>(j) - static_cast<double>(ny - 1)) * bh;
@@ -98,7 +100,7 @@ force_field compute_force_field(const density_map& density) {
             kx[i * k1 + j] = dx * inv;
             ky[i * k1 + j] = dy * inv;
         }
-    }
+    });
 
     field.fx() = convolve_2d(src, nx, ny, kx);
     field.fy() = convolve_2d(src, nx, ny, ky);

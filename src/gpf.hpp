@@ -47,3 +47,4 @@
 #include "util/logging.hpp"
 #include "util/prng.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"

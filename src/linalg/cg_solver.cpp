@@ -3,21 +3,34 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gpf {
 
+namespace {
+
+// Minimum elements per chunk for the elementwise vector kernels; bounds
+// scheduling overhead only, never the arithmetic.
+constexpr std::size_t kVectorGrain = 4096;
+
+} // namespace
+
 double dot(const std::vector<double>& a, const std::vector<double>& b) {
     GPF_DCHECK(a.size() == b.size());
-    double acc = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-    return acc;
+    // Fixed-slab reduction: bitwise reproducible for any thread count.
+    return deterministic_sum(a.size(), [&](std::size_t i) { return a[i] * b[i]; });
 }
 
 double norm2(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
 
 void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
     GPF_DCHECK(x.size() == y.size());
-    for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+    parallel_for_chunks(
+        x.size(),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) y[i] += alpha * x[i];
+        },
+        kVectorGrain);
 }
 
 namespace {
@@ -132,7 +145,12 @@ cg_result cg_solve(const csr_matrix& a, const std::vector<double>& b,
         const double rz_new = dot(r, z);
         const double beta = rz_new / rz;
         rz = rz_new;
-        for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+        parallel_for_chunks(
+            n,
+            [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) p[i] = z[i] + beta * p[i];
+            },
+            kVectorGrain);
         result.iterations = it + 1;
     }
     result.residual = norm2(r) / bnorm;
@@ -199,7 +217,12 @@ cg_result cg_solve_operator(const linear_operator& apply,
         const double rz_new = dot(r, z);
         const double beta = rz_new / rz;
         rz = rz_new;
-        for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+        parallel_for_chunks(
+            n,
+            [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) p[i] = z[i] + beta * p[i];
+            },
+            kVectorGrain);
         result.iterations = it + 1;
     }
     result.residual = norm2(r) / bnorm;

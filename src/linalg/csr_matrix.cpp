@@ -4,20 +4,28 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gpf {
 
 void csr_matrix::multiply(const std::vector<double>& x, std::vector<double>& y) const {
     const std::size_t n = rows();
     GPF_CHECK(x.size() == n);
-    y.assign(n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-        double acc = 0.0;
-        for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-            acc += values_[k] * x[col_idx_[k]];
-        }
-        y[i] = acc;
-    }
+    y.resize(n);
+    // Row-parallel: each y[i] is produced by exactly one left-to-right row
+    // sum, so the result is bitwise identical for any thread count.
+    parallel_for_chunks(
+        n,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                double acc = 0.0;
+                for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+                    acc += values_[k] * x[col_idx_[k]];
+                }
+                y[i] = acc;
+            }
+        },
+        /*grain=*/256);
 }
 
 std::vector<double> csr_matrix::diagonal() const {

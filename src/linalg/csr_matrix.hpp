@@ -18,7 +18,9 @@ public:
     std::size_t rows() const { return row_ptr_.empty() ? 0 : row_ptr_.size() - 1; }
     std::size_t nonzeros() const { return values_.size(); }
 
-    /// y = A * x. x.size() must equal rows().
+    /// y = A * x. x.size() must equal rows(). Row-parallel over the worker
+    /// pool; bitwise identical for any thread count (each y[i] is one
+    /// left-to-right row sum).
     void multiply(const std::vector<double>& x, std::vector<double>& y) const;
 
     /// Main diagonal (missing entries are 0).

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gpf {
 
@@ -52,20 +53,25 @@ void fft(std::vector<std::complex<double>>& a, bool inverse) {
 void fft_2d(std::vector<std::complex<double>>& a, std::size_t n0, std::size_t n1,
             bool inverse) {
     GPF_CHECK(a.size() == n0 * n1);
-    // rows
-    std::vector<std::complex<double>> row(n1);
-    for (std::size_t i = 0; i < n0; ++i) {
-        for (std::size_t j = 0; j < n1; ++j) row[j] = a[i * n1 + j];
-        fft(row, inverse);
-        for (std::size_t j = 0; j < n1; ++j) a[i * n1 + j] = row[j];
-    }
-    // columns
-    std::vector<std::complex<double>> col(n0);
-    for (std::size_t j = 0; j < n1; ++j) {
-        for (std::size_t i = 0; i < n0; ++i) col[i] = a[i * n1 + j];
-        fft(col, inverse);
-        for (std::size_t i = 0; i < n0; ++i) a[i * n1 + j] = col[i];
-    }
+    // Each row (then each column) transform touches a disjoint slice, so
+    // both passes parallelize with bitwise-identical results for any
+    // thread count; only the barrier between the passes is ordered.
+    parallel_for_chunks(n0, [&](std::size_t begin, std::size_t end) {
+        std::vector<std::complex<double>> row(n1);
+        for (std::size_t i = begin; i < end; ++i) {
+            for (std::size_t j = 0; j < n1; ++j) row[j] = a[i * n1 + j];
+            fft(row, inverse);
+            for (std::size_t j = 0; j < n1; ++j) a[i * n1 + j] = row[j];
+        }
+    });
+    parallel_for_chunks(n1, [&](std::size_t begin, std::size_t end) {
+        std::vector<std::complex<double>> col(n0);
+        for (std::size_t j = begin; j < end; ++j) {
+            for (std::size_t i = 0; i < n0; ++i) col[i] = a[i * n1 + j];
+            fft(col, inverse);
+            for (std::size_t i = 0; i < n0; ++i) a[i * n1 + j] = col[i];
+        }
+    });
 }
 
 std::vector<double> convolve_2d(const std::vector<double>& data, std::size_t n0,
@@ -86,7 +92,12 @@ std::vector<double> convolve_2d(const std::vector<double>& data, std::size_t n0,
 
     fft_2d(fa, p0, p1, false);
     fft_2d(fb, p0, p1, false);
-    for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= fb[i];
+    parallel_for_chunks(
+        fa.size(),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) fa[i] *= fb[i];
+        },
+        /*grain=*/4096);
     fft_2d(fa, p0, p1, true);
 
     // The zero-offset kernel tap sits at (n0-1, n1-1), so output (i, j) of

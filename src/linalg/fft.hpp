@@ -22,6 +22,8 @@ std::size_t next_power_of_two(std::size_t n);
 void fft(std::vector<std::complex<double>>& a, bool inverse);
 
 /// In-place 2-D FFT over a row-major n0 x n1 array (both powers of two).
+/// Row and column passes run on the worker pool; results are bitwise
+/// identical for any thread count (each 1-D transform owns its slice).
 void fft_2d(std::vector<std::complex<double>>& a, std::size_t n0, std::size_t n1,
             bool inverse);
 

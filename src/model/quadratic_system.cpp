@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gpf {
 
@@ -260,8 +261,12 @@ placement quadratic_system::solve(const placement& start, const std::vector<doub
         ys[movable_.size() + sv] = c.y;
     }
 
-    const cg_result res_x = cg_solve(ax_, rx, xs, options);
-    const cg_result res_y = cg_solve(ay_, ry, ys, options);
+    // The two axis systems are independent; solve them concurrently. Each
+    // solve is deterministic on its own, so concurrency cannot change bits.
+    cg_result res_x;
+    cg_result res_y;
+    parallel_invoke([&] { res_x = cg_solve(ax_, rx, xs, options); },
+                    [&] { res_y = cg_solve(ay_, ry, ys, options); });
     if (result_x) *result_x = res_x;
     if (result_y) *result_y = res_y;
 

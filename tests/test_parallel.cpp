@@ -1,0 +1,193 @@
+// The determinism contract of the threaded kernels: every kernel and the
+// full placement flow must produce BITWISE identical results for any
+// GPF_THREADS setting. The arithmetic schedule of each kernel is fixed by
+// the problem size alone (see util/thread_pool.hpp), so running at 1, 2, 4
+// or 8 threads may only change wall-clock time, never a single bit.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpf.hpp"
+
+namespace gpf {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {2, 4, 8};
+
+class scoped_threads {
+public:
+    explicit scoped_threads(std::size_t n)
+        : previous_(thread_pool::instance().num_threads()) {
+        thread_pool::instance().set_num_threads(n);
+    }
+    ~scoped_threads() { thread_pool::instance().set_num_threads(previous_); }
+
+private:
+    std::size_t previous_;
+};
+
+/// Evaluate fn() once per thread count and require every result to be
+/// bitwise identical to the single-thread result.
+template <class Fn>
+void expect_threads_equal(Fn&& fn, const char* what) {
+    using result_t = decltype(fn());
+    result_t serial;
+    {
+        scoped_threads guard(1);
+        serial = fn();
+    }
+    for (const std::size_t t : kThreadCounts) {
+        scoped_threads guard(t);
+        const result_t threaded = fn();
+        ASSERT_EQ(serial.size(), threaded.size()) << what << " threads=" << t;
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            ASSERT_EQ(serial[i], threaded[i])
+                << what << " differs at index " << i << " with " << t << " threads";
+        }
+    }
+}
+
+netlist test_circuit(std::size_t cells, std::uint64_t seed) {
+    generator_options opt;
+    opt.num_cells = cells;
+    opt.num_nets = cells + cells / 6;
+    opt.num_rows = 8;
+    opt.num_pads = 24;
+    opt.seed = seed;
+    return generate_circuit(opt);
+}
+
+placement random_placement(const netlist& nl, std::uint64_t seed) {
+    prng rng(seed);
+    placement pl = nl.initial_placement();
+    const rect r = nl.region();
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        if (nl.cell_at(i).fixed) continue;
+        pl[i] = point(rng.next_range(r.xlo, r.xhi), rng.next_range(r.ylo, r.yhi));
+    }
+    return pl;
+}
+
+// ---------------------------------------------------------------------------
+// Density accumulation
+// ---------------------------------------------------------------------------
+
+TEST(ParallelEquivalence, DensityMapBitwiseIdentical) {
+    const netlist nl = test_circuit(900, 71);
+    const placement pl = random_placement(nl, 72);
+    expect_threads_equal(
+        [&] {
+            const density_map d = compute_density_grid(nl, pl, 48, 40);
+            std::vector<double> out = d.demand();
+            out.push_back(d.supply_level());
+            return out;
+        },
+        "density demand grid");
+}
+
+TEST(ParallelEquivalence, BulkAddRectsMatchesAcrossThreads) {
+    prng rng(99);
+    std::vector<rect> rects;
+    for (int k = 0; k < 3000; ++k) {
+        const double x = rng.next_range(0.0, 90.0);
+        const double y = rng.next_range(0.0, 55.0);
+        rects.emplace_back(x, y, x + rng.next_range(0.2, 6.0),
+                           y + rng.next_range(0.2, 4.0));
+    }
+    expect_threads_equal(
+        [&] {
+            density_map d(rect(0, 0, 100, 60), 64, 32);
+            d.add_rects(rects, 1.25);
+            return d.demand();
+        },
+        "bulk-stamped demand grid");
+}
+
+// ---------------------------------------------------------------------------
+// Force field (FFT pipeline)
+// ---------------------------------------------------------------------------
+
+TEST(ParallelEquivalence, ForceFieldBitwiseIdentical) {
+    const netlist nl = test_circuit(700, 5);
+    const placement pl = random_placement(nl, 6);
+    const density_map d = compute_density_grid(nl, pl, 64, 64);
+    expect_threads_equal(
+        [&] {
+            const force_field f = compute_force_field(d);
+            std::vector<double> out = f.fx();
+            out.insert(out.end(), f.fy().begin(), f.fy().end());
+            return out;
+        },
+        "force field");
+}
+
+// ---------------------------------------------------------------------------
+// CG solution of the quadratic system
+// ---------------------------------------------------------------------------
+
+TEST(ParallelEquivalence, CgSolutionBitwiseIdentical) {
+    const netlist nl = test_circuit(600, 17);
+    const placement start = nl.centered_placement();
+    expect_threads_equal(
+        [&] {
+            quadratic_system sys(nl);
+            sys.assemble(start);
+            const placement solved = sys.solve(start, {}, {}, cg_options{});
+            std::vector<double> out;
+            out.reserve(2 * solved.size());
+            for (const point& p : solved) {
+                out.push_back(p.x);
+                out.push_back(p.y);
+            }
+            return out;
+        },
+        "CG solution");
+}
+
+// ---------------------------------------------------------------------------
+// Full placement flow (the acceptance-criterion test)
+// ---------------------------------------------------------------------------
+
+TEST(ParallelEquivalence, FinalPlacementBitwiseIdentical) {
+    const netlist nl = test_circuit(400, 2024);
+    placer_options opt;
+    opt.max_iterations = 25;
+    expect_threads_equal(
+        [&] {
+            placer p(nl, opt);
+            const placement pl = p.run();
+            std::vector<double> out;
+            out.reserve(2 * pl.size());
+            for (const point& q : pl) {
+                out.push_back(q.x);
+                out.push_back(q.y);
+            }
+            return out;
+        },
+        "final placement");
+}
+
+TEST(ParallelEquivalence, AccumulateModePlacementBitwiseIdentical) {
+    // The paper-literal bookkeeping exercises system_.solve() (concurrent
+    // axis solves through quadratic_system) instead of the operator path.
+    const netlist nl = test_circuit(300, 31);
+    placer_options opt;
+    opt.mode = placer_options::force_mode::accumulate;
+    opt.scaling = placer_options::force_scaling::paper_normalized;
+    opt.max_iterations = 15;
+    expect_threads_equal(
+        [&] {
+            placer p(nl, opt);
+            const placement pl = p.run();
+            std::vector<double> out;
+            for (const point& q : pl) {
+                out.push_back(q.x);
+                out.push_back(q.y);
+            }
+            return out;
+        },
+        "accumulate-mode placement");
+}
+
+} // namespace
+} // namespace gpf

@@ -297,5 +297,94 @@ INSTANTIATE_TEST_SUITE_P(Kinds, NetModelSweep,
                          ::testing::Values(net_model_kind::clique, net_model_kind::star,
                                            net_model_kind::hybrid));
 
+// ---------------------------------------------------------------------------
+// Threaded kernels are EXACTLY serial (not just within tolerance)
+// ---------------------------------------------------------------------------
+
+class ThreadedKernelProperties : public ::testing::TestWithParam<std::uint64_t> {
+protected:
+    // Runs fn at 1 thread and at `threads`, requiring bitwise equality.
+    template <class Fn>
+    static void expect_exact(Fn&& fn, std::size_t threads) {
+        thread_pool& pool = thread_pool::instance();
+        const std::size_t previous = pool.num_threads();
+        pool.set_num_threads(1);
+        const auto serial = fn();
+        pool.set_num_threads(threads);
+        const auto threaded = fn();
+        pool.set_num_threads(previous);
+        ASSERT_EQ(serial.size(), threaded.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            ASSERT_EQ(serial[i], threaded[i]) << "index " << i;
+        }
+    }
+};
+
+TEST_P(ThreadedKernelProperties, SpmvMatchesSerialExactly) {
+    prng rng(GetParam() * 2654435761u + 1);
+    const std::size_t n = 200 + static_cast<std::size_t>(rng.next_range(0.0, 600.0));
+    coo_builder builder(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        builder.add_diagonal(i, 4.0 + rng.next_range(0.0, 2.0));
+        for (int k = 0; k < 6; ++k) {
+            const auto j = static_cast<std::size_t>(
+                rng.next_range(0.0, static_cast<double>(n) - 0.5));
+            builder.add(i, std::min(j, n - 1), rng.next_range(-1.0, 1.0));
+        }
+    }
+    const csr_matrix a = builder.build();
+    std::vector<double> x(n);
+    for (double& v : x) v = rng.next_range(-10.0, 10.0);
+
+    expect_exact(
+        [&] {
+            std::vector<double> y;
+            a.multiply(x, y);
+            return y;
+        },
+        2 + GetParam() % 7);
+}
+
+TEST_P(ThreadedKernelProperties, Fft2dMatchesSerialExactly) {
+    prng rng(GetParam() ^ 0xf17f17);
+    const std::size_t n0 = std::size_t{1} << (3 + GetParam() % 3); // 8..32
+    const std::size_t n1 = std::size_t{1} << (3 + (GetParam() / 3) % 3);
+    std::vector<std::complex<double>> data(n0 * n1);
+    for (auto& c : data) {
+        c = {rng.next_range(-1.0, 1.0), rng.next_range(-1.0, 1.0)};
+    }
+    const bool inverse = (GetParam() % 2) == 0;
+
+    expect_exact(
+        [&] {
+            auto a = data;
+            fft_2d(a, n0, n1, inverse);
+            std::vector<double> flat;
+            flat.reserve(2 * a.size());
+            for (const auto& c : a) {
+                flat.push_back(c.real());
+                flat.push_back(c.imag());
+            }
+            return flat;
+        },
+        2 + GetParam() % 7);
+}
+
+TEST_P(ThreadedKernelProperties, ConvolutionMatchesSerialExactly) {
+    prng rng(GetParam() + 0xabcd);
+    const std::size_t n0 = 16;
+    const std::size_t n1 = 8;
+    std::vector<double> data(n0 * n1);
+    std::vector<double> kernel((2 * n0 - 1) * (2 * n1 - 1));
+    for (double& v : data) v = rng.next_range(-2.0, 2.0);
+    for (double& v : kernel) v = rng.next_range(-1.0, 1.0);
+
+    expect_exact([&] { return convolve_2d(data, n0, n1, kernel); },
+                 2 + GetParam() % 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreadedKernelProperties,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
 } // namespace
 } // namespace gpf

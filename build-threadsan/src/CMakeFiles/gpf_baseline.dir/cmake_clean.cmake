@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_baseline.dir/baseline/annealer.cpp.o"
+  "CMakeFiles/gpf_baseline.dir/baseline/annealer.cpp.o.d"
+  "CMakeFiles/gpf_baseline.dir/baseline/gordian.cpp.o"
+  "CMakeFiles/gpf_baseline.dir/baseline/gordian.cpp.o.d"
+  "libgpf_baseline.a"
+  "libgpf_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

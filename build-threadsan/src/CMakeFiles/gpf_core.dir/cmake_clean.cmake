@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/gpf_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/gpf_core.dir/core/placer.cpp.o"
+  "CMakeFiles/gpf_core.dir/core/placer.cpp.o.d"
+  "libgpf_core.a"
+  "libgpf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

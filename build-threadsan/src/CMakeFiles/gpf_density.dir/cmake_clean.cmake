@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_density.dir/density/density_map.cpp.o"
+  "CMakeFiles/gpf_density.dir/density/density_map.cpp.o.d"
+  "CMakeFiles/gpf_density.dir/density/empty_square.cpp.o"
+  "CMakeFiles/gpf_density.dir/density/empty_square.cpp.o.d"
+  "CMakeFiles/gpf_density.dir/density/force_field.cpp.o"
+  "CMakeFiles/gpf_density.dir/density/force_field.cpp.o.d"
+  "libgpf_density.a"
+  "libgpf_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

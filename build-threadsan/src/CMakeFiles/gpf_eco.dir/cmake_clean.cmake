@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_eco.dir/eco/eco.cpp.o"
+  "CMakeFiles/gpf_eco.dir/eco/eco.cpp.o.d"
+  "libgpf_eco.a"
+  "libgpf_eco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_eco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

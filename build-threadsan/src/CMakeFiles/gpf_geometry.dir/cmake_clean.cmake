@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_geometry.dir/geometry/geometry.cpp.o"
+  "CMakeFiles/gpf_geometry.dir/geometry/geometry.cpp.o.d"
+  "libgpf_geometry.a"
+  "libgpf_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/legal/abacus.cpp" "src/CMakeFiles/gpf_legal.dir/legal/abacus.cpp.o" "gcc" "src/CMakeFiles/gpf_legal.dir/legal/abacus.cpp.o.d"
+  "/root/repo/src/legal/blocks.cpp" "src/CMakeFiles/gpf_legal.dir/legal/blocks.cpp.o" "gcc" "src/CMakeFiles/gpf_legal.dir/legal/blocks.cpp.o.d"
+  "/root/repo/src/legal/legalize.cpp" "src/CMakeFiles/gpf_legal.dir/legal/legalize.cpp.o" "gcc" "src/CMakeFiles/gpf_legal.dir/legal/legalize.cpp.o.d"
+  "/root/repo/src/legal/refine.cpp" "src/CMakeFiles/gpf_legal.dir/legal/refine.cpp.o" "gcc" "src/CMakeFiles/gpf_legal.dir/legal/refine.cpp.o.d"
+  "/root/repo/src/legal/rows.cpp" "src/CMakeFiles/gpf_legal.dir/legal/rows.cpp.o" "gcc" "src/CMakeFiles/gpf_legal.dir/legal/rows.cpp.o.d"
+  "/root/repo/src/legal/tetris.cpp" "src/CMakeFiles/gpf_legal.dir/legal/tetris.cpp.o" "gcc" "src/CMakeFiles/gpf_legal.dir/legal/tetris.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_core.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_model.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_density.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

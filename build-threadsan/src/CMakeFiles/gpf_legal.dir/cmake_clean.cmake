@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_legal.dir/legal/abacus.cpp.o"
+  "CMakeFiles/gpf_legal.dir/legal/abacus.cpp.o.d"
+  "CMakeFiles/gpf_legal.dir/legal/blocks.cpp.o"
+  "CMakeFiles/gpf_legal.dir/legal/blocks.cpp.o.d"
+  "CMakeFiles/gpf_legal.dir/legal/legalize.cpp.o"
+  "CMakeFiles/gpf_legal.dir/legal/legalize.cpp.o.d"
+  "CMakeFiles/gpf_legal.dir/legal/refine.cpp.o"
+  "CMakeFiles/gpf_legal.dir/legal/refine.cpp.o.d"
+  "CMakeFiles/gpf_legal.dir/legal/rows.cpp.o"
+  "CMakeFiles/gpf_legal.dir/legal/rows.cpp.o.d"
+  "CMakeFiles/gpf_legal.dir/legal/tetris.cpp.o"
+  "CMakeFiles/gpf_legal.dir/legal/tetris.cpp.o.d"
+  "libgpf_legal.a"
+  "libgpf_legal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_legal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

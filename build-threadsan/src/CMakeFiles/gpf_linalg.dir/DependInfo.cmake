@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cg_solver.cpp" "src/CMakeFiles/gpf_linalg.dir/linalg/cg_solver.cpp.o" "gcc" "src/CMakeFiles/gpf_linalg.dir/linalg/cg_solver.cpp.o.d"
+  "/root/repo/src/linalg/csr_matrix.cpp" "src/CMakeFiles/gpf_linalg.dir/linalg/csr_matrix.cpp.o" "gcc" "src/CMakeFiles/gpf_linalg.dir/linalg/csr_matrix.cpp.o.d"
+  "/root/repo/src/linalg/fft.cpp" "src/CMakeFiles/gpf_linalg.dir/linalg/fft.cpp.o" "gcc" "src/CMakeFiles/gpf_linalg.dir/linalg/fft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

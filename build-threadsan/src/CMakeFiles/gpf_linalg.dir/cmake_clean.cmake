@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_linalg.dir/linalg/cg_solver.cpp.o"
+  "CMakeFiles/gpf_linalg.dir/linalg/cg_solver.cpp.o.d"
+  "CMakeFiles/gpf_linalg.dir/linalg/csr_matrix.cpp.o"
+  "CMakeFiles/gpf_linalg.dir/linalg/csr_matrix.cpp.o.d"
+  "CMakeFiles/gpf_linalg.dir/linalg/fft.cpp.o"
+  "CMakeFiles/gpf_linalg.dir/linalg/fft.cpp.o.d"
+  "libgpf_linalg.a"
+  "libgpf_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

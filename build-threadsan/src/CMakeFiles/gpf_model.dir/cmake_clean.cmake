@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_model.dir/model/net_models.cpp.o"
+  "CMakeFiles/gpf_model.dir/model/net_models.cpp.o.d"
+  "CMakeFiles/gpf_model.dir/model/quadratic_system.cpp.o"
+  "CMakeFiles/gpf_model.dir/model/quadratic_system.cpp.o.d"
+  "libgpf_model.a"
+  "libgpf_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

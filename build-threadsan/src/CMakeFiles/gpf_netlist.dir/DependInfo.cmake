@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/bookshelf.cpp" "src/CMakeFiles/gpf_netlist.dir/netlist/bookshelf.cpp.o" "gcc" "src/CMakeFiles/gpf_netlist.dir/netlist/bookshelf.cpp.o.d"
+  "/root/repo/src/netlist/generator.cpp" "src/CMakeFiles/gpf_netlist.dir/netlist/generator.cpp.o" "gcc" "src/CMakeFiles/gpf_netlist.dir/netlist/generator.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/gpf_netlist.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/gpf_netlist.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/stats.cpp" "src/CMakeFiles/gpf_netlist.dir/netlist/stats.cpp.o" "gcc" "src/CMakeFiles/gpf_netlist.dir/netlist/stats.cpp.o.d"
+  "/root/repo/src/netlist/suite.cpp" "src/CMakeFiles/gpf_netlist.dir/netlist/suite.cpp.o" "gcc" "src/CMakeFiles/gpf_netlist.dir/netlist/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

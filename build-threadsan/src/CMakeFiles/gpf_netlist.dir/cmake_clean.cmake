@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_netlist.dir/netlist/bookshelf.cpp.o"
+  "CMakeFiles/gpf_netlist.dir/netlist/bookshelf.cpp.o.d"
+  "CMakeFiles/gpf_netlist.dir/netlist/generator.cpp.o"
+  "CMakeFiles/gpf_netlist.dir/netlist/generator.cpp.o.d"
+  "CMakeFiles/gpf_netlist.dir/netlist/netlist.cpp.o"
+  "CMakeFiles/gpf_netlist.dir/netlist/netlist.cpp.o.d"
+  "CMakeFiles/gpf_netlist.dir/netlist/stats.cpp.o"
+  "CMakeFiles/gpf_netlist.dir/netlist/stats.cpp.o.d"
+  "CMakeFiles/gpf_netlist.dir/netlist/suite.cpp.o"
+  "CMakeFiles/gpf_netlist.dir/netlist/suite.cpp.o.d"
+  "libgpf_netlist.a"
+  "libgpf_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

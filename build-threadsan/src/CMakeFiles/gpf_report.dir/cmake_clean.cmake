@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_report.dir/report/csv.cpp.o"
+  "CMakeFiles/gpf_report.dir/report/csv.cpp.o.d"
+  "CMakeFiles/gpf_report.dir/report/svg.cpp.o"
+  "CMakeFiles/gpf_report.dir/report/svg.cpp.o.d"
+  "CMakeFiles/gpf_report.dir/report/table.cpp.o"
+  "CMakeFiles/gpf_report.dir/report/table.cpp.o.d"
+  "libgpf_report.a"
+  "libgpf_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/congestion.cpp" "src/CMakeFiles/gpf_route.dir/route/congestion.cpp.o" "gcc" "src/CMakeFiles/gpf_route.dir/route/congestion.cpp.o.d"
+  "/root/repo/src/route/global_router.cpp" "src/CMakeFiles/gpf_route.dir/route/global_router.cpp.o" "gcc" "src/CMakeFiles/gpf_route.dir/route/global_router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_density.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

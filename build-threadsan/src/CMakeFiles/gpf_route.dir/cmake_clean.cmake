@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_route.dir/route/congestion.cpp.o"
+  "CMakeFiles/gpf_route.dir/route/congestion.cpp.o.d"
+  "CMakeFiles/gpf_route.dir/route/global_router.cpp.o"
+  "CMakeFiles/gpf_route.dir/route/global_router.cpp.o.d"
+  "libgpf_route.a"
+  "libgpf_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_thermal.dir/thermal/thermal.cpp.o"
+  "CMakeFiles/gpf_thermal.dir/thermal/thermal.cpp.o.d"
+  "libgpf_thermal.a"
+  "libgpf_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_timing.dir/timing/elmore.cpp.o"
+  "CMakeFiles/gpf_timing.dir/timing/elmore.cpp.o.d"
+  "CMakeFiles/gpf_timing.dir/timing/net_weighting.cpp.o"
+  "CMakeFiles/gpf_timing.dir/timing/net_weighting.cpp.o.d"
+  "CMakeFiles/gpf_timing.dir/timing/sta.cpp.o"
+  "CMakeFiles/gpf_timing.dir/timing/sta.cpp.o.d"
+  "CMakeFiles/gpf_timing.dir/timing/timing_driven.cpp.o"
+  "CMakeFiles/gpf_timing.dir/timing/timing_driven.cpp.o.d"
+  "CMakeFiles/gpf_timing.dir/timing/timing_graph.cpp.o"
+  "CMakeFiles/gpf_timing.dir/timing/timing_graph.cpp.o.d"
+  "libgpf_timing.a"
+  "libgpf_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

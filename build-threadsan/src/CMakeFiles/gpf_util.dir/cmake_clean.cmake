@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_util.dir/util/logging.cpp.o"
+  "CMakeFiles/gpf_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/gpf_util.dir/util/prng.cpp.o"
+  "CMakeFiles/gpf_util.dir/util/prng.cpp.o.d"
+  "CMakeFiles/gpf_util.dir/util/stopwatch.cpp.o"
+  "CMakeFiles/gpf_util.dir/util/stopwatch.cpp.o.d"
+  "CMakeFiles/gpf_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/gpf_util.dir/util/thread_pool.cpp.o.d"
+  "libgpf_util.a"
+  "libgpf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline.cpp" "tests/CMakeFiles/gpf_tests.dir/test_baseline.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_baseline.cpp.o.d"
+  "/root/repo/tests/test_bookshelf.cpp" "tests/CMakeFiles/gpf_tests.dir/test_bookshelf.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_bookshelf.cpp.o.d"
+  "/root/repo/tests/test_cli_support.cpp" "tests/CMakeFiles/gpf_tests.dir/test_cli_support.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_cli_support.cpp.o.d"
+  "/root/repo/tests/test_congestion.cpp" "tests/CMakeFiles/gpf_tests.dir/test_congestion.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_congestion.cpp.o.d"
+  "/root/repo/tests/test_density.cpp" "tests/CMakeFiles/gpf_tests.dir/test_density.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_density.cpp.o.d"
+  "/root/repo/tests/test_eco.cpp" "tests/CMakeFiles/gpf_tests.dir/test_eco.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_eco.cpp.o.d"
+  "/root/repo/tests/test_fft.cpp" "tests/CMakeFiles/gpf_tests.dir/test_fft.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_fft.cpp.o.d"
+  "/root/repo/tests/test_force_field.cpp" "tests/CMakeFiles/gpf_tests.dir/test_force_field.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_force_field.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/gpf_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_geometry.cpp" "tests/CMakeFiles/gpf_tests.dir/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_geometry.cpp.o.d"
+  "/root/repo/tests/test_global_router.cpp" "tests/CMakeFiles/gpf_tests.dir/test_global_router.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_global_router.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/gpf_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_legalize.cpp" "tests/CMakeFiles/gpf_tests.dir/test_legalize.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_legalize.cpp.o.d"
+  "/root/repo/tests/test_linalg.cpp" "tests/CMakeFiles/gpf_tests.dir/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_linalg.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/gpf_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_net_weighting.cpp" "tests/CMakeFiles/gpf_tests.dir/test_net_weighting.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_net_weighting.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/gpf_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/gpf_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_placer.cpp" "tests/CMakeFiles/gpf_tests.dir/test_placer.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_placer.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/gpf_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_quadratic_system.cpp" "tests/CMakeFiles/gpf_tests.dir/test_quadratic_system.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_quadratic_system.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/gpf_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rows_extra.cpp" "tests/CMakeFiles/gpf_tests.dir/test_rows_extra.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_rows_extra.cpp.o.d"
+  "/root/repo/tests/test_svg.cpp" "tests/CMakeFiles/gpf_tests.dir/test_svg.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_svg.cpp.o.d"
+  "/root/repo/tests/test_thermal.cpp" "tests/CMakeFiles/gpf_tests.dir/test_thermal.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_thermal.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/gpf_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_timing.cpp" "tests/CMakeFiles/gpf_tests.dir/test_timing.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_timing.cpp.o.d"
+  "/root/repo/tests/test_timing_driven.cpp" "tests/CMakeFiles/gpf_tests.dir/test_timing_driven.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_timing_driven.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/gpf_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/gpf_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_timing.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_legal.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_route.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_thermal.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_eco.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_report.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_core.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_density.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_model.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/CMakeFiles/gpf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

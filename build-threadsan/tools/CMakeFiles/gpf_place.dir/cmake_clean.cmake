@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpf_place.dir/gpf_place.cpp.o"
+  "CMakeFiles/gpf_place.dir/gpf_place.cpp.o.d"
+  "gpf_place"
+  "gpf_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpf_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -9,6 +9,7 @@
 #include "density/force_field.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
+#include "util/profiler.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gpf {
@@ -19,6 +20,18 @@ placer::placer(const netlist& nl, placer_options options)
     GPF_CHECK(options_.density_bins >= 16);
     force_x_.assign(system_.num_vars(), 0.0);
     force_y_.assign(system_.num_vars(), 0.0);
+}
+
+placer::~placer() = default;
+
+void placer::build_cell_rects(const placement& pl) {
+    cell_rects_.clear();
+    cell_rects_.reserve(nl_.num_cells());
+    for (cell_id i = 0; i < nl_.num_cells(); ++i) {
+        const cell& c = nl_.cell_at(i);
+        if (c.kind == cell_kind::pad) continue;
+        cell_rects_.push_back(rect::from_center(pl[i], c.width, c.height));
+    }
 }
 
 double placer::average_cell_area() const {
@@ -43,17 +56,18 @@ void placer::reset_forces() {
     force_constant_ = 0.0;
 }
 
-void placer::wire_relax(placement& pl) {
+std::pair<std::size_t, std::size_t> placer::wire_relax(placement& pl) {
     system_.assemble(pl);
     const std::vector<point> vp = system_.variable_positions(pl);
     const double beta = options_.wire_relax_weight;
 
     const auto solve_dim = [&](const csr_matrix& a, const std::vector<double>& b,
-                               bool is_x) {
-        const std::vector<double> diag = a.diagonal();
-        std::vector<double> full_diag(system_.num_vars());
-        std::vector<double> rhs(system_.num_vars());
-        std::vector<double> x(system_.num_vars());
+                               const std::vector<double>& diag, bool is_x,
+                               std::vector<double>& full_diag, std::vector<double>& rhs,
+                               std::vector<double>& x) {
+        full_diag.resize(system_.num_vars());
+        rhs.resize(system_.num_vars());
+        x.resize(system_.num_vars());
         for (std::size_t v = 0; v < system_.num_vars(); ++v) {
             const double cur = is_x ? vp[v].x : vp[v].y;
             full_diag[v] = diag[v] * (1.0 + beta);
@@ -65,90 +79,129 @@ void placer::wire_relax(placement& pl) {
             a.multiply(in, out);
             for (std::size_t v = 0; v < in.size(); ++v) out[v] += beta * diag[v] * in[v];
         };
-        cg_solve_operator(apply, full_diag, rhs, x, options_.cg);
-        return x;
+        return cg_solve_operator(apply, full_diag, rhs, x, options_.cg);
     };
-    std::vector<double> xs, ys;
+    // The move-target workspaces double as the solution vectors here (they
+    // are dead between transformations); delta_x_/delta_y_ must stay
+    // untouched — they carry the hold-and-move warm-start state. x and y
+    // use disjoint buffers so the concurrent solves cannot alias.
+    cg_result res_x;
+    cg_result res_y;
     parallel_invoke(
-        [&] { xs = solve_dim(system_.matrix_x(), system_.rhs_x(), true); },
-        [&] { ys = solve_dim(system_.matrix_y(), system_.rhs_y(), false); });
+        [&] {
+            res_x = solve_dim(system_.matrix_x(), system_.rhs_x(), system_.diagonal_x(),
+                              true, full_diag_x_, rhs_x_, move_x_);
+        },
+        [&] {
+            res_y = solve_dim(system_.matrix_y(), system_.rhs_y(), system_.diagonal_y(),
+                              false, full_diag_y_, rhs_y_, move_y_);
+        });
     for (std::size_t v = 0; v < system_.num_movable(); ++v) {
-        pl[system_.cell_of_var(v)] = point(xs[v], ys[v]);
+        pl[system_.cell_of_var(v)] = point(move_x_[v], move_y_[v]);
     }
+    return {res_x.iterations, res_y.iterations};
 }
 
 placement placer::transform(const placement& current) {
     GPF_CHECK(current.size() == nl_.num_cells());
+    profiler& prof = profiler::instance();
 
     // 1. Net weight adaption hook ("before each placement transformation",
     //    section 5) and system assembly — the matrix diagonal feeds the
     //    local-gain force scaling below.
-    if (weight_hook_) weight_hook_(current);
-    system_.assemble(current);
+    {
+        phase_timer timer(profile_phase::assemble);
+        if (weight_hook_) weight_hook_(current);
+        system_.assemble(current);
+    }
 
     // 2. Density of the current placement (+ hooked-in extra sources).
+    //    When the input is the placement the previous transformation
+    //    produced (the steady state of run_from), its hook-free demand was
+    //    already stamped for the stopping criterion — reuse it instead of
+    //    stamping every cell again.
     const auto [nx, ny] = density_dims();
     density_map density(nl_.region(), nx, ny);
-    std::vector<rect> cell_rects;
-    cell_rects.reserve(nl_.num_cells());
-    for (cell_id i = 0; i < nl_.num_cells(); ++i) {
-        const cell& c = nl_.cell_at(i);
-        if (c.kind == cell_kind::pad) continue;
-        cell_rects.push_back(rect::from_center(current[i], c.width, c.height));
+    {
+        phase_timer timer(profile_phase::density);
+        const bool reuse = options_.iteration_cache && next_density_.has_value() &&
+                           next_density_->nx() == nx && next_density_->ny() == ny &&
+                           current == last_output_;
+        if (reuse) {
+            density = *next_density_;
+        } else {
+            build_cell_rects(current);
+            density.add_rects(cell_rects_);
+        }
+        if (density_hook_) density_hook_(density, current);
+        density.finalize();
     }
-    density.add_rects(cell_rects);
-    if (density_hook_) density_hook_(density, current);
-    density.finalize();
 
-    // 3. Force field of eq. (9).
-    const force_field field = compute_force_field(density);
+    // 3. Force field of eq. (9). The calculator caches the kernel spectra
+    //    across transformations; a fresh one per call (iteration_cache
+    //    off) is bitwise identical by construction.
+    const force_field field = [&] {
+        phase_timer timer(profile_phase::force_field);
+        if (!options_.iteration_cache) return compute_force_field(density);
+        if (!field_calc_ || !field_calc_->matches(density)) {
+            field_calc_ = std::make_unique<force_field_calculator>(nl_.region(),
+                                                                   density.nx(),
+                                                                   density.ny());
+        }
+        return field_calc_->compute(density);
+    }();
 
     // 4. The move force of this transformation.
     const rect region = nl_.region();
     double max_increment = 0.0;
-    std::vector<double> move_x(system_.num_vars(), 0.0);
-    std::vector<double> move_y(system_.num_vars(), 0.0);
-    if (options_.scaling == placer_options::force_scaling::paper_normalized) {
-        // Literal eq. (5): one global k, strongest force = pull of a net
-        // of length K(W+H).
-        const double target = options_.force_scale_k * (region.width() + region.height());
-        const double max_mag = field.max_magnitude();
-        const double k = max_mag > 0.0 ? target / max_mag : 0.0;
-        force_constant_ = k;
-        for (std::size_t v = 0; v < system_.num_movable(); ++v) {
-            const point f = field.sample(current[system_.cell_of_var(v)]);
-            move_x[v] = -k * f.x;
-            move_y[v] = -k * f.y;
-            max_increment = std::max(max_increment, k * std::hypot(f.x, f.y));
-        }
-    } else {
-        // Local gain (DESIGN.md §5): each cell gets a *move spring* pulling
-        // it to the target x̃ = x + u with u = K·f(x) clipped to the trust
-        // region. The solve below blends staying (wire springs + hold) and
-        // moving (target springs) — a convex combination that cannot
-        // overshoot, unlike constant move forces, which make strongly
-        // intra-connected clusters overshoot by the ratio of internal to
-        // external stiffness. The field magnitude decays with the density
-        // error, providing the damping.
-        const double max_step =
-            options_.max_step_fraction * (region.width() + region.height());
-        for (std::size_t v = 0; v < system_.num_movable(); ++v) {
-            const point pos = current[system_.cell_of_var(v)];
-            const point f = field.sample(pos);
-            double ux = options_.force_scale_k * f.x;
-            double uy = options_.force_scale_k * f.y;
-            const double mag = std::hypot(ux, uy);
-            if (mag > max_step) {
-                ux *= max_step / mag;
-                uy *= max_step / mag;
+    {
+        phase_timer timer(profile_phase::move_force);
+        move_x_.assign(system_.num_vars(), 0.0);
+        move_y_.assign(system_.num_vars(), 0.0);
+        if (options_.scaling == placer_options::force_scaling::paper_normalized) {
+            // Literal eq. (5): one global k, strongest force = pull of a
+            // net of length K(W+H).
+            const double target =
+                options_.force_scale_k * (region.width() + region.height());
+            const double max_mag = field.max_magnitude();
+            const double k = max_mag > 0.0 ? target / max_mag : 0.0;
+            force_constant_ = k;
+            for (std::size_t v = 0; v < system_.num_movable(); ++v) {
+                const point f = field.sample(current[system_.cell_of_var(v)]);
+                move_x_[v] = -k * f.x;
+                move_y_[v] = -k * f.y;
+                max_increment = std::max(max_increment, k * std::hypot(f.x, f.y));
             }
-            // Stored as the target *offset*; converted to spring forces in
-            // the solve step.
-            move_x[v] = ux;
-            move_y[v] = uy;
-            max_increment = std::max(max_increment, mag);
+        } else {
+            // Local gain (DESIGN.md §5): each cell gets a *move spring*
+            // pulling it to the target x̃ = x + u with u = K·f(x) clipped
+            // to the trust region. The solve below blends staying (wire
+            // springs + hold) and moving (target springs) — a convex
+            // combination that cannot overshoot, unlike constant move
+            // forces, which make strongly intra-connected clusters
+            // overshoot by the ratio of internal to external stiffness.
+            // The field magnitude decays with the density error, providing
+            // the damping.
+            const double max_step =
+                options_.max_step_fraction * (region.width() + region.height());
+            for (std::size_t v = 0; v < system_.num_movable(); ++v) {
+                const point pos = current[system_.cell_of_var(v)];
+                const point f = field.sample(pos);
+                double ux = options_.force_scale_k * f.x;
+                double uy = options_.force_scale_k * f.y;
+                const double mag = std::hypot(ux, uy);
+                if (mag > max_step) {
+                    ux *= max_step / mag;
+                    uy *= max_step / mag;
+                }
+                // Stored as the target *offset*; converted to spring
+                // forces in the solve step.
+                move_x_[v] = ux;
+                move_y_[v] = uy;
+                max_increment = std::max(max_increment, mag);
+            }
+            force_constant_ = options_.force_scale_k;
         }
-        force_constant_ = options_.force_scale_k;
     }
 
     // 5. Solve. hold_and_move uses *move springs*: each movable cell gets
@@ -166,57 +219,78 @@ placement placer::transform(const placement& current) {
     cg_result res_x;
     cg_result res_y;
     placement next;
-    if (options_.mode == placer_options::force_mode::hold_and_move) {
-        const std::vector<double> diag_x = system_.matrix_x().diagonal();
-        const std::vector<double> diag_y = system_.matrix_y().diagonal();
-        std::vector<double> rhs_x(system_.num_vars(), 0.0);
-        std::vector<double> rhs_y(system_.num_vars(), 0.0);
-        for (std::size_t v = 0; v < system_.num_movable(); ++v) {
-            rhs_x[v] = diag_x[v] * move_x[v];
-            rhs_y[v] = diag_y[v] * move_y[v];
-            force_x_[v] = rhs_x[v]; // exposed as this step's move force
-            force_y_[v] = rhs_y[v];
-        }
-        const auto solve_dim = [&](const csr_matrix& a, const std::vector<double>& diag,
-                                   const std::vector<double>& rhs,
-                                   std::vector<double>& delta) {
-            std::vector<double> full_diag(system_.num_vars());
-            for (std::size_t v = 0; v < system_.num_vars(); ++v) {
-                full_diag[v] = 2.0 * diag[v]; // C_vv + w̃_v with w̃ = C_vv
+    {
+        phase_timer timer(profile_phase::solve);
+        if (options_.mode == placer_options::force_mode::hold_and_move) {
+            const std::vector<double>& diag_x = system_.diagonal_x();
+            const std::vector<double>& diag_y = system_.diagonal_y();
+            rhs_x_.assign(system_.num_vars(), 0.0);
+            rhs_y_.assign(system_.num_vars(), 0.0);
+            for (std::size_t v = 0; v < system_.num_movable(); ++v) {
+                rhs_x_[v] = diag_x[v] * move_x_[v];
+                rhs_y_[v] = diag_y[v] * move_y_[v];
+                force_x_[v] = rhs_x_[v]; // exposed as this step's move force
+                force_y_[v] = rhs_y_[v];
             }
-            const linear_operator apply = [&](const std::vector<double>& x,
-                                              std::vector<double>& y) {
-                a.multiply(x, y);
+            const auto solve_dim = [&](const csr_matrix& a,
+                                       const std::vector<double>& diag,
+                                       const std::vector<double>& rhs,
+                                       std::vector<double>& full_diag,
+                                       std::vector<double>& delta) {
+                full_diag.resize(system_.num_vars());
                 for (std::size_t v = 0; v < system_.num_vars(); ++v) {
-                    y[v] += diag[v] * x[v];
+                    full_diag[v] = 2.0 * diag[v]; // C_vv + w̃_v with w̃ = C_vv
                 }
+                const linear_operator apply = [&](const std::vector<double>& x,
+                                                  std::vector<double>& y) {
+                    a.multiply(x, y);
+                    for (std::size_t v = 0; v < system_.num_vars(); ++v) {
+                        y[v] += diag[v] * x[v];
+                    }
+                };
+                // The previous transformation's displacement is a good
+                // guess for this one (the fields change slowly), but the
+                // CG trajectory then differs from a cold start, so warm
+                // starting is opt-in (see placer_options::warm_start_cg).
+                if (!options_.warm_start_cg || delta.size() != system_.num_vars()) {
+                    delta.assign(system_.num_vars(), 0.0);
+                }
+                return cg_solve_operator(apply, full_diag, rhs, delta, options_.cg);
             };
-            delta.assign(system_.num_vars(), 0.0);
-            return cg_solve_operator(apply, full_diag, rhs, delta, options_.cg);
-        };
-        std::vector<double> dx, dy;
-        parallel_invoke(
-            [&] { res_x = solve_dim(system_.matrix_x(), diag_x, rhs_x, dx); },
-            [&] { res_y = solve_dim(system_.matrix_y(), diag_y, rhs_y, dy); });
-        next = current;
-        for (std::size_t v = 0; v < system_.num_movable(); ++v) {
-            const cell_id id = system_.cell_of_var(v);
-            next[id].x += dx[v];
-            next[id].y += dy[v];
+            parallel_invoke(
+                [&] {
+                    res_x = solve_dim(system_.matrix_x(), diag_x, rhs_x_,
+                                      full_diag_x_, delta_x_);
+                },
+                [&] {
+                    res_y = solve_dim(system_.matrix_y(), diag_y, rhs_y_,
+                                      full_diag_y_, delta_y_);
+                });
+            next = current;
+            for (std::size_t v = 0; v < system_.num_movable(); ++v) {
+                const cell_id id = system_.cell_of_var(v);
+                next[id].x += delta_x_[v];
+                next[id].y += delta_y_[v];
+            }
+        } else {
+            for (std::size_t v = 0; v < system_.num_vars(); ++v) {
+                force_x_[v] += move_x_[v];
+                force_y_[v] += move_y_[v];
+            }
+            next = system_.solve(current, force_x_, force_y_, options_.cg, &res_x, &res_y);
         }
-    } else {
-        for (std::size_t v = 0; v < system_.num_vars(); ++v) {
-            force_x_[v] += move_x[v];
-            force_y_[v] += move_y[v];
-        }
-        next = system_.solve(current, force_x_, force_y_, options_.cg, &res_x, &res_y);
     }
+    std::size_t cg_x = res_x.iterations;
+    std::size_t cg_y = res_y.iterations;
 
     // Periodic wire relaxation (see placer_options::wire_relax_interval).
     if (options_.mode == placer_options::force_mode::hold_and_move &&
         options_.wire_relax_interval > 0 &&
         (history_.size() + 1) % options_.wire_relax_interval == 0) {
-        wire_relax(next);
+        phase_timer timer(profile_phase::wire_relax);
+        const auto [rx, ry] = wire_relax(next);
+        cg_x += rx;
+        cg_y += ry;
     }
 
     if (options_.clamp_to_region) {
@@ -232,12 +306,52 @@ placement placer::transform(const placement& current) {
 
     iteration_stats stats;
     stats.iteration = history_.size();
-    stats.hpwl = total_hpwl(nl_, next);
-    stats.overflow_area = density.overflow_area();
-    stats.largest_empty_square = largest_empty_square_side(density, options_.empty_threshold);
     stats.max_force = max_increment;
     stats.cg_residual = std::max(res_x.residual, res_y.residual);
+    stats.cg_iterations = cg_x + cg_y;
+    {
+        phase_timer timer(profile_phase::other);
+        stats.hpwl = total_hpwl(nl_, next);
+        stats.overflow_area = density.overflow_area();
+        stats.largest_empty_square =
+            largest_empty_square_side(density, options_.empty_threshold);
+    }
+
+    // Stopping criterion on the *output* placement. With the cache on, the
+    // stamped demand is kept (unfinalized, hook-free) so the next
+    // transformation's density step can reuse it; only the finalize runs on
+    // a copy. compute_density_grid stamps the same rects in the same order,
+    // so both paths see identical bins.
+    {
+        phase_timer timer(profile_phase::spread_check);
+        if (options_.iteration_cache) {
+            build_cell_rects(next);
+            if (next_density_.has_value() && next_density_->nx() == nx &&
+                next_density_->ny() == ny) {
+                next_density_->clear();
+            } else {
+                next_density_.emplace(nl_.region(), nx, ny);
+            }
+            next_density_->add_rects(cell_rects_);
+            last_output_ = next;
+            density_map check = *next_density_;
+            check.finalize();
+            stats.spread = placement_is_spread(check, average_cell_area(),
+                                               options_.spread_factor,
+                                               options_.empty_threshold);
+        } else {
+            const density_map check = compute_density_grid(nl_, next, nx, ny);
+            stats.spread = placement_is_spread(check, average_cell_area(),
+                                               options_.spread_factor,
+                                               options_.empty_threshold);
+        }
+    }
+
     history_.push_back(stats);
+    if (prof.enabled()) {
+        prof.add_cg_iterations(cg_x, cg_y);
+        prof.end_transform();
+    }
     return next;
 }
 
@@ -259,7 +373,6 @@ placement placer::run_from(placement current, bool reset_forces) {
     }
     converged_ = false;
 
-    const double avg_area = average_cell_area();
     double best_overflow = std::numeric_limits<double>::infinity();
     std::size_t stalled = 0;
     for (std::size_t it = 0; it < options_.max_iterations; ++it) {
@@ -269,13 +382,11 @@ placement placer::run_from(placement current, bool reset_forces) {
                               << " empty_square=" << stats.largest_empty_square
                               << " overflow=" << stats.overflow_area;
 
-        // Paper stopping criterion, evaluated on the *new* placement.
-        if (it + 1 >= options_.min_iterations) {
-            const density_map density = compute_density(nl_, current, options_.density_bins);
-            if (placement_is_spread(density, avg_area, options_.spread_factor,
-                                    options_.empty_threshold)) {
-                converged_ = true;
-            }
+        // Paper stopping criterion, evaluated on the *new* placement
+        // inside transform() (where the stamped density doubles as the
+        // next iteration's input density).
+        if (it + 1 >= options_.min_iterations && stats.spread) {
+            converged_ = true;
         }
         if (step_callback_ && !step_callback_(stats, current)) break;
         if (converged_) break;

@@ -22,6 +22,8 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "density/density_map.hpp"
@@ -31,6 +33,8 @@
 #include "netlist/netlist.hpp"
 
 namespace gpf {
+
+class force_field_calculator;
 
 struct placer_options {
     /// The paper's K: 0.2 standard mode, 1.0 fast mode.
@@ -84,6 +88,20 @@ struct placer_options {
     std::size_t plateau_window = 20;
     double plateau_tolerance = 2e-3;
     bool clamp_to_region = true;         ///< project cell centers back into the core
+    /// Iteration-persistent caches threaded through the transformation
+    /// loop (DESIGN.md §7): the spectral force-field kernels are built
+    /// once per grid, the density stamped for the stopping criterion seeds
+    /// the next transformation's input density, and solver workspaces
+    /// persist. Placements are bitwise identical with the cache on or off
+    /// (tests/test_transform_cache.cpp); the switch exists for that
+    /// equivalence test and as a safety valve.
+    bool iteration_cache = true;
+    /// Warm-start the hold-and-move displacement solves from the previous
+    /// transformation's displacement instead of zero. Deterministic for
+    /// any thread count, but the CG iterate trajectory differs from a
+    /// cold start, so placements are *not* bitwise comparable to the
+    /// default cold-start path; off by default.
+    bool warm_start_cg = false;
     net_model_options net_model;
     cg_options cg;
 };
@@ -95,11 +113,18 @@ struct iteration_stats {
     double largest_empty_square = 0.0;
     double max_force = 0.0;    ///< scaled maximum additional force this step
     double cg_residual = 0.0;  ///< worse of the x/y solves
+    /// CG iterations spent in this transformation (x + y solves, wire
+    /// relaxation included).
+    std::size_t cg_iterations = 0;
+    /// Paper stopping criterion evaluated on the output placement: no
+    /// empty square larger than spread_factor times the average cell area.
+    bool spread = false;
 };
 
 class placer {
 public:
     explicit placer(const netlist& nl, placer_options options = {});
+    ~placer();
 
     /// Full algorithm from the paper's initialization (all movable cells at
     /// the region center, e = 0).
@@ -148,7 +173,11 @@ public:
 
 private:
     std::pair<std::size_t, std::size_t> density_dims() const;
-    void wire_relax(placement& pl);
+    /// Returns the (x, y) CG iteration counts of the relaxation solves.
+    std::pair<std::size_t, std::size_t> wire_relax(placement& pl);
+    /// Fill cell_rects_ with the non-pad cell rectangles under pl, in the
+    /// same order compute_density_grid stamps them.
+    void build_cell_rects(const placement& pl);
 
     const netlist& nl_;
     placer_options options_;
@@ -161,6 +190,20 @@ private:
     density_hook density_hook_;
     weight_hook weight_hook_;
     bool converged_ = false;
+
+    // Iteration-persistent caches (placer_options::iteration_cache) and
+    // solver workspaces. The caches never change results: the calculator
+    // is bitwise equivalent to a fresh one, and next_density_ holds the
+    // exact demand a fresh stamping of the same placement would produce
+    // (guarded by a value comparison against last_output_).
+    std::unique_ptr<force_field_calculator> field_calc_;
+    std::optional<density_map> next_density_; ///< unfinalized, hook-free demand of last output
+    placement last_output_;
+    std::vector<rect> cell_rects_;            ///< stamping workspace
+    std::vector<double> move_x_, move_y_;     ///< move-target workspaces
+    std::vector<double> rhs_x_, rhs_y_;       ///< hold-and-move rhs workspaces
+    std::vector<double> full_diag_x_, full_diag_y_;
+    std::vector<double> delta_x_, delta_y_;   ///< displacement (warm-start state)
 };
 
 } // namespace gpf

@@ -71,24 +71,15 @@ std::vector<double> source_terms(const density_map& d) {
     return src;
 }
 
-} // namespace
-
-force_field compute_force_field(const density_map& density) {
-    const std::size_t nx = density.nx();
-    const std::size_t ny = density.ny();
-    force_field field(density.region(), nx, ny);
-
-    const std::vector<double> src = source_terms(density);
-
-    // Kernel tap at offset (di, dj): K(Δ) = Δ / (2π |Δ|²) with Δ the
-    // center-to-center displacement. The zero-offset tap is 0 (a bin exerts
-    // no net force on itself by symmetry).
+/// Kernel tap at offset (di, dj): K(Δ) = Δ / (2π |Δ|²) with Δ the
+/// center-to-center displacement. The zero-offset tap is 0 (a bin exerts
+/// no net force on itself by symmetry).
+spectral_convolver build_kernel_spectra(std::size_t nx, std::size_t ny, double bw,
+                                        double bh) {
     const std::size_t k0 = 2 * nx - 1;
     const std::size_t k1 = 2 * ny - 1;
     std::vector<double> kx(k0 * k1, 0.0);
     std::vector<double> ky(k0 * k1, 0.0);
-    const double bw = density.bin_width();
-    const double bh = density.bin_height();
     // Every kernel tap is an independent write — parallel over rows.
     parallel_for(k0, [&](std::size_t i) {
         const double dx = (static_cast<double>(i) - static_cast<double>(nx - 1)) * bw;
@@ -101,10 +92,47 @@ force_field compute_force_field(const density_map& density) {
             ky[i * k1 + j] = dy * inv;
         }
     });
+    return spectral_convolver(nx, ny, kx, ky);
+}
 
-    field.fx() = convolve_2d(src, nx, ny, kx);
-    field.fy() = convolve_2d(src, nx, ny, ky);
+} // namespace
+
+force_field_calculator::force_field_calculator(const rect& region, std::size_t nx,
+                                               std::size_t ny)
+    : region_(region),
+      nx_(nx),
+      ny_(ny),
+      convolver_(build_kernel_spectra(nx, ny, region.width() / static_cast<double>(nx),
+                                      region.height() / static_cast<double>(ny))) {
+    GPF_CHECK(!region.empty());
+    GPF_CHECK(nx >= 1 && ny >= 1);
+}
+
+bool force_field_calculator::matches(const density_map& density) const {
+    const rect& r = density.region();
+    return density.nx() == nx_ && density.ny() == ny_ && r.xlo == region_.xlo &&
+           r.ylo == region_.ylo && r.xhi == region_.xhi && r.yhi == region_.yhi;
+}
+
+force_field force_field_calculator::compute(const density_map& density) {
+    GPF_CHECK_MSG(matches(density), "density grid does not match calculator");
+    GPF_CHECK_MSG(density.finalized(), "density map must be finalized");
+
+    force_field field(region_, nx_, ny_);
+    src_.resize(nx_ * ny_);
+    const double area = density.bin_area();
+    for (std::size_t ix = 0; ix < nx_; ++ix) {
+        for (std::size_t iy = 0; iy < ny_; ++iy) {
+            src_[ix * ny_ + iy] = density.density_at(ix, iy) * area;
+        }
+    }
+    convolver_.convolve_pair(src_, field.fx(), field.fy());
     return field;
+}
+
+force_field compute_force_field(const density_map& density) {
+    force_field_calculator calc(density.region(), density.nx(), density.ny());
+    return calc.compute(density);
 }
 
 force_field compute_force_field_direct(const density_map& density) {

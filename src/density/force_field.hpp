@@ -17,6 +17,7 @@
 
 #include "density/density_map.hpp"
 #include "geometry/geometry.hpp"
+#include "linalg/fft.hpp"
 
 namespace gpf {
 
@@ -58,8 +59,37 @@ private:
     std::vector<double> fy_;
 };
 
+/// Iteration-persistent force-field engine: the Green's-function kernels
+/// of eq. (9) depend only on the grid geometry, so their spectra are
+/// computed once at construction and every compute() call pays only the
+/// packed forward + inverse transform of the current density (DESIGN.md
+/// §7). A fresh calculator produces bitwise identical fields to a reused
+/// one, and results are bitwise identical for any thread count.
+class force_field_calculator {
+public:
+    force_field_calculator(const rect& region, std::size_t nx, std::size_t ny);
+
+    std::size_t nx() const { return nx_; }
+    std::size_t ny() const { return ny_; }
+
+    /// True when `density` lives on the grid this calculator was built for.
+    bool matches(const density_map& density) const;
+
+    /// FFT evaluation of eq. (9) against the cached kernel spectra. The
+    /// map must be finalized and match this calculator's grid.
+    force_field compute(const density_map& density);
+
+private:
+    rect region_;
+    std::size_t nx_, ny_;
+    spectral_convolver convolver_;
+    std::vector<double> src_; ///< per-bin source workspace, reused
+};
+
 /// FFT evaluation of eq. (9) over the density grid. The field is computed
 /// at bin centers from D = demand - supply; the map must be finalized.
+/// Builds a fresh force_field_calculator per call — loops should hold a
+/// calculator instead.
 force_field compute_force_field(const density_map& density);
 
 /// Literal quadruple-loop evaluation (reference implementation; O(m⁴)).

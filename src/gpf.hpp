@@ -46,5 +46,6 @@
 #include "util/check.hpp"
 #include "util/logging.hpp"
 #include "util/prng.hpp"
+#include "util/profiler.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"

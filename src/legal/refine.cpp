@@ -153,6 +153,11 @@ refine_result refine_detailed(const netlist& nl, placement& pl,
                     const std::size_t rhi =
                         std::min(order.cells.size() - 1, r + options.window_rows);
                     for (std::size_t rr = rlo; rr <= rhi; ++rr) {
+                        // The cell must sit at its real position while this
+                        // row's gaps are computed: a leftover candidate
+                        // position from the previous row would shift its own
+                        // span and open phantom free space over other cells.
+                        pl[id] = old_pos;
                         const auto gaps = row_gaps(nl, pl, rows.row(rr), order.cells[rr]);
                         for (const gap& g : gaps) {
                             if (g.width() < c.width) continue;

@@ -38,12 +38,20 @@ namespace {
 /// Applies M^{-1} r for the selected preconditioner.
 class preconditioner {
 public:
-    preconditioner(const csr_matrix& a, const cg_options& options)
+    preconditioner(const csr_matrix& a, const cg_options& options,
+                   const std::vector<double>* cached_diagonal)
         : a_(a), kind_(options.preconditioner), omega_(options.ssor_omega) {
         if (kind_ != preconditioner_kind::none) {
-            diag_ = a.diagonal();
-            for (double& d : diag_) {
-                GPF_CHECK_MSG(d > 0.0, "preconditioner requires positive diagonal");
+            if (cached_diagonal != nullptr) {
+                GPF_CHECK(cached_diagonal->size() == a.rows());
+                diag_ = cached_diagonal->data();
+            } else {
+                diag_own_ = a.diagonal();
+                diag_ = diag_own_.data();
+            }
+            for (std::size_t i = 0; i < a.rows(); ++i) {
+                GPF_CHECK_MSG(diag_[i] > 0.0,
+                              "preconditioner requires positive diagonal");
             }
         }
     }
@@ -97,13 +105,15 @@ private:
     const csr_matrix& a_;
     preconditioner_kind kind_;
     double omega_;
-    std::vector<double> diag_;
+    const double* diag_ = nullptr;  ///< caller-cached or diag_own_
+    std::vector<double> diag_own_;
 };
 
 } // namespace
 
 cg_result cg_solve(const csr_matrix& a, const std::vector<double>& b,
-                   std::vector<double>& x, const cg_options& options) {
+                   std::vector<double>& x, const cg_options& options,
+                   const std::vector<double>* diagonal) {
     const std::size_t n = a.rows();
     GPF_CHECK(b.size() == n);
     if (x.size() != n) x.assign(n, 0.0);
@@ -118,7 +128,7 @@ cg_result cg_solve(const csr_matrix& a, const std::vector<double>& b,
 
     const std::size_t max_iter =
         options.max_iterations > 0 ? options.max_iterations : 10 * n + 100;
-    preconditioner precond(a, options);
+    preconditioner precond(a, options, diagonal);
 
     std::vector<double> r(n), z(n), p(n), ap(n);
     a.multiply(x, ap);

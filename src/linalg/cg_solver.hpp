@@ -31,11 +31,17 @@ struct cg_result {
     double residual = 0.0; ///< final relative residual
 };
 
-/// Solve A x = b; x is used as the starting guess and holds the solution on
-/// return. A must be symmetric positive (semi-)definite with nonzero
-/// diagonal for the jacobi/ssor preconditioners.
+/// Solve A x = b. x is the explicit starting guess x0 — warm-started
+/// solves pass the previous solution (or displacement) here — and holds
+/// the solution on return. A must be symmetric positive (semi-)definite
+/// with nonzero diagonal for the jacobi/ssor preconditioners.
+///
+/// `diagonal`, when given, must be the main diagonal of A; it spares the
+/// preconditioner an allocating a.diagonal() per solve (the placer passes
+/// the diagonal cached by quadratic_system::assemble).
 cg_result cg_solve(const csr_matrix& a, const std::vector<double>& b,
-                   std::vector<double>& x, const cg_options& options = {});
+                   std::vector<double>& x, const cg_options& options = {},
+                   const std::vector<double>* diagonal = nullptr);
 
 /// Matrix-free variant: `apply` computes y = A x; `diagonal` is used for
 /// Jacobi preconditioning (ssor is not available here and falls back to

@@ -8,6 +8,17 @@
 
 namespace gpf {
 
+csr_matrix::csr_matrix(std::vector<std::size_t> row_ptr,
+                       std::vector<std::size_t> col_idx, std::vector<double> values)
+    : row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+    GPF_CHECK(!row_ptr_.empty());
+    GPF_CHECK(row_ptr_.front() == 0);
+    GPF_CHECK(row_ptr_.back() == col_idx_.size());
+    GPF_CHECK(col_idx_.size() == values_.size());
+}
+
 void csr_matrix::multiply(const std::vector<double>& x, std::vector<double>& y) const {
     const std::size_t n = rows();
     GPF_CHECK(x.size() == n);
@@ -38,12 +49,17 @@ std::vector<double> csr_matrix::diagonal() const {
 }
 
 double csr_matrix::at(std::size_t i, std::size_t j) const {
+    const std::size_t k = slot(i, j);
+    return k == npos ? 0.0 : values_[k];
+}
+
+std::size_t csr_matrix::slot(std::size_t i, std::size_t j) const {
     GPF_CHECK(i < rows() && j < rows());
     const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i]);
     const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i + 1]);
     const auto it = std::lower_bound(begin, end, j);
-    if (it == end || *it != j) return 0.0;
-    return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+    if (it == end || *it != j) return npos;
+    return static_cast<std::size_t>(it - col_idx_.begin());
 }
 
 bool csr_matrix::is_symmetric(double tol) const {

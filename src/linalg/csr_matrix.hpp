@@ -15,6 +15,12 @@ class csr_matrix {
 public:
     csr_matrix() = default;
 
+    /// Construct from raw CSR arrays (e.g. a precomputed symbolic pattern
+    /// with zeroed values). row_ptr must have n+1 monotone entries ending
+    /// at col_idx.size(), and values must match col_idx in length.
+    csr_matrix(std::vector<std::size_t> row_ptr, std::vector<std::size_t> col_idx,
+               std::vector<double> values);
+
     std::size_t rows() const { return row_ptr_.empty() ? 0 : row_ptr_.size() - 1; }
     std::size_t nonzeros() const { return values_.size(); }
 
@@ -29,12 +35,21 @@ public:
     /// Value at (i, j), 0 if not stored. O(log row_nnz).
     double at(std::size_t i, std::size_t j) const;
 
+    /// Sentinel returned by slot() for entries outside the pattern.
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /// Index into values() of entry (i, j), npos if not stored. Lets
+    /// symbolic-then-numeric assemblers refill a fixed pattern in place.
+    std::size_t slot(std::size_t i, std::size_t j) const;
+
     /// True when the stored pattern and values are symmetric within tol.
     bool is_symmetric(double tol = 1e-12) const;
 
     const std::vector<std::size_t>& row_pointers() const { return row_ptr_; }
     const std::vector<std::size_t>& column_indices() const { return col_idx_; }
     const std::vector<double>& values() const { return values_; }
+    /// Mutable values for in-place numeric refill of a fixed pattern.
+    std::vector<double>& values() { return values_; }
 
 private:
     friend class coo_builder;

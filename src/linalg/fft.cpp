@@ -1,6 +1,8 @@
 #include "linalg/fft.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <mutex>
 
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -16,38 +18,152 @@ std::size_t next_power_of_two(std::size_t n) {
     return p;
 }
 
-void fft(std::vector<std::complex<double>>& a, bool inverse) {
-    const std::size_t n = a.size();
-    GPF_CHECK_MSG(is_power_of_two(n), "fft size must be a power of two");
-    if (n == 1) return;
+namespace {
 
-    // bit-reversal permutation
+/// Precomputed per-size transform plan: the bit-reversal permutation and
+/// the twiddle factors of every butterfly stage, for both directions.
+/// Twiddles for stage `len` live at offset len/2 - 1 (len/2 entries), the
+/// flat layout of sum_{len=2,4,...} len/2 = n - 1 values.
+struct fft_plan {
+    std::size_t n = 0;
+    std::vector<std::uint32_t> bitrev;
+    std::vector<std::complex<double>> forward;
+    std::vector<std::complex<double>> inverse;
+};
+
+fft_plan* build_plan(std::size_t n) {
+    auto* plan = new fft_plan;
+    plan->n = n;
+
+    plan->bitrev.resize(n);
     for (std::size_t i = 1, j = 0; i < n; ++i) {
         std::size_t bit = n >> 1;
         for (; j & bit; bit >>= 1) j ^= bit;
         j ^= bit;
+        plan->bitrev[i] = static_cast<std::uint32_t>(j);
+    }
+
+    plan->forward.resize(n - 1);
+    plan->inverse.resize(n - 1);
+    for (int dir = 0; dir < 2; ++dir) {
+        auto& table = dir == 0 ? plan->forward : plan->inverse;
+        for (std::size_t len = 2; len <= n; len <<= 1) {
+            const double angle =
+                (dir == 0 ? -2.0 : 2.0) * M_PI / static_cast<double>(len);
+            const double wr0 = std::cos(angle);
+            const double wi0 = std::sin(angle);
+            // Same running-product recurrence the butterfly loop used to
+            // evaluate inline, so table-driven transforms are bitwise
+            // identical to the untabled ones.
+            double wr = 1.0;
+            double wi = 0.0;
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                table[len / 2 - 1 + k] = {wr, wi};
+                const double nr = wr * wr0 - wi * wi0;
+                wi = wr * wi0 + wi * wr0;
+                wr = nr;
+            }
+        }
+    }
+    return plan;
+}
+
+/// Lock-free lookup of the cached plan for size n = 2^k; the first request
+/// of each size builds the tables under a mutex.
+const fft_plan& plan_for(std::size_t n) {
+    constexpr std::size_t kMaxLog2 = 40;
+    static std::atomic<fft_plan*> slots[kMaxLog2] = {};
+    static std::mutex build_mutex;
+
+    std::size_t log2 = 0;
+    while ((std::size_t{1} << log2) < n) ++log2;
+    GPF_CHECK_MSG(log2 < kMaxLog2, "fft size too large");
+
+    fft_plan* plan = slots[log2].load(std::memory_order_acquire);
+    if (plan == nullptr) {
+        std::lock_guard<std::mutex> lock(build_mutex);
+        plan = slots[log2].load(std::memory_order_relaxed);
+        if (plan == nullptr) {
+            plan = build_plan(n);
+            slots[log2].store(plan, std::memory_order_release);
+        }
+    }
+    return *plan;
+}
+
+/// Shared butterfly core. Twiddle multiplies are written in explicit real
+/// arithmetic: for the finite values the placer feeds in this matches the
+/// std::complex product bit for bit while skipping its non-finite
+/// recovery paths.
+void fft_with_plan(std::complex<double>* a, std::size_t n, bool inverse,
+                   const fft_plan& plan) {
+    for (std::size_t i = 1; i < n; ++i) {
+        const std::size_t j = plan.bitrev[i];
         if (i < j) std::swap(a[i], a[j]);
     }
 
+    const std::complex<double>* table =
+        (inverse ? plan.inverse : plan.forward).data();
     for (std::size_t len = 2; len <= n; len <<= 1) {
-        const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
-        const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+        const std::size_t half = len / 2;
+        const std::complex<double>* w = table + (half - 1);
         for (std::size_t i = 0; i < n; i += len) {
-            std::complex<double> w(1.0, 0.0);
-            for (std::size_t k = 0; k < len / 2; ++k) {
-                const std::complex<double> u = a[i + k];
-                const std::complex<double> v = a[i + k + len / 2] * w;
-                a[i + k] = u + v;
-                a[i + k + len / 2] = u - v;
-                w *= wlen;
+            for (std::size_t k = 0; k < half; ++k) {
+                const double ur = a[i + k].real();
+                const double ui = a[i + k].imag();
+                const double br = a[i + k + half].real();
+                const double bi = a[i + k + half].imag();
+                const double wr = w[k].real();
+                const double wi = w[k].imag();
+                const double vr = br * wr - bi * wi;
+                const double vi = br * wi + bi * wr;
+                a[i + k] = {ur + vr, ui + vi};
+                a[i + k + half] = {ur - vr, ui - vi};
             }
         }
     }
 
     if (inverse) {
         const double inv_n = 1.0 / static_cast<double>(n);
-        for (auto& c : a) c *= inv_n;
+        for (std::size_t i = 0; i < n; ++i) a[i] *= inv_n;
     }
+}
+
+/// Row pass of the 2-D transform: each row is contiguous and transforms in
+/// place on its own slice.
+void fft_rows(std::complex<double>* a, std::size_t n0, std::size_t n1,
+              bool inverse, const fft_plan& plan) {
+    parallel_for_chunks(n0, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            fft_with_plan(a + i * n1, n1, inverse, plan);
+        }
+    });
+}
+
+/// Column pass: gather each column into a per-chunk scratch vector,
+/// transform, scatter back.
+void fft_cols(std::complex<double>* a, std::size_t n0, std::size_t n1,
+              bool inverse, const fft_plan& plan) {
+    parallel_for_chunks(n1, [&](std::size_t begin, std::size_t end) {
+        std::vector<std::complex<double>> col(n0);
+        for (std::size_t j = begin; j < end; ++j) {
+            for (std::size_t i = 0; i < n0; ++i) col[i] = a[i * n1 + j];
+            fft_with_plan(col.data(), n0, inverse, plan);
+            for (std::size_t i = 0; i < n0; ++i) a[i * n1 + j] = col[i];
+        }
+    });
+}
+
+} // namespace
+
+void fft(std::complex<double>* a, std::size_t n, bool inverse) {
+    GPF_CHECK_MSG(is_power_of_two(n), "fft size must be a power of two");
+    if (n == 1) return;
+    fft_with_plan(a, n, inverse, plan_for(n));
+}
+
+void fft(std::vector<std::complex<double>>& a, bool inverse) {
+    fft(a.data(), a.size(), inverse);
 }
 
 void fft_2d(std::vector<std::complex<double>>& a, std::size_t n0, std::size_t n1,
@@ -56,22 +172,10 @@ void fft_2d(std::vector<std::complex<double>>& a, std::size_t n0, std::size_t n1
     // Each row (then each column) transform touches a disjoint slice, so
     // both passes parallelize with bitwise-identical results for any
     // thread count; only the barrier between the passes is ordered.
-    parallel_for_chunks(n0, [&](std::size_t begin, std::size_t end) {
-        std::vector<std::complex<double>> row(n1);
-        for (std::size_t i = begin; i < end; ++i) {
-            for (std::size_t j = 0; j < n1; ++j) row[j] = a[i * n1 + j];
-            fft(row, inverse);
-            for (std::size_t j = 0; j < n1; ++j) a[i * n1 + j] = row[j];
-        }
-    });
-    parallel_for_chunks(n1, [&](std::size_t begin, std::size_t end) {
-        std::vector<std::complex<double>> col(n0);
-        for (std::size_t j = begin; j < end; ++j) {
-            for (std::size_t i = 0; i < n0; ++i) col[i] = a[i * n1 + j];
-            fft(col, inverse);
-            for (std::size_t i = 0; i < n0; ++i) a[i * n1 + j] = col[i];
-        }
-    });
+    const fft_plan& row_plan = plan_for(n1);
+    const fft_plan& col_plan = plan_for(n0);
+    fft_rows(a.data(), n0, n1, inverse, row_plan);
+    fft_cols(a.data(), n0, n1, inverse, col_plan);
 }
 
 std::vector<double> convolve_2d(const std::vector<double>& data, std::size_t n0,
@@ -109,6 +213,128 @@ std::vector<double> convolve_2d(const std::vector<double>& data, std::size_t n0,
         }
     }
     return out;
+}
+
+spectral_convolver::spectral_convolver(std::size_t n0, std::size_t n1,
+                                       const std::vector<double>& kernel_x,
+                                       const std::vector<double>& kernel_y)
+    : n0_(n0), n1_(n1) {
+    GPF_CHECK(n0 >= 1 && n1 >= 1);
+    const std::size_t k0 = 2 * n0 - 1;
+    const std::size_t k1 = 2 * n1 - 1;
+    GPF_CHECK(kernel_x.size() == k0 * k1);
+    GPF_CHECK(kernel_y.size() == k0 * k1);
+    p0_ = next_power_of_two(n0 + k0 - 1);
+    p1_ = next_power_of_two(n1 + k1 - 1);
+
+    // One forward transform digests both kernels: by linearity the
+    // spectrum of kx + i·ky is Kx + i·Ky, exactly the packed operator
+    // convolve_pair() multiplies with.
+    std::vector<std::complex<double>> packed(p0_ * p1_);
+    for (std::size_t i = 0; i < k0; ++i) {
+        for (std::size_t j = 0; j < k1; ++j) {
+            packed[i * p1_ + j] = {kernel_x[i * k1 + j], kernel_y[i * k1 + j]};
+        }
+    }
+    fft_2d(packed, p0_, p1_, false);
+    spectrum_ = std::move(packed);
+    work_.assign(p0_ * p1_, {0.0, 0.0});
+}
+
+void spectral_convolver::forward_packed(const std::vector<double>& data) {
+    const fft_plan& row_plan = plan_for(p1_);
+    const fft_plan& col_plan = plan_for(p0_);
+
+    // Zero the scratch: the inverse transform of the previous call left it
+    // fully populated, and the padding region must read 0.
+    std::fill(work_.begin(), work_.end(), std::complex<double>{0.0, 0.0});
+
+    // Row pass over the n0 data rows only — the p0 - n0 padding rows are
+    // zero and transform to zero without arithmetic. Rows go pairwise
+    // through one complex transform each: FFT(r0 + i·r1) recovers both
+    // spectra via the conjugate symmetry of real input,
+    //   FFT(r0)[k] = (Z[k] + conj(Z[-k])) / 2
+    //   FFT(r1)[k] = (Z[k] - conj(Z[-k])) / 2i .
+    // Each pair owns rows 2r and 2r+1 of work_, so the pass parallelizes
+    // with a schedule fixed by n0 alone.
+    const std::size_t pairs = (n0_ + 1) / 2;
+    parallel_for_chunks(pairs, [&](std::size_t begin, std::size_t end) {
+        std::vector<std::complex<double>> row(p1_);
+        for (std::size_t r = begin; r < end; ++r) {
+            const std::size_t i0 = 2 * r;
+            const std::size_t i1 = i0 + 1;
+            if (i1 < n0_) {
+                for (std::size_t j = 0; j < n1_; ++j) {
+                    row[j] = {data[i0 * n1_ + j], data[i1 * n1_ + j]};
+                }
+                std::fill(row.begin() + static_cast<std::ptrdiff_t>(n1_),
+                          row.end(), std::complex<double>{0.0, 0.0});
+                fft_with_plan(row.data(), p1_, false, row_plan);
+                std::complex<double>* out0 = work_.data() + i0 * p1_;
+                std::complex<double>* out1 = work_.data() + i1 * p1_;
+                for (std::size_t k = 0; k < p1_; ++k) {
+                    const std::size_t km = (p1_ - k) & (p1_ - 1);
+                    const double ar = row[k].real();
+                    const double ai = row[k].imag();
+                    const double br = row[km].real();
+                    const double bi = -row[km].imag(); // conj(Z[-k])
+                    out0[k] = {0.5 * (ar + br), 0.5 * (ai + bi)};
+                    out1[k] = {0.5 * (ai - bi), -0.5 * (ar - br)};
+                }
+            } else {
+                // Odd tail: a single real row transforms directly.
+                for (std::size_t j = 0; j < n1_; ++j) {
+                    row[j] = {data[i0 * n1_ + j], 0.0};
+                }
+                std::fill(row.begin() + static_cast<std::ptrdiff_t>(n1_),
+                          row.end(), std::complex<double>{0.0, 0.0});
+                fft_with_plan(row.data(), p1_, false, row_plan);
+                std::complex<double>* out0 = work_.data() + i0 * p1_;
+                for (std::size_t k = 0; k < p1_; ++k) out0[k] = row[k];
+            }
+        }
+    });
+
+    fft_cols(work_.data(), p0_, p1_, false, col_plan);
+}
+
+void spectral_convolver::convolve_pair(const std::vector<double>& data,
+                                       std::vector<double>& out_x,
+                                       std::vector<double>& out_y) {
+    GPF_CHECK(data.size() == n0_ * n1_);
+
+    forward_packed(data);
+
+    // Pointwise product with the packed kernel spectrum. Both convolution
+    // results are real, so they share the two channels of one inverse
+    // transform: Re = data ⊛ kx, Im = data ⊛ ky.
+    const std::complex<double>* spec = spectrum_.data();
+    parallel_for_chunks(
+        work_.size(),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const double ar = work_[i].real();
+                const double ai = work_[i].imag();
+                const double br = spec[i].real();
+                const double bi = spec[i].imag();
+                work_[i] = {ar * br - ai * bi, ar * bi + ai * br};
+            }
+        },
+        /*grain=*/4096);
+
+    fft_2d(work_, p0_, p1_, true);
+
+    out_x.resize(n0_ * n1_);
+    out_y.resize(n0_ * n1_);
+    parallel_for_chunks(n0_, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const std::complex<double>* src = work_.data() + (i + n0_ - 1) * p1_;
+            for (std::size_t j = 0; j < n1_; ++j) {
+                out_x[i * n1_ + j] = src[j + n1_ - 1].real();
+                out_y[i * n1_ + j] = src[j + n1_ - 1].imag();
+            }
+        }
+    });
 }
 
 } // namespace gpf

@@ -3,6 +3,13 @@
 // The force field of eq. (9) in the paper is a discrete convolution of the
 // density map with the free-space Green's-function kernel; with m² grid
 // bins the FFT evaluates it in O(m² log m) instead of O(m⁴).
+//
+// Transform plans (bit-reversal permutation and per-stage twiddle tables)
+// are cached per size in a process-wide table, so repeated transforms of
+// the same size — the placer runs thousands on a fixed grid — never
+// recompute trigonometry. `spectral_convolver` goes further and caches the
+// *kernel spectra* of the force-field convolution across placement
+// transformations (see DESIGN.md §7).
 #pragma once
 
 #include <complex>
@@ -18,8 +25,13 @@ bool is_power_of_two(std::size_t n);
 std::size_t next_power_of_two(std::size_t n);
 
 /// In-place iterative Cooley-Tukey FFT. a.size() must be a power of two.
-/// The inverse transform includes the 1/N normalization.
+/// The inverse transform includes the 1/N normalization. Twiddle factors
+/// come from the per-size plan cache; inputs must be finite.
 void fft(std::vector<std::complex<double>>& a, bool inverse);
+
+/// Pointer variant of fft() for transforming a slice in place (n must be a
+/// power of two).
+void fft(std::complex<double>* a, std::size_t n, bool inverse);
 
 /// In-place 2-D FFT over a row-major n0 x n1 array (both powers of two).
 /// Row and column passes run on the worker pool; results are bitwise
@@ -36,5 +48,57 @@ void fft_2d(std::vector<std::complex<double>>& a, std::size_t n0, std::size_t n1
 /// n0 x n1 shape as data.
 std::vector<double> convolve_2d(const std::vector<double>& data, std::size_t n0,
                                 std::size_t n1, const std::vector<double>& kernel);
+
+/// Iteration-persistent spectral engine for the pair of "same"-shaped
+/// linear convolutions the force field needs each placement transformation
+/// (data ⊛ kernel_x, data ⊛ kernel_y with one shared real input).
+///
+/// Construction pays the kernel cost exactly once: both centered
+/// (2n0-1) x (2n1-1) kernels are packed as kx + i·ky into one padded
+/// complex grid and forward-transformed in a single 2-D FFT (linearity
+/// makes that spectrum Kx + i·Ky).
+///
+/// convolve_pair() then costs two padded 2-D transforms per call instead
+/// of the six a pair of convolve_2d calls performs:
+///   - one forward transform of the real data, with the row pass packing
+///     two real rows into each complex length-p1 transform (the classic
+///     two-reals-in-one-complex trick) and skipping the all-zero padding
+///     rows entirely,
+///   - one pointwise product against the cached spectrum,
+///   - one inverse transform whose real part is data ⊛ kernel_x and whose
+///     imaginary part is data ⊛ kernel_y (both convolutions are real, so
+///     they ride the two channels of one complex transform).
+///
+/// All scratch buffers are reused across calls. The arithmetic schedule
+/// depends only on (n0, n1), so results are bitwise identical for any
+/// thread count, and a fresh convolver produces bitwise identical output
+/// to a reused one — the cache contract tests/test_transform_cache.cpp
+/// locks in.
+class spectral_convolver {
+public:
+    /// kernel_x / kernel_y: centered (2n0-1) x (2n1-1) taps, laid out as in
+    /// convolve_2d.
+    spectral_convolver(std::size_t n0, std::size_t n1,
+                       const std::vector<double>& kernel_x,
+                       const std::vector<double>& kernel_y);
+
+    std::size_t n0() const { return n0_; }
+    std::size_t n1() const { return n1_; }
+
+    /// out_x = data ⊛ kernel_x, out_y = data ⊛ kernel_y ("same" shape,
+    /// n0 x n1). data.size() must be n0 * n1. Outputs are resized.
+    void convolve_pair(const std::vector<double>& data, std::vector<double>& out_x,
+                       std::vector<double>& out_y);
+
+private:
+    /// Forward transform of the zero-padded real data into work_, with the
+    /// real rows packed pairwise through one complex row transform each.
+    void forward_packed(const std::vector<double>& data);
+
+    std::size_t n0_, n1_; ///< data shape
+    std::size_t p0_, p1_; ///< padded transform shape (powers of two)
+    std::vector<std::complex<double>> spectrum_; ///< FFT2(kx + i·ky), cached
+    std::vector<std::complex<double>> work_;     ///< padded scratch, reused
+};
 
 } // namespace gpf

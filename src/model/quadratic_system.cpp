@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 
 #include "util/check.hpp"
@@ -30,6 +31,7 @@ quadratic_system::quadratic_system(const netlist& nl, net_model_options options)
     num_vars_ = movable_.size();
     collect_edges();
     find_floating_variables();
+    build_symbolic();
 }
 
 void quadratic_system::find_floating_variables() {
@@ -138,37 +140,113 @@ void quadratic_system::collect_edges() {
     }
 }
 
+void quadratic_system::build_symbolic() {
+    // The sparsity pattern is fixed by the edge topology: every edge
+    // touches its endpoint diagonals and, when both endpoints are movable,
+    // the symmetric off-diagonal pair. Collect the distinct (i, j)
+    // positions once, freeze them as the shared x/y CSR pattern, and
+    // record the value slot of every edge contribution so the numeric
+    // refill is a flat accumulation loop.
+    GPF_CHECK_MSG(num_vars_ < (std::size_t{1} << 32),
+                  "symbolic assembly packs (row, col) into 64 bits");
+    std::vector<std::uint64_t> positions;
+    positions.reserve(4 * edges_.size() + num_vars_);
+    const auto pack = [](std::size_t i, std::size_t j) {
+        return (static_cast<std::uint64_t>(i) << 32) | static_cast<std::uint64_t>(j);
+    };
+    for (std::size_t v = 0; v < num_vars_; ++v) positions.push_back(pack(v, v));
+    for (const edge& e : edges_) {
+        if (e.var_a != invalid_var && e.var_b != invalid_var) {
+            positions.push_back(pack(e.var_a, e.var_b));
+            positions.push_back(pack(e.var_b, e.var_a));
+        }
+    }
+    std::sort(positions.begin(), positions.end());
+    positions.erase(std::unique(positions.begin(), positions.end()), positions.end());
+
+    std::vector<std::size_t> row_ptr(num_vars_ + 1, 0);
+    std::vector<std::size_t> col_idx(positions.size());
+    for (std::size_t k = 0; k < positions.size(); ++k) {
+        const std::size_t i = static_cast<std::size_t>(positions[k] >> 32);
+        col_idx[k] = static_cast<std::size_t>(positions[k] & 0xffffffffu);
+        row_ptr[i + 1] = k + 1;
+    }
+    // Rows without entries inherit the previous row's end.
+    for (std::size_t i = 1; i <= num_vars_; ++i) {
+        row_ptr[i] = std::max(row_ptr[i], row_ptr[i - 1]);
+    }
+
+    ax_ = csr_matrix(row_ptr, col_idx, std::vector<double>(col_idx.size(), 0.0));
+    ay_ = csr_matrix(std::move(row_ptr), std::move(col_idx),
+                     std::vector<double>(ax_.nonzeros(), 0.0));
+
+    diag_slot_.resize(num_vars_);
+    for (std::size_t v = 0; v < num_vars_; ++v) diag_slot_[v] = ax_.slot(v, v);
+
+    edge_slots_.resize(edges_.size());
+    for (std::size_t k = 0; k < edges_.size(); ++k) {
+        const edge& e = edges_[k];
+        edge_slots& s = edge_slots_[k];
+        if (e.var_a != invalid_var && e.var_b != invalid_var) {
+            s.aa = diag_slot_[e.var_a];
+            s.bb = diag_slot_[e.var_b];
+            s.ab = ax_.slot(e.var_a, e.var_b);
+            s.ba = ax_.slot(e.var_b, e.var_a);
+        } else {
+            const std::size_t v = e.var_a != invalid_var ? e.var_a : e.var_b;
+            s.aa = diag_slot_[v];
+            s.bb = s.ab = s.ba = csr_matrix::npos;
+        }
+    }
+}
+
+void quadratic_system::compute_variable_positions(const placement& pl,
+                                                  std::vector<point>& out) const {
+    out.resize(num_vars_);
+    for (std::size_t v = 0; v < movable_.size(); ++v) out[v] = pl[movable_[v]];
+    for (std::size_t sv = 0; sv < star_net_of_var_.size(); ++sv) {
+        const net& n = nl_.net_at(star_net_of_var_[sv]);
+        point c;
+        for (const pin& p : n.pins) c += pin_position(nl_, pl, p);
+        c *= 1.0 / static_cast<double>(n.degree());
+        out[movable_.size() + sv] = c;
+    }
+}
+
 void quadratic_system::assemble(const placement& current) {
     GPF_CHECK(current.size() == nl_.num_cells());
 
     // Current position of every variable (star centers at their net's pin
     // centroid) — needed only for the linearization lengths.
-    std::vector<point> var_pos(num_vars_);
-    for (std::size_t v = 0; v < movable_.size(); ++v) var_pos[v] = current[movable_[v]];
-    for (std::size_t sv = 0; sv < star_net_of_var_.size(); ++sv) {
-        const net& n = nl_.net_at(star_net_of_var_[sv]);
-        point c;
-        for (const pin& p : n.pins) c += pin_position(nl_, current, p);
-        c *= 1.0 / static_cast<double>(n.degree());
-        var_pos[movable_.size() + sv] = c;
-    }
+    compute_variable_positions(current, var_pos_);
 
     const double eps =
         options_.min_length_fraction * (nl_.region().width() + nl_.region().height());
 
-    coo_builder bx_builder(num_vars_);
-    coo_builder by_builder(num_vars_);
+    // Numeric refill of the fixed symbolic pattern: zero the value arrays,
+    // accumulate every edge in collection order (a serial loop — the
+    // summation order is part of the determinism contract), then add the
+    // anchors. Net weights are read live so timing-driven weight updates
+    // take effect without re-collecting edges.
+    std::vector<double>& vx = ax_.values();
+    std::vector<double>& vy = ay_.values();
+    std::fill(vx.begin(), vx.end(), 0.0);
+    std::fill(vy.begin(), vy.end(), 0.0);
     bx_.assign(num_vars_, 0.0);
     by_.assign(num_vars_, 0.0);
 
-    for (const edge& e : edges_) {
+    double stiffness_acc = 0.0; // Σ base weight × movable endpoints
+    for (std::size_t k = 0; k < edges_.size(); ++k) {
+        const edge& e = edges_[k];
+        const edge_slots& s = edge_slots_[k];
+
         // Endpoint positions for the linearization length.
         const point pa = e.var_a == invalid_var
                              ? point(e.fixed_ax, e.fixed_ay)
-                             : var_pos[e.var_a] + point(e.off_ax, e.off_ay);
+                             : var_pos_[e.var_a] + point(e.off_ax, e.off_ay);
         const point pb = e.var_b == invalid_var
                              ? point(e.fixed_bx, e.fixed_by)
-                             : var_pos[e.var_b] + point(e.off_bx, e.off_by);
+                             : var_pos_[e.var_b] + point(e.off_bx, e.off_by);
 
         const double base = e.weight * nl_.net_at(e.source_net).weight;
         double wx = base;
@@ -179,12 +257,15 @@ void quadratic_system::assemble(const placement& current) {
         }
 
         if (e.var_a != invalid_var && e.var_b != invalid_var) {
-            bx_builder.add_diagonal(e.var_a, wx);
-            bx_builder.add_diagonal(e.var_b, wx);
-            bx_builder.add_symmetric_pair(e.var_a, e.var_b, -wx);
-            by_builder.add_diagonal(e.var_a, wy);
-            by_builder.add_diagonal(e.var_b, wy);
-            by_builder.add_symmetric_pair(e.var_a, e.var_b, -wy);
+            stiffness_acc += base * 2.0;
+            vx[s.aa] += wx;
+            vx[s.bb] += wx;
+            vx[s.ab] -= wx;
+            vx[s.ba] -= wx;
+            vy[s.aa] += wy;
+            vy[s.bb] += wy;
+            vy[s.ab] -= wy;
+            vy[s.ba] -= wy;
             const double dx = e.off_ax - e.off_bx;
             const double dy = e.off_ay - e.off_by;
             bx_[e.var_a] += wx * dx;
@@ -193,14 +274,15 @@ void quadratic_system::assemble(const placement& current) {
             by_[e.var_b] -= wy * dy;
         } else {
             // Exactly one endpoint movable.
+            stiffness_acc += base;
             const bool a_movable = e.var_a != invalid_var;
             const std::size_t v = a_movable ? e.var_a : e.var_b;
             const double off_x = a_movable ? e.off_ax : e.off_bx;
             const double off_y = a_movable ? e.off_ay : e.off_by;
             const double fixed_x = a_movable ? e.fixed_bx : e.fixed_ax;
             const double fixed_y = a_movable ? e.fixed_by : e.fixed_ay;
-            bx_builder.add_diagonal(v, wx);
-            by_builder.add_diagonal(v, wy);
+            vx[s.aa] += wx;
+            vy[s.aa] += wy;
             bx_[v] += wx * (off_x - fixed_x);
             by_[v] += wy * (off_y - fixed_y);
         }
@@ -212,22 +294,39 @@ void quadratic_system::assemble(const placement& current) {
     // definiteness.
     constexpr double kRegularization = 1e-9;
     const point center = nl_.region().center();
-    const double anchor = 1e-3 * std::max(1e-9, mean_stiffness());
+    const double mean = num_vars_ == 0
+                            ? 0.0
+                            : stiffness_acc / static_cast<double>(num_vars_);
+    const double anchor = 1e-3 * std::max(1e-9, mean);
     for (std::size_t v = 0; v < num_vars_; ++v) {
         if (floating_[v]) {
-            bx_builder.add_diagonal(v, anchor);
-            by_builder.add_diagonal(v, anchor);
+            vx[diag_slot_[v]] += anchor;
+            vy[diag_slot_[v]] += anchor;
             bx_[v] += anchor * -center.x;
             by_[v] += anchor * -center.y;
         } else {
-            bx_builder.add_diagonal(v, kRegularization);
-            by_builder.add_diagonal(v, kRegularization);
+            vx[diag_slot_[v]] += kRegularization;
+            vy[diag_slot_[v]] += kRegularization;
         }
     }
 
-    ax_ = bx_builder.build();
-    ay_ = by_builder.build();
+    diag_x_.resize(num_vars_);
+    diag_y_.resize(num_vars_);
+    for (std::size_t v = 0; v < num_vars_; ++v) {
+        diag_x_[v] = vx[diag_slot_[v]];
+        diag_y_[v] = vy[diag_slot_[v]];
+    }
     assembled_ = true;
+}
+
+const std::vector<double>& quadratic_system::diagonal_x() const {
+    GPF_CHECK_MSG(assembled_, "assemble() must be called before diagonal_x()");
+    return diag_x_;
+}
+
+const std::vector<double>& quadratic_system::diagonal_y() const {
+    GPF_CHECK_MSG(assembled_, "assemble() must be called before diagonal_y()");
+    return diag_y_;
 }
 
 placement quadratic_system::solve(const placement& start, const std::vector<double>& ex,
@@ -247,26 +346,20 @@ placement quadratic_system::solve(const placement& start, const std::vector<doub
     }
 
     // Warm start from the current placement.
-    std::vector<double> xs(num_vars_, 0.0), ys(num_vars_, 0.0);
-    for (std::size_t v = 0; v < movable_.size(); ++v) {
-        xs[v] = start[movable_[v]].x;
-        ys[v] = start[movable_[v]].y;
-    }
-    for (std::size_t sv = 0; sv < star_net_of_var_.size(); ++sv) {
-        const net& n = nl_.net_at(star_net_of_var_[sv]);
-        point c;
-        for (const pin& p : n.pins) c += pin_position(nl_, start, p);
-        c *= 1.0 / static_cast<double>(n.degree());
-        xs[movable_.size() + sv] = c.x;
-        ys[movable_.size() + sv] = c.y;
+    std::vector<point> vp;
+    compute_variable_positions(start, vp);
+    std::vector<double> xs(num_vars_), ys(num_vars_);
+    for (std::size_t v = 0; v < num_vars_; ++v) {
+        xs[v] = vp[v].x;
+        ys[v] = vp[v].y;
     }
 
     // The two axis systems are independent; solve them concurrently. Each
     // solve is deterministic on its own, so concurrency cannot change bits.
     cg_result res_x;
     cg_result res_y;
-    parallel_invoke([&] { res_x = cg_solve(ax_, rx, xs, options); },
-                    [&] { res_y = cg_solve(ay_, ry, ys, options); });
+    parallel_invoke([&] { res_x = cg_solve(ax_, rx, xs, options, &diag_x_); },
+                    [&] { res_y = cg_solve(ay_, ry, ys, options, &diag_y_); });
     if (result_x) *result_x = res_x;
     if (result_y) *result_y = res_y;
 
@@ -280,15 +373,8 @@ placement quadratic_system::solve(const placement& start, const std::vector<doub
 double quadratic_system::objective(const placement& pl) const {
     GPF_CHECK_MSG(assembled_, "assemble() must be called before objective()");
     // Var positions including star centroids.
-    std::vector<point> var_pos(num_vars_);
-    for (std::size_t v = 0; v < movable_.size(); ++v) var_pos[v] = pl[movable_[v]];
-    for (std::size_t sv = 0; sv < star_net_of_var_.size(); ++sv) {
-        const net& n = nl_.net_at(star_net_of_var_[sv]);
-        point c;
-        for (const pin& p : n.pins) c += pin_position(nl_, pl, p);
-        c *= 1.0 / static_cast<double>(n.degree());
-        var_pos[movable_.size() + sv] = c;
-    }
+    std::vector<point> var_pos;
+    compute_variable_positions(pl, var_pos);
 
     const double eps =
         options_.min_length_fraction * (nl_.region().width() + nl_.region().height());
@@ -314,15 +400,8 @@ double quadratic_system::objective(const placement& pl) const {
 
 std::vector<point> quadratic_system::variable_positions(const placement& pl) const {
     GPF_CHECK(pl.size() == nl_.num_cells());
-    std::vector<point> pos(num_vars_);
-    for (std::size_t v = 0; v < movable_.size(); ++v) pos[v] = pl[movable_[v]];
-    for (std::size_t sv = 0; sv < star_net_of_var_.size(); ++sv) {
-        const net& n = nl_.net_at(star_net_of_var_[sv]);
-        point c;
-        for (const pin& p : n.pins) c += pin_position(nl_, pl, p);
-        c *= 1.0 / static_cast<double>(n.degree());
-        pos[movable_.size() + sv] = c;
-    }
+    std::vector<point> pos;
+    compute_variable_positions(pl, pos);
     return pos;
 }
 

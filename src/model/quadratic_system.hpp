@@ -43,6 +43,14 @@ public:
 
     /// Build A and b from the current placement (needed for linearization
     /// weights; ignored when options.linearize is false).
+    ///
+    /// Assembly is split into a one-time *symbolic* phase — the CSR
+    /// sparsity pattern and the slot index of every edge contribution,
+    /// fixed by the netlist topology and computed in the constructor — and
+    /// a per-call *numeric* refill that accumulates the (live) linearized
+    /// weights straight into the cached pattern. No sorting, no
+    /// allocation: repeated calls are bitwise identical to assembling a
+    /// freshly constructed system (tests/test_transform_cache.cpp).
     void assemble(const placement& current);
 
     bool assembled() const { return assembled_; }
@@ -50,6 +58,12 @@ public:
     const csr_matrix& matrix_y() const { return ay_; }
     const std::vector<double>& rhs_x() const { return bx_; }
     const std::vector<double>& rhs_y() const { return by_; }
+
+    /// Main diagonals of matrix_x()/matrix_y(), cached by assemble() so
+    /// per-solve callers (hold-and-move, wire relaxation, Jacobi/SSOR
+    /// preconditioning) never pay an allocating diagonal() walk.
+    const std::vector<double>& diagonal_x() const;
+    const std::vector<double>& diagonal_y() const;
 
     /// Solve A p + b + e = 0 starting from `start`. ex/ey must have
     /// num_vars() entries or be empty (treated as zero). Fixed cells keep
@@ -91,6 +105,9 @@ private:
     void add_edge_between_pins(const net& n, std::size_t pa, std::size_t pb,
                                double weight, net_id ni);
     void find_floating_variables();
+    void build_symbolic();
+    void compute_variable_positions(const placement& pl,
+                                    std::vector<point>& out) const;
 
     const netlist& nl_;
     net_model_options options_;
@@ -105,8 +122,19 @@ private:
     /// position would be decided by solver round-off.
     std::vector<char> floating_;
 
+    /// Symbolic cache: slots into the (shared x/y) CSR pattern. For a
+    /// two-movable edge all four of {aa, bb, ab, ba} are valid; for a
+    /// single-movable edge only aa (the movable endpoint's diagonal).
+    struct edge_slots {
+        std::size_t aa, bb, ab, ba;
+    };
+    std::vector<edge_slots> edge_slots_; ///< parallel to edges_
+    std::vector<std::size_t> diag_slot_; ///< per variable, slot of (v, v)
+
     csr_matrix ax_, ay_;
     std::vector<double> bx_, by_;
+    std::vector<double> diag_x_, diag_y_; ///< cached by assemble()
+    std::vector<point> var_pos_;          ///< assemble() workspace
     bool assembled_ = false;
 };
 

@@ -64,22 +64,19 @@ struct grid_state {
     }
 };
 
-/// Route one two-pin edge from bin (ax, ay) to (bx, by) along the cheapest
-/// of the candidate single-bend (L) / double-bend (Z) paths.
-void route_edge(grid_state& g, std::size_t ax, std::size_t ay, std::size_t bx,
-                std::size_t by) {
-    if (ax == bx && ay == by) return;
-    if (ax == bx) {
-        g.v_commit(ax, ay, by);
-        return;
-    }
-    if (ay == by) {
-        g.h_commit(ax, bx, ay);
-        return;
-    }
+/// A routed two-pin edge with a bend choice (ax != bx and ay != by):
+/// vertical legs on columns ax/bx joined by a horizontal run at `row`.
+struct bent_edge {
+    std::size_t ax, ay, bx, by;
+    std::size_t row;
+};
 
-    // Candidate Z rows: horizontal run at row m, vertical legs at both ends
-    // (m == ay / m == by degenerate to the two L-shapes).
+/// Cheapest horizontal-run row among the candidate single-bend (L) /
+/// double-bend (Z) paths under the current usage. Ties break toward the
+/// earliest candidate (the lower-bend L first), so re-evaluating an edge
+/// whose surroundings did not change reproduces its previous choice.
+std::size_t choose_row(const grid_state& g, std::size_t ax, std::size_t ay,
+                       std::size_t bx, std::size_t by) {
     std::vector<std::size_t> rows = {ay, by};
     if (g.opt.use_z_shapes && g.opt.max_z_candidates > 0) {
         const std::size_t lo = std::min(ay, by);
@@ -100,9 +97,44 @@ void route_edge(grid_state& g, std::size_t ax, std::size_t ay, std::size_t bx,
             best_row = m;
         }
     }
-    g.v_commit(ax, ay, best_row);
-    g.h_commit(ax, bx, best_row);
-    g.v_commit(bx, best_row, by);
+    return best_row;
+}
+
+void commit_bent(grid_state& g, const bent_edge& e) {
+    g.v_commit(e.ax, e.ay, e.row);
+    g.h_commit(e.ax, e.bx, e.row);
+    g.v_commit(e.bx, e.row, e.by);
+}
+
+void uncommit_bent(grid_state& g, const bent_edge& e) {
+    for (std::size_t iy = std::min(e.ay, e.row); iy <= std::max(e.ay, e.row); ++iy) {
+        g.v_usage[e.ax * g.ny + iy] -= 1.0;
+    }
+    for (std::size_t ix = std::min(e.ax, e.bx); ix <= std::max(e.ax, e.bx); ++ix) {
+        g.h_usage[ix * g.ny + e.row] -= 1.0;
+    }
+    for (std::size_t iy = std::min(e.row, e.by); iy <= std::max(e.row, e.by); ++iy) {
+        g.v_usage[e.bx * g.ny + iy] -= 1.0;
+    }
+}
+
+/// Route one two-pin edge. Straight edges have no routing freedom and are
+/// committed directly; bent edges record their choice in `bent` so the
+/// reroute passes can revisit it.
+void route_edge(grid_state& g, std::size_t ax, std::size_t ay, std::size_t bx,
+                std::size_t by, std::vector<bent_edge>& bent) {
+    if (ax == bx && ay == by) return;
+    if (ax == bx) {
+        g.v_commit(ax, ay, by);
+        return;
+    }
+    if (ay == by) {
+        g.h_commit(ax, bx, ay);
+        return;
+    }
+    bent_edge e{ax, ay, bx, by, choose_row(g, ax, ay, bx, by)};
+    commit_bent(g, e);
+    bent.push_back(e);
 }
 
 /// Minimum spanning tree over the net's pin positions (Prim, O(k²) — net
@@ -176,15 +208,33 @@ routing_result route_global(const netlist& nl, const placement& pl, const rect& 
                     result.v_usage};
 
     std::vector<point> pins;
+    std::vector<bent_edge> bent;
     for (const net& n : nl.nets()) {
         if (n.degree() < 2) continue;
         pins.clear();
         for (const pin& p : n.pins) pins.push_back(pin_position(nl, pl, p));
         for (const auto& [a, b] : mst_edges(pins)) {
             route_edge(grid, grid.bin_x(pins[a].x), grid.bin_y(pins[a].y),
-                       grid.bin_x(pins[b].x), grid.bin_y(pins[b].y));
+                       grid.bin_x(pins[b].x), grid.bin_y(pins[b].y), bent);
             ++result.edges_routed;
         }
+    }
+
+    // Rip-up-and-reroute refinement: revisit every bent edge against the
+    // congestion left by all others. Each re-choice is a best response
+    // under the congestion cost, so the sweep descends the same potential
+    // the initial greedy pass optimizes; an edge whose surroundings did
+    // not change re-derives its previous choice and stays put.
+    for (std::size_t pass = 0; pass < options.reroute_passes; ++pass) {
+        bool changed = false;
+        for (bent_edge& e : bent) {
+            uncommit_bent(grid, e);
+            const std::size_t row = choose_row(grid, e.ax, e.ay, e.bx, e.by);
+            changed |= row != e.row;
+            e.row = row;
+            commit_bent(grid, e);
+        }
+        if (!changed) break;
     }
 
     // Wirelength and overflow from the committed usage.

@@ -20,6 +20,11 @@ struct router_options {
     double v_capacity = 8.0;   ///< vertical tracks per bin
     bool use_z_shapes = true;  ///< sweep Z bends in addition to the two Ls
     std::size_t max_z_candidates = 8; ///< intermediate coordinates probed per edge
+    /// Rip-up-and-reroute sweeps after the initial greedy pass: every bent
+    /// edge is re-chosen against the congestion left by the others, which
+    /// lets early commitments escape congestion discovered later. 0
+    /// restores single-pass greedy routing.
+    std::size_t reroute_passes = 2;
     /// Congestion cost exponent: cost of using a bin = (usage/capacity)^p.
     double cost_exponent = 2.0;
 };

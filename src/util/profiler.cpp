@@ -1,0 +1,107 @@
+#include "util/profiler.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace gpf {
+
+const char* profile_phase_name(profile_phase phase) {
+    switch (phase) {
+        case profile_phase::assemble: return "assemble";
+        case profile_phase::density: return "density";
+        case profile_phase::force_field: return "force_field";
+        case profile_phase::move_force: return "move_force";
+        case profile_phase::solve: return "solve";
+        case profile_phase::wire_relax: return "wire_relax";
+        case profile_phase::spread_check: return "spread_check";
+        case profile_phase::other: return "other";
+        case profile_phase::count_: break;
+    }
+    return "?";
+}
+
+profiler& profiler::instance() {
+    static profiler p;
+    return p;
+}
+
+profiler::profiler() {
+    const char* env = std::getenv("GPF_PROFILE");
+    if (env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0) {
+        enabled_ = true;
+        trace_ = true;
+    }
+}
+
+void profiler::add_sample(profile_phase phase, double seconds) {
+    const std::size_t i = static_cast<std::size_t>(phase);
+    totals_[i].seconds += seconds;
+    totals_[i].calls += 1;
+    current_[i] += seconds;
+}
+
+void profiler::add_cg_iterations(std::size_t x_iters, std::size_t y_iters) {
+    cg_x_total_ += x_iters;
+    cg_y_total_ += y_iters;
+    cg_x_current_ += x_iters;
+    cg_y_current_ += y_iters;
+}
+
+void profiler::end_transform() {
+    ++transforms_;
+    if (trace_) {
+        double total = 0.0;
+        for (const double s : current_) total += s;
+        std::fprintf(stderr, "GPF_PROFILE transform=%zu", transforms_);
+        for (std::size_t i = 0; i < num_profile_phases; ++i) {
+            std::fprintf(stderr, " %s=%.3fms",
+                         profile_phase_name(static_cast<profile_phase>(i)),
+                         current_[i] * 1e3);
+        }
+        std::fprintf(stderr, " cg_x=%zu cg_y=%zu total=%.3fms\n", cg_x_current_,
+                     cg_y_current_, total * 1e3);
+    }
+    current_.fill(0.0);
+    cg_x_current_ = 0;
+    cg_y_current_ = 0;
+}
+
+double profiler::total_seconds(profile_phase phase) const {
+    return totals_[static_cast<std::size_t>(phase)].seconds;
+}
+
+std::size_t profiler::calls(profile_phase phase) const {
+    return totals_[static_cast<std::size_t>(phase)].calls;
+}
+
+std::string profiler::summary() const {
+    std::ostringstream os;
+    double total = 0.0;
+    for (const phase_totals& t : totals_) total += t.seconds;
+    os << "phase profile over " << transforms_ << " transformation(s), "
+       << "total " << total * 1e3 << " ms\n";
+    char line[128];
+    for (std::size_t i = 0; i < num_profile_phases; ++i) {
+        const phase_totals& t = totals_[i];
+        if (t.calls == 0) continue;
+        const double pct = total > 0.0 ? 100.0 * t.seconds / total : 0.0;
+        std::snprintf(line, sizeof line, "  %-12s %10.3f ms  %5.1f%%  (%zu calls)\n",
+                      profile_phase_name(static_cast<profile_phase>(i)),
+                      t.seconds * 1e3, pct, t.calls);
+        os << line;
+    }
+    os << "  cg iterations: x=" << cg_x_total_ << " y=" << cg_y_total_ << "\n";
+    return os.str();
+}
+
+void profiler::reset() {
+    totals_.fill(phase_totals{});
+    current_.fill(0.0);
+    transforms_ = 0;
+    cg_x_total_ = cg_y_total_ = 0;
+    cg_x_current_ = cg_y_current_ = 0;
+}
+
+} // namespace gpf

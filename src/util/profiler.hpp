@@ -1,0 +1,112 @@
+// Lightweight phase profiler for the placement transformation loop.
+//
+// The placer wraps each hot-path phase (system assembly, density stamping,
+// force-field convolution, solves, ...) in a phase_timer; the profiler
+// accumulates wall-clock seconds and call counts per phase plus the CG
+// iteration counts of each transformation. Collection is off by default
+// and costs a single branch per phase when disabled.
+//
+// Enable via the environment (GPF_PROFILE=1 — also prints one trace line
+// per transformation to stderr) or programmatically with set_enabled()
+// (collection only, no trace lines), e.g. from benchmarks and tests.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "util/stopwatch.hpp"
+
+namespace gpf {
+
+enum class profile_phase : std::size_t {
+    assemble = 0, ///< quadratic system numeric refill
+    density,      ///< density map stamping + finalize
+    force_field,  ///< spectral convolution of the density
+    move_force,   ///< per-cell field sampling + force scaling
+    solve,        ///< hold-and-move CG solves (x and y)
+    wire_relax,   ///< wire-relaxation CG solves
+    spread_check, ///< stopping-criterion evaluation
+    other,        ///< everything else inside a transformation
+    count_,
+};
+
+inline constexpr std::size_t num_profile_phases =
+    static_cast<std::size_t>(profile_phase::count_);
+
+/// Name of a phase as printed in trace lines and summaries.
+const char* profile_phase_name(profile_phase phase);
+
+/// Process-wide profiler instance. Not thread-safe by design: phases are
+/// recorded from the placer's driving thread only (worker threads run
+/// inside a phase, never around one).
+class profiler {
+public:
+    static profiler& instance();
+
+    /// True when GPF_PROFILE is set to anything but "0"/empty, or after
+    /// set_enabled(true).
+    bool enabled() const { return enabled_; }
+    void set_enabled(bool on) { enabled_ = on; }
+    /// True only for environment activation; gates the per-transform
+    /// stderr trace lines.
+    bool trace() const { return trace_; }
+
+    void add_sample(profile_phase phase, double seconds);
+    void add_cg_iterations(std::size_t x_iters, std::size_t y_iters);
+
+    /// Marks the end of one placement transformation; when tracing, emits
+    ///   GPF_PROFILE transform=N assemble=... ... cg_x=N cg_y=N total=...
+    /// with per-phase seconds for this transformation only.
+    void end_transform();
+
+    std::size_t transforms() const { return transforms_; }
+    double total_seconds(profile_phase phase) const;
+    std::size_t calls(profile_phase phase) const;
+    std::size_t total_cg_x() const { return cg_x_total_; }
+    std::size_t total_cg_y() const { return cg_y_total_; }
+
+    /// Multi-line human-readable summary of the accumulated totals.
+    std::string summary() const;
+
+    /// Zero all counters (keeps the enabled/trace flags).
+    void reset();
+
+private:
+    profiler();
+
+    struct phase_totals {
+        double seconds = 0.0;
+        std::size_t calls = 0;
+    };
+
+    bool enabled_ = false;
+    bool trace_ = false;
+    std::array<phase_totals, num_profile_phases> totals_{};
+    std::array<double, num_profile_phases> current_{}; ///< this transform
+    std::size_t transforms_ = 0;
+    std::size_t cg_x_total_ = 0, cg_y_total_ = 0;
+    std::size_t cg_x_current_ = 0, cg_y_current_ = 0;
+};
+
+/// RAII phase scope: records elapsed wall-clock into the global profiler
+/// on destruction. A disabled profiler reduces this to two branches.
+class phase_timer {
+public:
+    explicit phase_timer(profile_phase phase)
+        : phase_(phase), active_(profiler::instance().enabled()) {}
+    ~phase_timer() {
+        if (active_) {
+            profiler::instance().add_sample(phase_, watch_.elapsed_seconds());
+        }
+    }
+    phase_timer(const phase_timer&) = delete;
+    phase_timer& operator=(const phase_timer&) = delete;
+
+private:
+    profile_phase phase_;
+    bool active_;
+    stopwatch watch_;
+};
+
+} // namespace gpf

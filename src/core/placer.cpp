@@ -11,6 +11,7 @@
 #include "util/logging.hpp"
 #include "util/profiler.hpp"
 #include "util/thread_pool.hpp"
+#include "verify/verify.hpp"
 
 namespace gpf {
 
@@ -351,6 +352,15 @@ placement placer::transform(const placement& current) {
     if (prof.enabled()) {
         prof.add_cg_iterations(cg_x, cg_y);
         prof.end_transform();
+    }
+
+    // Optional invariant checkpoint (GPF_VERIFY=1): every transformation
+    // must hand the next stage finite coordinates, untouched fixed cells
+    // and — when clamping is on — centers inside the region.
+    if (verify_checkpoints_enabled()) {
+        verify_options vopt;
+        vopt.check_in_region = options_.clamp_to_region;
+        checkpoint_global_placement(nl_, next, "placer::transform", vopt);
     }
     return next;
 }

@@ -49,3 +49,5 @@
 #include "util/profiler.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
+#include "verify/fuzz.hpp"
+#include "verify/verify.hpp"

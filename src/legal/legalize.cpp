@@ -1,6 +1,7 @@
 #include "legal/legalize.hpp"
 
 #include "core/metrics.hpp"
+#include "verify/verify.hpp"
 
 namespace gpf {
 
@@ -21,6 +22,10 @@ legalize_result legalize(const netlist& nl, const placement& global, placement& 
             break;
     }
     result.hpwl_legal = total_hpwl(nl, work);
+    // Row legalization postcondition (GPF_VERIFY=1): aligned, contained,
+    // overlap-free, fixed cells untouched. refine_detailed() re-checks its
+    // own output, so together every stage boundary is covered.
+    checkpoint_legal_placement(nl, work, "legalize (row legalization)");
 
     if (options.run_refinement) {
         result.refine = refine_detailed(nl, work, options.refine);

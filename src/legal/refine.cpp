@@ -7,6 +7,7 @@
 #include "core/metrics.hpp"
 #include "legal/rows.hpp"
 #include "util/check.hpp"
+#include "verify/verify.hpp"
 
 namespace gpf {
 
@@ -199,6 +200,9 @@ refine_result refine_detailed(const netlist& nl, placement& pl,
     }
 
     result.hpwl_after = total_hpwl(nl, pl);
+    // Refinement postcondition (GPF_VERIFY=1): every accepted swap or
+    // relocation must have preserved legality.
+    checkpoint_legal_placement(nl, pl, "refine_detailed");
     return result;
 }
 

@@ -9,10 +9,10 @@
 // than the row height become blocks.
 #pragma once
 
-#include <stdexcept>
 #include <string>
 
 #include "netlist/netlist.hpp"
+#include "util/check.hpp" // io_error / parse_error taxonomy
 
 namespace gpf {
 
@@ -28,13 +28,13 @@ void write_bookshelf(const netlist& nl, const placement& pl,
                      const std::string& base_path);
 
 /// Reads base_path + ".nodes"/".nets"/".pl" and, when present, ".scl".
-/// Throws check_error on malformed input or io_error on missing files.
+/// Throws io_error on missing files and parse_error (with file/line
+/// context) on any malformed or internally inconsistent content: declared
+/// counts (NumNodes/NumTerminals/NumNets/NumPins/NetDegree) that do not
+/// match the actual content, unparseable numbers, duplicate node names,
+/// references to unknown nodes, non-positive dimensions. The reader never
+/// returns a netlist that fails netlist::validate() and never leaks a raw
+/// std:: exception from numeric conversion.
 bookshelf_design read_bookshelf(const std::string& base_path);
-
-/// Thrown when a bookshelf file cannot be opened.
-class io_error : public std::runtime_error {
-public:
-    explicit io_error(const std::string& what) : std::runtime_error(what) {}
-};
 
 } // namespace gpf

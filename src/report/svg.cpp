@@ -5,8 +5,7 @@
 #include <iomanip>
 
 #include "core/metrics.hpp"
-#include "netlist/bookshelf.hpp" // io_error
-#include "util/check.hpp"
+#include "util/check.hpp" // io_error
 
 namespace gpf {
 

@@ -1,11 +1,25 @@
-// Precondition / invariant checking helpers.
+// Precondition / invariant checking helpers and the library error taxonomy.
 //
 // GPF_CHECK is always on (cheap, used for API preconditions); GPF_DCHECK
 // compiles away in release builds and guards internal invariants on hot
 // paths. Violations throw gpf::check_error so library users can recover
 // and tests can assert on failure behaviour.
+//
+// Error taxonomy (all recoverable, all rooted in std::exception):
+//   check_error — a caller broke an API contract or an internal invariant
+//                 failed (logic error; fix the calling code).
+//   io_error    — the environment failed us: a file cannot be opened or
+//                 written (runtime error; retry with a different path).
+//   parse_error — an input *file* is malformed; carries the file path and
+//                 1-based line number of the offending content. Derives
+//                 from io_error so `catch (const io_error&)` handles the
+//                 whole I/O failure family.
+// Library code never lets raw std::invalid_argument / std::out_of_range
+// from numeric conversions escape a parser — the Bookshelf fuzz harness
+// (tools/gpf_fuzz_io) enforces this contract.
 #pragma once
 
+#include <cstddef>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -16,6 +30,36 @@ namespace gpf {
 class check_error : public std::logic_error {
 public:
     explicit check_error(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a file cannot be opened for reading or writing.
+class io_error : public std::runtime_error {
+public:
+    explicit io_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an input file is syntactically or structurally malformed.
+/// Carries the source location (path + 1-based line; line 0 = whole file).
+class parse_error : public io_error {
+public:
+    parse_error(std::string file, std::size_t line, const std::string& what)
+        : io_error(format(file, line, what)), file_(std::move(file)), line_(line) {}
+
+    const std::string& file() const { return file_; }
+    std::size_t line() const { return line_; }
+
+private:
+    static std::string format(const std::string& file, std::size_t line,
+                              const std::string& what) {
+        std::ostringstream os;
+        os << file;
+        if (line > 0) os << ':' << line;
+        os << ": " << what;
+        return os.str();
+    }
+
+    std::string file_;
+    std::size_t line_;
 };
 
 namespace detail {

@@ -113,6 +113,243 @@ TEST_F(BookshelfTest, MissingFileThrowsIoError) {
     EXPECT_THROW(read_bookshelf(base_ + "_nonexistent"), io_error);
 }
 
+// --- malformed-input regression matrix ----------------------------------
+// Each case below silently corrupted the netlist (or leaked a raw std::
+// exception) before the parser hardening; now every one must surface as a
+// typed parse_error carrying file/line context.
+
+class MalformedBookshelfTest : public BookshelfTest {
+protected:
+    /// Writes a consistent three-node design, then lets a case override
+    /// individual files.
+    void write_valid() {
+        write(".nodes",
+              "UCLA nodes 1.0\nNumNodes : 3\nNumTerminals : 1\n"
+              "  a 2 1\n  b 3 1\n  p 1 1 terminal\n");
+        write(".nets",
+              "UCLA nets 1.0\nNumNets : 2\nNumPins : 4\n"
+              "NetDegree : 2  n0\n  a O : 0 0\n  b I : 0 0\n"
+              "NetDegree : 2  n1\n  b O\n  p I\n");
+        write(".pl", "UCLA pl 1.0\na 0 0 : N\nb 4 0 : N\np -1 0 : N /FIXED\n");
+    }
+
+    void write(const char* ext, const std::string& content) {
+        std::ofstream out(base_ + ext);
+        out << content;
+    }
+};
+
+TEST_F(MalformedBookshelfTest, NetDegreeOvercountThrows) {
+    write_valid();
+    // Declares 3 pins, provides 2: before the fix the count was parsed
+    // and thrown away, silently producing a 2-pin net.
+    write(".nets",
+          "UCLA nets 1.0\nNumNets : 2\nNumPins : 4\n"
+          "NetDegree : 3  n0\n  a O : 0 0\n  b I : 0 0\n"
+          "NetDegree : 2  n1\n  b O\n  p I\n");
+    EXPECT_THROW(read_bookshelf(base_), parse_error);
+}
+
+TEST_F(MalformedBookshelfTest, NetDegreeUndercountThrows) {
+    write_valid();
+    write(".nets",
+          "UCLA nets 1.0\nNumNets : 2\nNumPins : 4\n"
+          "NetDegree : 1  n0\n  a O : 0 0\n  b I : 0 0\n"
+          "NetDegree : 2  n1\n  b O\n  p I\n");
+    EXPECT_THROW(read_bookshelf(base_), parse_error);
+}
+
+TEST_F(MalformedBookshelfTest, MalformedPinLineThrows) {
+    write_valid();
+    // "a" with no direction: the unchecked `ls >> node >> dir` used to
+    // accept this and push a pin with a default direction.
+    write(".nets",
+          "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+          "NetDegree : 2  n0\n  a\n  b I : 0 0\n");
+    EXPECT_THROW(read_bookshelf(base_), parse_error);
+}
+
+TEST_F(MalformedBookshelfTest, BadPinDirectionThrows) {
+    write_valid();
+    write(".nets",
+          "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+          "NetDegree : 2  n0\n  a Q : 0 0\n  b I : 0 0\n");
+    EXPECT_THROW(read_bookshelf(base_), parse_error);
+}
+
+TEST_F(MalformedBookshelfTest, MalformedPinOffsetThrows) {
+    write_valid();
+    // Previously ls.fail() was swallowed and the offset silently zeroed.
+    write(".nets",
+          "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+          "NetDegree : 2  n0\n  a O : 1.5 zz\n  b I : 0 0\n");
+    EXPECT_THROW(read_bookshelf(base_), parse_error);
+}
+
+TEST_F(MalformedBookshelfTest, DuplicatePinOnNetThrows) {
+    write_valid();
+    write(".nets",
+          "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+          "NetDegree : 2  n0\n  a O : 0 0\n  a I : 0 0\n");
+    EXPECT_THROW(read_bookshelf(base_), parse_error);
+}
+
+TEST_F(MalformedBookshelfTest, UnknownNetNodeThrows) {
+    write_valid();
+    write(".nets",
+          "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+          "NetDegree : 2  n0\n  ghost O : 0 0\n  b I : 0 0\n");
+    EXPECT_THROW(read_bookshelf(base_), parse_error);
+}
+
+TEST_F(MalformedBookshelfTest, DuplicateNodeNameThrows) {
+    // Before the fix the second "a" silently overwrote the first in the
+    // name table, leaving a dangling cell and mis-wired nets.
+    write_valid();
+    write(".nodes",
+          "UCLA nodes 1.0\nNumNodes : 3\nNumTerminals : 0\n"
+          "  a 2 1\n  a 3 1\n  b 1 1\n");
+    EXPECT_THROW(read_bookshelf(base_), parse_error);
+}
+
+TEST_F(MalformedBookshelfTest, NonPositiveNodeDimensionsThrow) {
+    write_valid();
+    write(".nodes",
+          "UCLA nodes 1.0\nNumNodes : 3\nNumTerminals : 1\n"
+          "  a 2 -1\n  b 3 1\n  p 1 1 terminal\n");
+    EXPECT_THROW(read_bookshelf(base_), parse_error);
+}
+
+TEST_F(MalformedBookshelfTest, DeclaredCountMismatchesThrow) {
+    write_valid();
+    write(".nodes",
+          "UCLA nodes 1.0\nNumNodes : 5\nNumTerminals : 1\n"
+          "  a 2 1\n  b 3 1\n  p 1 1 terminal\n");
+    EXPECT_THROW(read_bookshelf(base_), parse_error);
+
+    write_valid();
+    write(".nets",
+          "UCLA nets 1.0\nNumNets : 7\nNumPins : 4\n"
+          "NetDegree : 2  n0\n  a O : 0 0\n  b I : 0 0\n"
+          "NetDegree : 2  n1\n  b O\n  p I\n");
+    EXPECT_THROW(read_bookshelf(base_), parse_error);
+
+    write_valid();
+    write(".nets",
+          "UCLA nets 1.0\nNumNets : 2\nNumPins : 9\n"
+          "NetDegree : 2  n0\n  a O : 0 0\n  b I : 0 0\n"
+          "NetDegree : 2  n1\n  b O\n  p I\n");
+    EXPECT_THROW(read_bookshelf(base_), parse_error);
+}
+
+TEST_F(MalformedBookshelfTest, UnparseablePlacementLineThrows) {
+    write_valid();
+    // Before the fix unparseable .pl lines were silently skipped, leaving
+    // the cell at the origin with no indication anything was dropped.
+    write(".pl", "UCLA pl 1.0\na xx yy : N\nb 4 0 : N\np -1 0 : N /FIXED\n");
+    EXPECT_THROW(read_bookshelf(base_), parse_error);
+}
+
+TEST_F(MalformedBookshelfTest, UnknownPlacementNodeThrows) {
+    write_valid();
+    write(".pl", "UCLA pl 1.0\nghost 0 0 : N\nb 4 0 : N\np -1 0 : N /FIXED\n");
+    EXPECT_THROW(read_bookshelf(base_), parse_error);
+}
+
+TEST_F(MalformedBookshelfTest, MalformedSclHeaderThrowsParseErrorNotStd) {
+    write_valid();
+    // std::stod("abc") used to leak a raw std::invalid_argument straight
+    // through read_bookshelf, violating the check_error/io_error contract.
+    write(".scl",
+          "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n"
+          "  Coordinate : abc\n  Height : 2\n"
+          "  SubrowOrigin : 0  NumSites : 10\nEnd\n");
+    try {
+        read_bookshelf(base_);
+        FAIL() << "expected parse_error";
+    } catch (const parse_error& e) {
+        EXPECT_NE(std::string(e.file()).find(".scl"), std::string::npos);
+        EXPECT_GT(e.line(), 0u);
+    } catch (const std::invalid_argument&) {
+        FAIL() << "raw std::invalid_argument leaked from read_bookshelf";
+    }
+}
+
+TEST_F(MalformedBookshelfTest, ParseErrorIsIoErrorWithContext) {
+    write_valid();
+    write(".nets",
+          "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+          "NetDegree : 2  n0\n  a O : 0 0\n  ghost I : 0 0\n");
+    try {
+        read_bookshelf(base_);
+        FAIL() << "expected parse_error";
+    } catch (const io_error& e) { // parse_error derives from io_error
+        const parse_error* pe = dynamic_cast<const parse_error*>(&e);
+        ASSERT_NE(pe, nullptr);
+        EXPECT_NE(pe->file().find(".nets"), std::string::npos);
+        EXPECT_EQ(pe->line(), 6u);
+        EXPECT_NE(std::string(e.what()).find("ghost"), std::string::npos);
+    }
+}
+
+TEST_F(MalformedBookshelfTest, NegativeCoordinateRegionReconstruction) {
+    // A design living entirely in negative coordinate space: before the
+    // fix region_xhi/yhi were seeded at 0.0 (clamping the region to the
+    // origin) and region_ylo was taken from the *first* row.
+    write(".nodes",
+          "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\n"
+          "  a 2 2\n  b 3 2\n");
+    write(".nets",
+          "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+          "NetDegree : 2  n0\n  a O : 0 0\n  b I : 0 0\n");
+    write(".pl", "UCLA pl 1.0\na -28 -10 : N\nb -20 -8 : N\n");
+    write(".scl",
+          "UCLA scl 1.0\nNumRows : 2\n"
+          "CoreRow Horizontal\n  Coordinate : -10\n  Height : 2\n"
+          "  SubrowOrigin : -30  NumSites : 20\nEnd\n"
+          "CoreRow Horizontal\n  Coordinate : -8\n  Height : 2\n"
+          "  SubrowOrigin : -30  NumSites : 20\nEnd\n");
+    const bookshelf_design design = read_bookshelf(base_);
+    const rect region = design.nl.region();
+    EXPECT_DOUBLE_EQ(region.xlo, -30.0);
+    EXPECT_DOUBLE_EQ(region.xhi, -10.0);
+    EXPECT_DOUBLE_EQ(region.ylo, -10.0);
+    EXPECT_DOUBLE_EQ(region.yhi, -6.0);
+    EXPECT_EQ(design.nl.num_rows(), 2u);
+}
+
+TEST_F(MalformedBookshelfTest, UnsortedRowsRegionUsesMinima) {
+    // Rows listed top-to-bottom: region_ylo must be the minimum row
+    // coordinate, not the first one seen.
+    write(".nodes",
+          "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\n"
+          "  a 2 2\n  b 3 2\n");
+    write(".nets",
+          "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+          "NetDegree : 2  n0\n  a O : 0 0\n  b I : 0 0\n");
+    write(".pl", "UCLA pl 1.0\na 2 0 : N\nb 8 8 : N\n");
+    write(".scl",
+          "UCLA scl 1.0\nNumRows : 2\n"
+          "CoreRow Horizontal\n  Coordinate : 8\n  Height : 2\n"
+          "  SubrowOrigin : 0  NumSites : 20\nEnd\n"
+          "CoreRow Horizontal\n  Coordinate : 0\n  Height : 2\n"
+          "  SubrowOrigin : 0  NumSites : 20\nEnd\n");
+    const bookshelf_design design = read_bookshelf(base_);
+    const rect region = design.nl.region();
+    EXPECT_DOUBLE_EQ(region.ylo, 0.0);
+    EXPECT_DOUBLE_EQ(region.yhi, 10.0);
+    EXPECT_DOUBLE_EQ(region.xlo, 0.0);
+    EXPECT_DOUBLE_EQ(region.xhi, 20.0);
+}
+
+TEST_F(MalformedBookshelfTest, PinLineBeforeNetDegreeThrows) {
+    write_valid();
+    write(".nets",
+          "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+          "  a O : 0 0\nNetDegree : 1  n0\n  b I : 0 0\n");
+    EXPECT_THROW(read_bookshelf(base_), parse_error);
+}
+
 TEST_F(BookshelfTest, TallMovableNodesBecomeBlocks) {
     {
         std::ofstream nodes(base_ + ".nodes");

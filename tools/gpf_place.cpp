@@ -11,6 +11,8 @@
 //   --legalizer tetris|abacus
 //   --out PREFIX           write PREFIX.{pl,nodes,nets,scl} and PREFIX.svg
 //   --svg                  also write density/heat maps
+//   --verify               validate the input netlist and enable the
+//                          pipeline invariant checkpoints (like GPF_VERIFY=1)
 //   --seed N, --iterations N, --quiet
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +35,7 @@ struct cli_options {
     bool timing = false;
     bool congestion = false;
     bool svg = false;
+    bool verify = false;
     bool quiet = false;
     std::size_t iterations = 0; // 0 = default
     std::string legalizer = "abacus";
@@ -44,7 +47,8 @@ void usage(const char* argv0) {
                  "usage: %s [--cells N | --bookshelf BASE | --suite NAME]\n"
                  "          [--scale S] [--seed N] [--fast] [--timing]\n"
                  "          [--congestion] [--legalizer tetris|abacus]\n"
-                 "          [--iterations N] [--out PREFIX] [--svg] [--quiet]\n",
+                 "          [--iterations N] [--out PREFIX] [--svg] [--verify]\n"
+                 "          [--quiet]\n",
                  argv0);
 }
 
@@ -98,6 +102,8 @@ bool parse(int argc, char** argv, cli_options& opt) {
             opt.congestion = true;
         } else if (arg == "--svg") {
             opt.svg = true;
+        } else if (arg == "--verify") {
+            opt.verify = true;
         } else if (arg == "--quiet") {
             opt.quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -138,7 +144,12 @@ int main(int argc, char** argv) {
     gpf::set_log_level(cli.quiet ? gpf::log_level::warning : gpf::log_level::info);
 
     try {
+        if (cli.verify) gpf::force_verify_checkpoints(true);
         gpf::netlist nl = load_circuit(cli);
+        if (cli.verify || gpf::verify_checkpoints_enabled()) {
+            gpf::verify_netlist(nl).require("input netlist");
+            if (!cli.quiet) std::printf("verify: input netlist ok\n");
+        }
         const gpf::netlist_stats stats = gpf::compute_stats(nl);
         if (!cli.quiet) {
             std::ostringstream os;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
+#include <sstream>
+#include <utility>
 
 #include "core/metrics.hpp"
 #include "density/empty_square.hpp"
@@ -10,10 +13,62 @@
 #include "util/check.hpp"
 #include "util/logging.hpp"
 #include "util/profiler.hpp"
+#include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 #include "verify/verify.hpp"
 
 namespace gpf {
+
+namespace {
+
+std::string fmt_value(double v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+/// Worst of two relative residuals, where any non-finite value dominates
+/// (std::max would silently discard a NaN in its second argument).
+double worse_residual(double a, double b) {
+    if (!std::isfinite(a)) return a;
+    if (!std::isfinite(b)) return b;
+    return std::max(a, b);
+}
+
+/// Scoped tightening of the solver options for a rung-1 retry: Jacobi
+/// preconditioning forced on and the trust region halved.
+class tighten_guard {
+public:
+    explicit tighten_guard(placer_options& opt)
+        : opt_(opt),
+          saved_step_(opt.max_step_fraction),
+          saved_precond_(opt.cg.preconditioner) {
+        opt_.max_step_fraction *= 0.5;
+        opt_.cg.preconditioner = preconditioner_kind::jacobi;
+    }
+    ~tighten_guard() {
+        opt_.max_step_fraction = saved_step_;
+        opt_.cg.preconditioner = saved_precond_;
+    }
+    tighten_guard(const tighten_guard&) = delete;
+    tighten_guard& operator=(const tighten_guard&) = delete;
+
+private:
+    placer_options& opt_;
+    double saved_step_;
+    preconditioner_kind saved_precond_;
+};
+
+} // namespace
+
+const char* recovery_action_name(recovery_action action) {
+    switch (action) {
+        case recovery_action::retry_tightened: return "retry_tightened";
+        case recovery_action::rollback: return "rollback";
+        case recovery_action::stop_best: return "stop_best";
+    }
+    return "unknown";
+}
 
 placer::placer(const netlist& nl, placer_options options)
     : nl_(nl), options_(options), system_(nl, options.net_model) {
@@ -57,7 +112,7 @@ void placer::reset_forces() {
     force_constant_ = 0.0;
 }
 
-std::pair<std::size_t, std::size_t> placer::wire_relax(placement& pl) {
+std::pair<cg_result, cg_result> placer::wire_relax(placement& pl) {
     system_.assemble(pl);
     const std::vector<point> vp = system_.variable_positions(pl);
     const double beta = options_.wire_relax_weight;
@@ -100,7 +155,7 @@ std::pair<std::size_t, std::size_t> placer::wire_relax(placement& pl) {
     for (std::size_t v = 0; v < system_.num_movable(); ++v) {
         pl[system_.cell_of_var(v)] = point(move_x_[v], move_y_[v]);
     }
-    return {res_x.iterations, res_y.iterations};
+    return {res_x, res_y};
 }
 
 placement placer::transform(const placement& current) {
@@ -283,6 +338,8 @@ placement placer::transform(const placement& current) {
     }
     std::size_t cg_x = res_x.iterations;
     std::size_t cg_y = res_y.iterations;
+    bool cg_converged = res_x.converged && res_y.converged;
+    double cg_residual = worse_residual(res_x.residual, res_y.residual);
 
     // Periodic wire relaxation (see placer_options::wire_relax_interval).
     if (options_.mode == placer_options::force_mode::hold_and_move &&
@@ -290,8 +347,10 @@ placement placer::transform(const placement& current) {
         (history_.size() + 1) % options_.wire_relax_interval == 0) {
         phase_timer timer(profile_phase::wire_relax);
         const auto [rx, ry] = wire_relax(next);
-        cg_x += rx;
-        cg_y += ry;
+        cg_x += rx.iterations;
+        cg_y += ry.iterations;
+        cg_converged = cg_converged && rx.converged && ry.converged;
+        cg_residual = worse_residual(cg_residual, worse_residual(rx.residual, ry.residual));
     }
 
     if (options_.clamp_to_region) {
@@ -308,8 +367,15 @@ placement placer::transform(const placement& current) {
     iteration_stats stats;
     stats.iteration = history_.size();
     stats.max_force = max_increment;
-    stats.cg_residual = std::max(res_x.residual, res_y.residual);
+    stats.cg_residual = cg_residual;
+    stats.cg_converged = cg_converged;
     stats.cg_iterations = cg_x + cg_y;
+    if (!cg_converged) {
+        log(log_level::warning) << "cg did not converge at transformation "
+                                << stats.iteration << " (relative residual "
+                                << cg_residual << " after " << stats.cg_iterations
+                                << " iterations)";
+    }
     {
         phase_timer timer(profile_phase::other);
         stats.hpwl = total_hpwl(nl_, next);
@@ -367,8 +433,76 @@ placement placer::transform(const placement& current) {
 
 placement placer::run() { return run_from(nl_.centered_placement(), /*reset_forces=*/true); }
 
+std::string placer::health_check(const iteration_stats& stats, const placement& pl,
+                                 double prev_overflow) const {
+    for (std::size_t v = 0; v < system_.num_movable(); ++v) {
+        const point& p = pl[system_.cell_of_var(v)];
+        if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+            return "non-finite coordinates (cell '" +
+                   nl_.cell_at(system_.cell_of_var(v)).name + "' at (" +
+                   fmt_value(p.x) + ", " + fmt_value(p.y) + "))";
+        }
+    }
+    if (!std::isfinite(stats.hpwl) || !std::isfinite(stats.overflow_area) ||
+        !std::isfinite(stats.max_force)) {
+        return "non-finite iteration statistics (hpwl " + fmt_value(stats.hpwl) +
+               ", overflow " + fmt_value(stats.overflow_area) + ", max force " +
+               fmt_value(stats.max_force) + ")";
+    }
+    // A loose-but-progressing solve is a warning (see transform()); only a
+    // solve that made no real dent in the residual, or a poisoned one, is
+    // an incident worth re-running.
+    if (!stats.cg_converged && (!std::isfinite(stats.cg_residual) ||
+                                stats.cg_residual >= options_.cg_stall_residual)) {
+        return "cg solve stalled (relative residual " + fmt_value(stats.cg_residual) +
+               ")";
+    }
+    // Overflow must trend down-ish; a jump by the spike factor over the
+    // previous healthy iteration (and past a noise floor of 1% of the
+    // movable area) means a force blast threw cells into a pile.
+    if (std::isfinite(prev_overflow) && prev_overflow > 0.0 &&
+        stats.overflow_area > prev_overflow * options_.overflow_spike_factor &&
+        stats.overflow_area > 0.01 * nl_.movable_area()) {
+        return "density overflow spike (" + fmt_value(stats.overflow_area) +
+               " after " + fmt_value(prev_overflow) + ")";
+    }
+    return {};
+}
+
 placement placer::run_from(placement current, bool reset_forces) {
     GPF_CHECK(current.size() == nl_.num_cells());
+    // Garbage in cannot be recovered from: reject non-finite starting
+    // coordinates with a typed error before they contaminate the system.
+    for (cell_id i = 0; i < nl_.num_cells(); ++i) {
+        GPF_CHECK_MSG(std::isfinite(current[i].x) && std::isfinite(current[i].y),
+                      "run_from: non-finite start position of cell '"
+                          << nl_.cell_at(i).name << "'");
+    }
+
+    stopwatch run_clock;
+    degraded_ = false;
+    recovery_log_.clear();
+
+    // Events recorded while the ladder is engaged; attached to the next
+    // accepted iteration_stats entry (and always to recovery_log_).
+    std::vector<recovery_event> pending;
+    const auto record = [&](recovery_action action, const std::string& why) {
+        degraded_ = true;
+        recovery_event ev{action, history_.size(), why};
+        log(log_level::warning) << "recovery: " << recovery_action_name(action)
+                                << " at transformation " << ev.iteration << " — "
+                                << why;
+        recovery_log_.push_back(ev);
+        pending.push_back(std::move(ev));
+    };
+    const auto movable_finite = [&](const placement& pl) {
+        for (std::size_t v = 0; v < system_.num_movable(); ++v) {
+            const point& p = pl[system_.cell_of_var(v)];
+            if (!std::isfinite(p.x) || !std::isfinite(p.y)) return false;
+        }
+        return true;
+    };
+
     if (reset_forces) {
         this->reset_forces();
         history_.clear();
@@ -378,16 +512,200 @@ placement placer::run_from(placement current, bool reset_forces) {
             // hold-and-move would otherwise preserve the arbitrary start.
             if (weight_hook_) weight_hook_(current);
             system_.assemble(current);
-            current = system_.solve(current, {}, {}, options_.cg);
+            cg_result init_x, init_y;
+            placement solved = system_.solve(current, {}, {}, options_.cg,
+                                             &init_x, &init_y);
+            const auto solve_ok = [&](const cg_result& r) {
+                return std::isfinite(r.residual) &&
+                       (r.converged || r.residual < options_.cg_stall_residual);
+            };
+            if (movable_finite(solved) && solve_ok(init_x) && solve_ok(init_y)) {
+                current = std::move(solved);
+            } else {
+                // The initial solve failed; re-solve tightened, and as the
+                // last resort keep the caller's start placement — slower
+                // to spread, but finite.
+                record(recovery_action::retry_tightened,
+                       "initial wire-length solve unhealthy (residual " +
+                           fmt_value(worse_residual(init_x.residual, init_y.residual)) +
+                           ")");
+                cg_options tightened = options_.cg;
+                tightened.preconditioner = preconditioner_kind::jacobi;
+                solved = system_.solve(current, {}, {}, tightened, &init_x, &init_y);
+                if (movable_finite(solved) && solve_ok(init_x) && solve_ok(init_y)) {
+                    current = std::move(solved);
+                } else {
+                    record(recovery_action::rollback,
+                           "tightened initial solve still unhealthy; keeping the "
+                           "start placement");
+                }
+            }
         }
     }
     converged_ = false;
 
-    double best_overflow = std::numeric_limits<double>::infinity();
+    // Best-so-far by a combined overflow + wire-length score, both terms
+    // normalized by the first healthy iteration (overflow weighted 4:1 —
+    // a global placement's job is to spread). Snapshots are the rollback
+    // targets of ladder rung 2.
+    constexpr double kTiny = 1e-12;
+    struct snapshot {
+        placement pl;
+        double force_scale_k;
+        std::vector<double> force_x, force_y;
+    };
+    std::vector<snapshot> snapshots;
+    placement best = current;
+    double best_score = std::numeric_limits<double>::infinity();
+    bool have_best = false;
+    double norm_overflow = kTiny;
+    double norm_hpwl = kTiny;
+    double prev_overflow = std::numeric_limits<double>::quiet_NaN();
+    std::size_t rollbacks_used = 0;
+    bool stopped_best = false;
+
+    // One guarded transformation attempt: run transform(), health-check
+    // the result, and on failure unwind every side effect (history entry,
+    // accumulate-mode force state) so the attempt never happened. Sets
+    // `reason` when returning nullopt.
+    std::string reason;
+    const auto attempt = [&](const placement& input,
+                             bool tightened) -> std::optional<placement> {
+        const std::size_t h0 = history_.size();
+        std::vector<double> saved_fx, saved_fy;
+        const bool accumulate =
+            options_.mode == placer_options::force_mode::accumulate;
+        if (accumulate) {
+            saved_fx = force_x_;
+            saved_fy = force_y_;
+        }
+        try {
+            placement out;
+            if (tightened) {
+                tighten_guard guard(options_);
+                delta_x_.clear(); // cold-start any warm-start state
+                delta_y_.clear();
+                out = transform(input);
+            } else {
+                out = transform(input);
+            }
+            reason = health_check(history_.back(), out, prev_overflow);
+            if (reason.empty()) return out;
+        } catch (const check_error& e) {
+            reason = std::string("transformation threw: ") + e.what();
+        }
+        while (history_.size() > h0) history_.pop_back();
+        if (accumulate) {
+            force_x_ = std::move(saved_fx);
+            force_y_ = std::move(saved_fy);
+        }
+        return std::nullopt;
+    };
+
+    double plateau_overflow = std::numeric_limits<double>::infinity();
     std::size_t stalled = 0;
     for (std::size_t it = 0; it < options_.max_iterations; ++it) {
-        current = transform(current);
-        const iteration_stats& stats = history_.back();
+        // Resource guard: wall-clock budget ends the run through the same
+        // best-so-far path the ladder's final rung uses.
+        if (options_.time_budget > 0.0 &&
+            run_clock.elapsed_seconds() >= options_.time_budget) {
+            record(recovery_action::stop_best,
+                   "wall-clock budget of " + fmt_value(options_.time_budget) +
+                       " s exhausted after " + std::to_string(history_.size()) +
+                       " transformations");
+            stopped_best = true;
+            break;
+        }
+
+        const double step_start = run_clock.elapsed_seconds();
+        std::optional<placement> next = attempt(current, /*tightened=*/false);
+        if (!next.has_value()) {
+            // Rung 1: tightened retries from the same input.
+            for (std::size_t r = 0; r < options_.max_retries && !next.has_value();
+                 ++r) {
+                record(recovery_action::retry_tightened, reason);
+                next = attempt(current, /*tightened=*/true);
+            }
+        }
+        if (!next.has_value()) {
+            // Rung 2: roll back to the most recent healthy snapshot with a
+            // halved force constant; the snapshot is consumed so repeated
+            // rollbacks walk further into the past.
+            if (rollbacks_used < options_.max_rollbacks && !snapshots.empty()) {
+                ++rollbacks_used;
+                record(recovery_action::rollback, reason);
+                snapshot snap = std::move(snapshots.back());
+                snapshots.pop_back();
+                current = std::move(snap.pl);
+                options_.force_scale_k = snap.force_scale_k * 0.5;
+                force_x_ = std::move(snap.force_x);
+                force_y_ = std::move(snap.force_y);
+                delta_x_.clear();
+                delta_y_.clear();
+                continue;
+            }
+            // Rung 3: stop; the best-so-far placement is returned below.
+            record(recovery_action::stop_best, reason);
+            stopped_best = true;
+            break;
+        }
+
+        current = std::move(*next);
+        iteration_stats& stats = history_.back();
+        if (!pending.empty()) {
+            stats.recovery = std::move(pending);
+            pending.clear();
+        }
+
+        // Per-transformation watchdog (observability for the recovery
+        // engine; GPF_PROFILE=1 yields the matching per-phase breakdown).
+        if (options_.max_transform_seconds > 0.0) {
+            const double took = run_clock.elapsed_seconds() - step_start;
+            if (took > options_.max_transform_seconds) {
+                const profiler& prof = profiler::instance();
+                std::ostringstream tag;
+                if (prof.enabled()) {
+                    tag << "; accumulated phase totals:";
+                    for (std::size_t ph = 0; ph < num_profile_phases; ++ph) {
+                        const profile_phase phase = static_cast<profile_phase>(ph);
+                        tag << ' ' << profile_phase_name(phase) << '='
+                            << prof.total_seconds(phase) << 's';
+                    }
+                } else {
+                    tag << "; GPF_PROFILE=1 for the phase breakdown";
+                }
+                log(log_level::warning)
+                    << "[watchdog] transformation " << stats.iteration << " took "
+                    << took << " s (budget " << options_.max_transform_seconds
+                    << " s, " << stats.cg_iterations << " cg iterations" << tag.str()
+                    << ")";
+            }
+        }
+
+        // Healthy-iteration bookkeeping: trend reference, best-so-far,
+        // rollback snapshot.
+        prev_overflow = stats.overflow_area;
+        if (!have_best) {
+            norm_overflow = std::max(stats.overflow_area, kTiny);
+            norm_hpwl = std::max(stats.hpwl, kTiny);
+        }
+        const double score =
+            4.0 * stats.overflow_area / norm_overflow + stats.hpwl / norm_hpwl;
+        if (!have_best || score < best_score) {
+            best_score = score;
+            best = current;
+            have_best = true;
+        }
+        if (options_.snapshot_depth > 0 &&
+            (options_.snapshot_interval <= 1 ||
+             stats.iteration % options_.snapshot_interval == 0)) {
+            if (snapshots.size() >= options_.snapshot_depth) {
+                snapshots.erase(snapshots.begin());
+            }
+            snapshots.push_back(
+                {current, options_.force_scale_k, force_x_, force_y_});
+        }
+
         log(log_level::debug) << "iteration " << stats.iteration << " hpwl=" << stats.hpwl
                               << " empty_square=" << stats.largest_empty_square
                               << " overflow=" << stats.overflow_area;
@@ -403,8 +721,8 @@ placement placer::run_from(placement current, bool reset_forces) {
 
         // Secondary stop: overflow plateau.
         if (options_.plateau_window > 0) {
-            if (stats.overflow_area < best_overflow * (1.0 - options_.plateau_tolerance)) {
-                best_overflow = stats.overflow_area;
+            if (stats.overflow_area < plateau_overflow * (1.0 - options_.plateau_tolerance)) {
+                plateau_overflow = stats.overflow_area;
                 stalled = 0;
             } else if (++stalled >= options_.plateau_window) {
                 log(log_level::info) << "placer stopped on overflow plateau after "
@@ -414,10 +732,28 @@ placement placer::run_from(placement current, bool reset_forces) {
         }
     }
 
+    if (stopped_best) {
+        // Rung 3 / resource guard: hand back the best-so-far placement.
+        // Events with no later iteration to live on attach to the last
+        // accepted entry.
+        if (!history_.empty() && !pending.empty()) {
+            iteration_stats& last = history_.back();
+            last.recovery.insert(last.recovery.end(), pending.begin(), pending.end());
+        }
+        pending.clear();
+        if (have_best) current = best;
+        log(log_level::warning)
+            << "placer degraded stop after " << history_.size()
+            << " transformations; returning best-so-far placement (hpwl="
+            << total_hpwl(nl_, current) << ")";
+    }
+
     log(log_level::info) << "placer finished after " << history_.size()
                          << " transformations, hpwl="
                          << (history_.empty() ? 0.0 : history_.back().hpwl)
-                         << (converged_ ? " (spread criterion met)" : " (iteration cap)");
+                         << (converged_ ? " (spread criterion met)"
+                                        : stopped_best ? " (degraded stop)"
+                                                       : " (iteration cap)");
     return current;
 }
 

@@ -102,8 +102,56 @@ struct placer_options {
     /// cold start, so placements are *not* bitwise comparable to the
     /// default cold-start path; off by default.
     bool warm_start_cg = false;
+
+    // --- Recovery engine (DESIGN.md §9) -----------------------------------
+    // After every transformation a health check runs: finite coordinates,
+    // CG progress, no runaway overflow. The checks are pure reads and the
+    // ladder below engages only when one fails, so a healthy run is
+    // bitwise identical — at every thread count — to a build without the
+    // recovery layer.
+    /// Rung 1: re-run an unhealthy transformation this many times with
+    /// Jacobi preconditioning forced on and max_step_fraction halved.
+    std::size_t max_retries = 1;
+    /// Rung 2: after failed retries, restore the most recent healthy
+    /// snapshot with force_scale_k halved; at most this many times per
+    /// run. Rung 3 (stop, return the best-so-far placement) follows.
+    std::size_t max_rollbacks = 2;
+    /// Keep every `snapshot_interval`-th healthy placement, at most
+    /// `snapshot_depth` of them, as rollback targets.
+    std::size_t snapshot_interval = 1;
+    std::size_t snapshot_depth = 3;
+    /// Unhealthy when the overflow area exceeds the previous healthy
+    /// iteration's by this factor (and is non-trivial in absolute terms).
+    double overflow_spike_factor = 8.0;
+    /// A non-converged CG solve counts as an incident only when its
+    /// relative residual is at least this (no real progress) or is
+    /// non-finite; merely-loose solves log a warning and continue.
+    double cg_stall_residual = 0.5;
+    /// Wall-clock budget for run()/run_from() in seconds; when exceeded
+    /// the run ends through the best-so-far path. 0 = unlimited.
+    double time_budget = 0.0;
+    /// Per-transformation watchdog: log a profiler-tagged warning when one
+    /// transformation takes longer than this many seconds. 0 = off.
+    double max_transform_seconds = 0.0;
+
     net_model_options net_model;
     cg_options cg;
+};
+
+/// One rung of the recovery ladder having engaged (DESIGN.md §9).
+enum class recovery_action {
+    retry_tightened, ///< transformation re-run, Jacobi + halved step cap
+    rollback,        ///< restored a healthy snapshot, halved force_scale_k
+    stop_best,       ///< run ended, best-so-far placement returned
+};
+
+/// Canonical name ("retry_tightened", "rollback", "stop_best").
+const char* recovery_action_name(recovery_action action);
+
+struct recovery_event {
+    recovery_action action;
+    std::size_t iteration = 0; ///< transformation index of the incident
+    std::string reason;        ///< what the health check (or guard) saw
 };
 
 struct iteration_stats {
@@ -116,9 +164,17 @@ struct iteration_stats {
     /// CG iterations spent in this transformation (x + y solves, wire
     /// relaxation included).
     std::size_t cg_iterations = 0;
+    /// All CG solves of this transformation (x, y and wire relaxation)
+    /// reached the residual tolerance; false is logged as a warning and —
+    /// when the residual shows no real progress — treated as an incident
+    /// by the recovery engine.
+    bool cg_converged = true;
     /// Paper stopping criterion evaluated on the output placement: no
     /// empty square larger than spread_factor times the average cell area.
     bool spread = false;
+    /// Recovery-ladder actions that concluded at this transformation
+    /// (empty on a healthy iteration).
+    std::vector<recovery_event> recovery;
 };
 
 class placer {
@@ -168,13 +224,26 @@ public:
     /// True when the spread criterion held at the last transformation.
     bool converged() const { return converged_; }
 
+    /// True when the last run needed the recovery ladder or a resource
+    /// guard: the returned placement is valid but degraded (gpf_place
+    /// maps this to exit code 2).
+    bool degraded() const { return degraded_; }
+
+    /// Every recovery action of the last run, in the order taken (the
+    /// same events are attached to the iteration_stats they concluded at).
+    const std::vector<recovery_event>& recovery_log() const { return recovery_log_; }
+
     /// Average movable-cell area (the stopping criterion's yardstick).
     double average_cell_area() const;
 
 private:
     std::pair<std::size_t, std::size_t> density_dims() const;
-    /// Returns the (x, y) CG iteration counts of the relaxation solves.
-    std::pair<std::size_t, std::size_t> wire_relax(placement& pl);
+    /// Returns the (x, y) CG results of the relaxation solves.
+    std::pair<cg_result, cg_result> wire_relax(placement& pl);
+    /// Health check of one completed transformation: "" when healthy,
+    /// otherwise the reason. Pure reads — never touches placer state.
+    std::string health_check(const iteration_stats& stats, const placement& pl,
+                             double prev_overflow) const;
     /// Fill cell_rects_ with the non-pad cell rectangles under pl, in the
     /// same order compute_density_grid stamps them.
     void build_cell_rects(const placement& pl);
@@ -190,6 +259,8 @@ private:
     density_hook density_hook_;
     weight_hook weight_hook_;
     bool converged_ = false;
+    bool degraded_ = false;
+    std::vector<recovery_event> recovery_log_;
 
     // Iteration-persistent caches (placer_options::iteration_cache) and
     // solver workspaces. The caches never change results: the calculator

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gpf {
@@ -120,6 +121,15 @@ void density_map::add_field(const std::vector<double>& values, double weight) {
 }
 
 void density_map::finalize() {
+    // Injection site (util/fault.hpp): a runaway stamp piles demand worth
+    // 1000 placements into one bin — injected before the supply level is
+    // computed so the overflow statistics see it. Scaled by the total
+    // demand so the spike dwarfs any healthy overflow trend.
+    if (fault_fires(fault_site::density_spike)) {
+        double total = 1.0;
+        for (const double d : demand_) total += d;
+        demand_[fault_injector::instance().seed() % demand_.size()] += 1.0e3 * total;
+    }
     double sum = 0.0;
     for (const double d : demand_) sum += d;
     supply_ = sum / static_cast<double>(demand_.size());

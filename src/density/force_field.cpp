@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "linalg/fft.hpp"
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gpf {
@@ -127,6 +129,13 @@ force_field force_field_calculator::compute(const density_map& density) {
         }
     }
     convolver_.convolve_pair(src_, field.fx(), field.fy());
+    // Injection site (util/fault.hpp): a degenerate bin geometry divides
+    // the kernel normalization by zero, which turns the whole field NaN —
+    // the emulation does the same.
+    if (fault_fires(fault_site::force_nonfinite)) {
+        const double nan = std::numeric_limits<double>::quiet_NaN();
+        for (double& v : field.fx()) v = nan;
+    }
     return field;
 }
 

@@ -44,6 +44,7 @@
 #include "timing/timing_driven.hpp"
 #include "timing/timing_graph.hpp"
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 #include "util/prng.hpp"
 #include "util/profiler.hpp"

@@ -1,12 +1,26 @@
 #include "legal/legalize.hpp"
 
+#include <cmath>
+
 #include "core/metrics.hpp"
+#include "util/check.hpp"
 #include "verify/verify.hpp"
 
 namespace gpf {
 
 legalize_result legalize(const netlist& nl, const placement& global, placement& out,
                          const legalize_options& options) {
+    // A non-finite coordinate would silently poison the row-cost sums and
+    // scatter cells; reject it here as the contract violation it is.
+    GPF_CHECK_MSG(global.size() == nl.num_cells(),
+                  "legalize: placement has " << global.size() << " positions for "
+                                             << nl.num_cells() << " cells");
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        GPF_CHECK_MSG(std::isfinite(global[i].x) && std::isfinite(global[i].y),
+                      "legalize: non-finite global position of cell '"
+                          << nl.cell_at(i).name << "'");
+    }
+
     legalize_result result;
     result.hpwl_global = total_hpwl(nl, global);
 

@@ -1,8 +1,10 @@
 #include "linalg/cg_solver.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gpf {
@@ -12,6 +14,29 @@ namespace {
 // Minimum elements per chunk for the elementwise vector kernels; bounds
 // scheduling overhead only, never the arithmetic.
 constexpr std::size_t kVectorGrain = 4096;
+
+/// Armed-fault entry gate shared by both solver variants. Returns true
+/// when this solve must abort, with `result` describing the simulated
+/// failure: a stalled solve (no progress, full relative residual) or a
+/// NaN residual with one poisoned solution entry — the two CG failure
+/// shapes the placer's recovery ladder must handle.
+bool inject_cg_fault(std::vector<double>& x, cg_result& result) {
+    if (fault_fires(fault_site::cg_stall)) {
+        result.converged = false;
+        result.iterations = 0;
+        result.residual = 1.0;
+        return true;
+    }
+    if (fault_fires(fault_site::cg_nan)) {
+        const double nan = std::numeric_limits<double>::quiet_NaN();
+        if (!x.empty()) x[fault_injector::instance().seed() % x.size()] = nan;
+        result.converged = false;
+        result.iterations = 0;
+        result.residual = nan;
+        return true;
+    }
+    return false;
+}
 
 } // namespace
 
@@ -119,6 +144,7 @@ cg_result cg_solve(const csr_matrix& a, const std::vector<double>& b,
     if (x.size() != n) x.assign(n, 0.0);
 
     cg_result result;
+    if (inject_cg_fault(x, result)) return result;
     const double bnorm = norm2(b);
     if (bnorm == 0.0) {
         x.assign(n, 0.0);
@@ -140,6 +166,7 @@ cg_result cg_solve(const csr_matrix& a, const std::vector<double>& b,
 
     for (std::size_t it = 0; it < max_iter; ++it) {
         result.residual = norm2(r) / bnorm;
+        if (!std::isfinite(result.residual)) break; // contaminated: iterating cannot recover
         if (result.residual <= options.tolerance) {
             result.converged = true;
             result.iterations = it;
@@ -147,7 +174,7 @@ cg_result cg_solve(const csr_matrix& a, const std::vector<double>& b,
         }
         a.multiply(p, ap);
         const double pap = dot(p, ap);
-        if (pap <= 0.0) break; // matrix not SPD along p; bail out
+        if (!(pap > 0.0)) break; // matrix not SPD along p (or NaN); bail out
         const double alpha = rz / pap;
         axpy(alpha, p, x);
         axpy(-alpha, ap, r);
@@ -177,6 +204,7 @@ cg_result cg_solve_operator(const linear_operator& apply,
     if (x.size() != n) x.assign(n, 0.0);
 
     cg_result result;
+    if (inject_cg_fault(x, result)) return result;
     const double bnorm = norm2(b);
     if (bnorm == 0.0) {
         x.assign(n, 0.0);
@@ -212,6 +240,7 @@ cg_result cg_solve_operator(const linear_operator& apply,
 
     for (std::size_t it = 0; it < max_iter; ++it) {
         result.residual = norm2(r) / bnorm;
+        if (!std::isfinite(result.residual)) break; // contaminated: iterating cannot recover
         if (result.residual <= options.tolerance) {
             result.converged = true;
             result.iterations = it;
@@ -219,7 +248,7 @@ cg_result cg_solve_operator(const linear_operator& apply,
         }
         apply(p, ap);
         const double pap = dot(p, ap);
-        if (pap <= 0.0) break;
+        if (!(pap > 0.0)) break; // not SPD along p (or NaN); bail out
         const double alpha = rz / pap;
         axpy(alpha, p, x);
         axpy(-alpha, ap, r);

@@ -2,9 +2,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <mutex>
 
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gpf {
@@ -335,6 +337,14 @@ void spectral_convolver::convolve_pair(const std::vector<double>& data,
             }
         }
     });
+
+    // Injection site (util/fault.hpp): a corrupted frequency-domain
+    // coefficient contaminates every spatial sample of the inverse
+    // transform, so the emulation poisons the whole output plane.
+    if (fault_fires(fault_site::fft_nonfinite)) {
+        const double inf = std::numeric_limits<double>::infinity();
+        for (double& v : out_x) v += inf;
+    }
 }
 
 } // namespace gpf

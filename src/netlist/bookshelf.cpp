@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "util/check.hpp"
+#include "util/fault.hpp"
 
 namespace gpf {
 
@@ -37,6 +38,14 @@ public:
 
     /// Next content line (false at EOF).
     bool next(std::string& line) {
+        // Injection site (util/fault.hpp): a short read — the stream ends
+        // mid-file, as a truncated download or full disk would present.
+        // The count validation below then reports the truncation as a
+        // typed parse_error instead of silently accepting a partial file.
+        if (fault_fires(fault_site::io_short_read)) {
+            in_.setstate(std::ios::eofbit | std::ios::failbit);
+            return false;
+        }
         while (std::getline(in_, line)) {
             ++lineno_;
             const auto hash = line.find('#');
@@ -123,6 +132,20 @@ std::string first_token(const std::string& value) {
 void write_bookshelf(const netlist& nl, const placement& pl,
                      const std::string& base_path) {
     GPF_CHECK(pl.size() == nl.num_cells());
+
+    // A placement with non-finite coordinates must never round-trip as a
+    // valid Bookshelf file (the reader rejects non-finite numbers, but a
+    // "NaN"-free textual rendering of garbage could still slip through
+    // other tools). Refuse before any file is created, so a failed export
+    // cannot leave a partial, plausible-looking design behind.
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        if (!std::isfinite(pl[i].x) || !std::isfinite(pl[i].y)) {
+            throw io_error("write_bookshelf: refusing to serialize non-finite "
+                           "position (" + std::to_string(pl[i].x) + ", " +
+                           std::to_string(pl[i].y) + ") of cell '" +
+                           nl.cell_at(i).name + "' to '" + base_path + "'");
+        }
+    }
 
     // --- .nodes -------------------------------------------------------------
     {

@@ -23,7 +23,9 @@ struct bookshelf_design {
 
 /// Writes base_path + ".nodes"/".nets"/".pl"/".scl".
 /// Positions in the .pl file follow the Bookshelf convention (lower-left
-/// corner); the in-memory model uses centers.
+/// corner); the in-memory model uses centers. Throws io_error — before any
+/// file is created — when the placement contains a non-finite coordinate:
+/// a corrupted placement must never round-trip as valid input.
 void write_bookshelf(const netlist& nl, const placement& pl,
                      const std::string& base_path);
 

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "test_paths.hpp"
 #include "netlist/bookshelf.hpp"
 #include "netlist/generator.hpp"
 #include "netlist/stats.hpp"
@@ -14,7 +15,7 @@ namespace {
 class BookshelfTest : public ::testing::Test {
 protected:
     void SetUp() override {
-        base_ = (std::filesystem::temp_directory_path() / "gpf_bookshelf_test").string();
+        base_ = testing::unique_temp_base("gpf_bookshelf_test");
     }
     void TearDown() override {
         for (const char* ext : {".nodes", ".nets", ".pl", ".scl"}) {

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <filesystem>
 
+#include "test_paths.hpp"
 #include "gpf.hpp"
 
 namespace gpf {
@@ -51,8 +52,7 @@ TEST(ExportRoundTrip, LegalizedPlacementSurvivesBookshelf) {
     placement legal;
     legalize(nl, p.run(), legal);
 
-    const std::string base =
-        (std::filesystem::temp_directory_path() / "gpf_cli_roundtrip").string();
+    const std::string base = testing::unique_temp_base("gpf_cli_roundtrip");
     write_bookshelf(nl, legal, base);
     const bookshelf_design design = read_bookshelf(base);
     // The re-imported placement is still legal (row alignment + no overlap).

@@ -4,6 +4,7 @@
 
 #include <filesystem>
 
+#include "test_paths.hpp"
 #include "gpf.hpp"
 
 namespace gpf {
@@ -27,8 +28,7 @@ TEST(Integration, FullFlowGenerateplaceLegalizeExport) {
     EXPECT_LT(lr.hpwl_refined, lr.hpwl_legal * 1.001);
     EXPECT_DOUBLE_EQ(in_region_fraction(nl, legal), 1.0);
 
-    const std::string base =
-        (std::filesystem::temp_directory_path() / "gpf_integration").string();
+    const std::string base = testing::unique_temp_base("gpf_integration");
     write_bookshelf(nl, legal, base);
     const bookshelf_design round = read_bookshelf(base);
     EXPECT_NEAR(total_hpwl(round.nl, round.pl), total_hpwl(nl, legal), 1e-6);

@@ -1,0 +1,48 @@
+// Per-test unique temp paths.
+//
+// ctest runs every discovered gtest case as its own process, in parallel
+// (`ctest -j`). Any two tests sharing a fixed temp file name can then race
+// each other — one process's TearDown deletes the files another is mid-way
+// through reading, a flake that only appears under load. Deriving the name
+// from the pid and the running test makes each case's scratch space
+// private by construction.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace gpf::testing {
+
+/// "<tmp>/<prefix>_<pid>_<suite>_<test>", safe to create files under even
+/// when the whole suite runs as concurrent single-test processes.
+inline std::string unique_temp_base(const std::string& prefix) {
+    std::string name = prefix;
+    name += '_';
+#ifdef _WIN32
+    name += std::to_string(_getpid());
+#else
+    name += std::to_string(getpid());
+#endif
+    if (const ::testing::TestInfo* info =
+            ::testing::UnitTest::GetInstance()->current_test_info()) {
+        name += '_';
+        name += info->test_suite_name();
+        name += '_';
+        name += info->name();
+    }
+    // Parameterized test names contain '/', which would nest directories.
+    for (char& c : name) {
+        if (c == '/') c = '_';
+    }
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+} // namespace gpf::testing

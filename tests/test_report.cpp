@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "test_paths.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
 #include "util/check.hpp"
@@ -65,8 +66,7 @@ TEST(Csv, EscapesSpecialCharacters) {
 }
 
 TEST(Csv, WritesHeaderAndRows) {
-    const std::string path =
-        (std::filesystem::temp_directory_path() / "gpf_csv_test.csv").string();
+    const std::string path = testing::unique_temp_base("gpf_csv_test") + ".csv";
     {
         csv_writer w(path, {"x", "y"});
         w.add_row({"1", "2"});
@@ -80,8 +80,7 @@ TEST(Csv, WritesHeaderAndRows) {
 }
 
 TEST(Csv, RowWidthChecked) {
-    const std::string path =
-        (std::filesystem::temp_directory_path() / "gpf_csv_test2.csv").string();
+    const std::string path = testing::unique_temp_base("gpf_csv_test2") + ".csv";
     csv_writer w(path, {"a", "b"});
     EXPECT_THROW(w.add_row({"1"}), check_error);
     std::filesystem::remove(path);

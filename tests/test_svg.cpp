@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "test_paths.hpp"
 #include "netlist/generator.hpp"
 #include "report/svg.hpp"
 #include "util/check.hpp"
@@ -19,7 +20,7 @@ std::string slurp(const std::string& path) {
 class SvgTest : public ::testing::Test {
 protected:
     void SetUp() override {
-        path_ = (std::filesystem::temp_directory_path() / "gpf_svg_test.svg").string();
+        path_ = testing::unique_temp_base("gpf_svg_test") + ".svg";
     }
     void TearDown() override { std::filesystem::remove(path_); }
     std::string path_;

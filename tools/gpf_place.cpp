@@ -13,7 +13,19 @@
 //   --svg                  also write density/heat maps
 //   --verify               validate the input netlist and enable the
 //                          pipeline invariant checkpoints (like GPF_VERIFY=1)
+//   --time-budget S        wall-clock budget for global placement; on expiry
+//                          the placer returns its best-so-far placement
+//   --max-iter-seconds S   per-transformation watchdog (warning when exceeded)
 //   --seed N, --iterations N, --quiet
+//
+// Exit codes (stable interface — scripts and the CI fault matrix rely on it):
+//   0   clean run
+//   2   degraded-but-valid: the recovery ladder or a resource guard engaged;
+//       the outputs were still written and pass the pipeline invariants
+//   3   I/O or parse failure (error[io]: on stderr)
+//   4   invariant/precondition violation (error[invariant]: on stderr)
+//   5   any other failure (error[internal]: on stderr)
+//   64  command-line usage error
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +36,13 @@
 #include "report/svg.hpp"
 
 namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitDegraded = 2;
+constexpr int kExitIo = 3;
+constexpr int kExitInvariant = 4;
+constexpr int kExitInternal = 5;
+constexpr int kExitUsage = 64;
 
 struct cli_options {
     std::optional<std::string> bookshelf;
@@ -38,21 +57,29 @@ struct cli_options {
     bool verify = false;
     bool quiet = false;
     std::size_t iterations = 0; // 0 = default
+    double time_budget = 0.0;       // 0 = unlimited
+    double max_iter_seconds = 0.0;  // 0 = no watchdog
     std::string legalizer = "abacus";
     std::string out = "gpf_out";
 };
 
-void usage(const char* argv0) {
-    std::fprintf(stderr,
+void usage(const char* argv0, std::FILE* to) {
+    std::fprintf(to,
                  "usage: %s [--cells N | --bookshelf BASE | --suite NAME]\n"
                  "          [--scale S] [--seed N] [--fast] [--timing]\n"
                  "          [--congestion] [--legalizer tetris|abacus]\n"
-                 "          [--iterations N] [--out PREFIX] [--svg] [--verify]\n"
-                 "          [--quiet]\n",
+                 "          [--iterations N] [--time-budget S]\n"
+                 "          [--max-iter-seconds S] [--out PREFIX] [--svg]\n"
+                 "          [--verify] [--quiet]\n"
+                 "exit codes: 0 clean, 2 degraded-but-valid, 3 I/O failure,\n"
+                 "            4 invariant violation, 5 internal error, 64 usage\n",
                  argv0);
 }
 
-bool parse(int argc, char** argv, cli_options& opt) {
+enum class parse_status { run, help, error };
+
+parse_status parse(int argc, char** argv, cli_options& opt) {
+    bool bad = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&]() -> const char* {
@@ -64,35 +91,51 @@ bool parse(int argc, char** argv, cli_options& opt) {
         };
         if (arg == "--cells") {
             const char* v = next();
-            if (!v) return false;
+            if (!v) return parse_status::error;
             opt.cells = static_cast<std::size_t>(std::atoll(v));
         } else if (arg == "--bookshelf") {
             const char* v = next();
-            if (!v) return false;
+            if (!v) return parse_status::error;
             opt.bookshelf = v;
         } else if (arg == "--suite") {
             const char* v = next();
-            if (!v) return false;
+            if (!v) return parse_status::error;
             opt.suite = v;
         } else if (arg == "--scale") {
             const char* v = next();
-            if (!v) return false;
+            if (!v) return parse_status::error;
             opt.scale = std::atof(v);
         } else if (arg == "--seed") {
             const char* v = next();
-            if (!v) return false;
+            if (!v) return parse_status::error;
             opt.seed = static_cast<std::uint64_t>(std::atoll(v));
         } else if (arg == "--iterations") {
             const char* v = next();
-            if (!v) return false;
+            if (!v) return parse_status::error;
             opt.iterations = static_cast<std::size_t>(std::atoll(v));
+        } else if (arg == "--time-budget") {
+            const char* v = next();
+            if (!v) return parse_status::error;
+            opt.time_budget = std::atof(v);
+            if (!(opt.time_budget > 0.0)) {
+                std::fprintf(stderr, "--time-budget wants a positive number of seconds, got '%s'\n", v);
+                return parse_status::error;
+            }
+        } else if (arg == "--max-iter-seconds") {
+            const char* v = next();
+            if (!v) return parse_status::error;
+            opt.max_iter_seconds = std::atof(v);
+            if (!(opt.max_iter_seconds > 0.0)) {
+                std::fprintf(stderr, "--max-iter-seconds wants a positive number of seconds, got '%s'\n", v);
+                return parse_status::error;
+            }
         } else if (arg == "--legalizer") {
             const char* v = next();
-            if (!v) return false;
+            if (!v) return parse_status::error;
             opt.legalizer = v;
         } else if (arg == "--out") {
             const char* v = next();
-            if (!v) return false;
+            if (!v) return parse_status::error;
             opt.out = v;
         } else if (arg == "--fast") {
             opt.fast = true;
@@ -107,15 +150,18 @@ bool parse(int argc, char** argv, cli_options& opt) {
         } else if (arg == "--quiet") {
             opt.quiet = true;
         } else if (arg == "--help" || arg == "-h") {
-            usage(argv[0]);
-            return false;
+            usage(argv[0], stdout);
+            return parse_status::help;
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
-            usage(argv[0]);
-            return false;
+            bad = true;
         }
     }
-    return true;
+    if (bad) {
+        usage(argv[0], stderr);
+        return parse_status::error;
+    }
+    return parse_status::run;
 }
 
 gpf::netlist load_circuit(const cli_options& opt) {
@@ -140,7 +186,11 @@ gpf::netlist load_circuit(const cli_options& opt) {
 
 int main(int argc, char** argv) {
     cli_options cli;
-    if (!parse(argc, argv, cli)) return 2;
+    switch (parse(argc, argv, cli)) {
+        case parse_status::help: return kExitClean;
+        case parse_status::error: return kExitUsage;
+        case parse_status::run: break;
+    }
     gpf::set_log_level(cli.quiet ? gpf::log_level::warning : gpf::log_level::info);
 
     try {
@@ -160,9 +210,12 @@ int main(int argc, char** argv) {
         gpf::placer_options popt;
         popt.force_scale_k = cli.fast ? 1.0 : 0.2;
         if (cli.iterations > 0) popt.max_iterations = cli.iterations;
+        popt.time_budget = cli.time_budget;
+        popt.max_transform_seconds = cli.max_iter_seconds;
 
         gpf::stopwatch sw;
         gpf::placement global;
+        bool degraded = false;
         if (cli.timing) {
             gpf::timing_driven_options topt;
             topt.placer = popt;
@@ -178,6 +231,14 @@ int main(int argc, char** argv) {
             global = p.run();
             std::printf("global placement: %zu transformations, HPWL %.1f\n",
                         p.history().size(), gpf::total_hpwl(nl, global));
+            degraded = p.degraded();
+            if (degraded) {
+                for (const gpf::recovery_event& ev : p.recovery_log()) {
+                    std::fprintf(stderr, "recovery: %s at transformation %zu — %s\n",
+                                 gpf::recovery_action_name(ev.action), ev.iteration,
+                                 ev.reason.c_str());
+                }
+            }
         }
 
         gpf::legalize_options lopt;
@@ -198,9 +259,22 @@ int main(int argc, char** argv) {
             gpf::write_heatmap_svg(grid, rudy, cli.out + "_congestion.svg");
         }
         std::printf("wrote %s.{nodes,nets,pl,scl,svg}\n", cli.out.c_str());
-        return 0;
+        if (degraded) {
+            std::fprintf(stderr,
+                         "degraded: recovery engaged during global placement; "
+                         "outputs are the best-so-far placement\n");
+            return kExitDegraded;
+        }
+        return kExitClean;
+    } catch (const gpf::io_error& e) {
+        // Covers parse_error too (it derives from io_error).
+        std::fprintf(stderr, "error[io]: %s\n", e.what());
+        return kExitIo;
+    } catch (const gpf::check_error& e) {
+        std::fprintf(stderr, "error[invariant]: %s\n", e.what());
+        return kExitInvariant;
     } catch (const std::exception& e) {
-        std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
+        std::fprintf(stderr, "error[internal]: %s\n", e.what());
+        return kExitInternal;
     }
 }

@@ -17,9 +17,11 @@ struct outcome {
     double peak;
     double overflow;
     double seconds;
+    method_result mr;
 };
 
 outcome run(const netlist& nl, bool with_hook) {
+    phase_capture phases;
     stopwatch sw;
     placer p(nl, {});
     congestion_options copt;
@@ -33,7 +35,14 @@ outcome run(const netlist& nl, bool with_hook) {
     const std::vector<double> rudy =
         rudy_map(nl, legal, grid.region(), grid.nx(), grid.ny());
     const congestion_stats stats = summarize_congestion(rudy, /*capacity=*/0.6);
-    return {total_hpwl(nl, legal), stats.peak, stats.overflow, sw.elapsed_seconds()};
+    outcome out{total_hpwl(nl, legal), stats.peak, stats.overflow,
+                sw.elapsed_seconds(), {}};
+    out.mr.hpwl = out.hpwl;
+    out.mr.seconds = out.seconds;
+    out.mr.iterations = p.history().size();
+    phases.finish(out.mr);
+    out.mr.ok = true;
+    return out;
 }
 
 } // namespace
@@ -62,6 +71,11 @@ int main() {
                  fmt_double(off.overflow, 2), fmt_double(off.seconds, 2)});
     csv.add_row({"on", fmt_double(on.hpwl, 1), fmt_double(on.peak, 3),
                  fmt_double(on.overflow, 2), fmt_double(on.seconds, 2)});
+
+    json_report report("ablation_congestion");
+    report.add(desc.name, "density_only", off.mr);
+    report.add(desc.name, "density_plus_congestion", on.mr);
+    report.set_metric("overflow_change_pct", (on.overflow / off.overflow - 1.0) * 100.0);
 
     std::printf("\ncongestion overflow change: %+.1f%% (HPWL change %+.1f%%)\n",
                 (on.overflow / off.overflow - 1.0) * 100.0,

@@ -81,6 +81,21 @@ int main() {
     csv.add_row({"full", fmt_double(total_hpwl(nl, replaced), 1),
                  fmt_double(full_mean_disp, 3), fmt_double(t_full, 3)});
 
+    json_report report("ablation_eco");
+    method_result mr_eco;
+    mr_eco.hpwl = eco.hpwl_after;
+    mr_eco.seconds = t_eco;
+    mr_eco.ok = true;
+    report.add(desc.name, "incremental", mr_eco);
+    method_result mr_full;
+    mr_full.hpwl = total_hpwl(nl, replaced);
+    mr_full.seconds = t_full;
+    mr_full.iterations = full.history().size();
+    mr_full.ok = true;
+    report.add(desc.name, "full_replace", mr_full);
+    report.set_metric("displacement_ratio",
+                      full_mean_disp / std::max(1e-9, eco.mean_displacement));
+
     std::printf("\nincremental displacement is %.1fx smaller than a re-place "
                 "(%.2f vs %.2f units)\n",
                 full_mean_disp / std::max(1e-9, eco.mean_displacement),

@@ -20,15 +20,22 @@ struct outcome {
     double seconds;
 };
 
-outcome run(const netlist& nl, placer_options opt) {
+outcome run(const netlist& nl, placer_options opt, method_result& mr) {
+    phase_capture phases;
     stopwatch sw;
     placer p(nl, opt);
     const placement global = p.run();
     placement legal;
     legalize(nl, global, legal);
     const density_map d = compute_density(nl, global, 4096);
-    return {p.history().size(), p.converged(), total_hpwl(nl, legal),
-            d.overflow_area(), sw.elapsed_seconds()};
+    outcome out{p.history().size(), p.converged(), total_hpwl(nl, legal),
+                d.overflow_area(), sw.elapsed_seconds()};
+    mr.hpwl = out.hpwl_legal;
+    mr.seconds = out.seconds;
+    mr.iterations = out.iterations;
+    phases.finish(mr);
+    mr.ok = true;
+    return out;
 }
 
 } // namespace
@@ -46,29 +53,38 @@ int main() {
     csv_writer csv("ablation_forces.csv",
                    {"formulation", "iters", "converged", "hpwl", "overflow", "cpu_s"});
 
-    const auto report = [&](const std::string& name, const outcome& o) {
+    json_report json("ablation_forces");
+    const auto report = [&](const std::string& name, const std::string& key,
+                            const outcome& o, const method_result& mr) {
         table.add_row({name, fmt_count(o.iterations), o.converged ? "yes" : "no",
                        fmt_double(o.hpwl_legal, 0), fmt_double(o.overflow, 1),
                        fmt_double(o.seconds, 1)});
         csv.add_row({name, fmt_count(o.iterations), o.converged ? "1" : "0",
                      fmt_double(o.hpwl_legal, 1), fmt_double(o.overflow, 2),
                      fmt_double(o.seconds, 2)});
+        json.add(desc.name, key, mr);
     };
 
     placer_options base;
-    report("hold+move, local gain (default)", run(nl, base));
+    method_result mr;
+    outcome o = run(nl, base, mr);
+    report("hold+move, local gain (default)", "hold_and_move", o, mr);
 
     placer_options accum = base;
     accum.mode = placer_options::force_mode::accumulate;
     accum.scaling = placer_options::force_scaling::paper_normalized;
     accum.force_scale_k = 0.02; // literal scheme needs a far smaller K to behave
-    report("accumulate, K(W+H)-normalized", run(nl, accum));
+    mr = {};
+    o = run(nl, accum, mr);
+    report("accumulate, K(W+H)-normalized", "accumulate_normalized", o, mr);
 
     // Linearization (Gordian-L 1/length reweighting) is ON by default;
     // ablate by turning it off — the objective is then purely quadratic.
     placer_options quad = base;
     quad.net_model.linearize = false;
-    report("hold+move, pure quadratic objective", run(nl, quad));
+    mr = {};
+    o = run(nl, quad, mr);
+    report("hold+move, pure quadratic objective", "pure_quadratic", o, mr);
 
     table.print(std::cout);
     return 0;

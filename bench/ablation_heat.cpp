@@ -16,9 +16,11 @@ struct outcome {
     double hpwl;
     double peak_temp;
     double seconds;
+    method_result mr;
 };
 
 outcome run(const netlist& nl, bool with_hook) {
+    phase_capture phases;
     stopwatch sw;
     placer p(nl, {});
     thermal_options topt;
@@ -31,7 +33,14 @@ outcome run(const netlist& nl, bool with_hook) {
     const density_map grid = compute_density(nl, legal, 4096);
     const std::vector<double> temp =
         thermal_map(nl, legal, grid.region(), grid.nx(), grid.ny());
-    return {total_hpwl(nl, legal), summarize_thermal(temp).peak, sw.elapsed_seconds()};
+    outcome out{total_hpwl(nl, legal), summarize_thermal(temp).peak,
+                sw.elapsed_seconds(), {}};
+    out.mr.hpwl = out.hpwl;
+    out.mr.seconds = out.seconds;
+    out.mr.iterations = p.history().size();
+    phases.finish(out.mr);
+    out.mr.ok = true;
+    return out;
 }
 
 } // namespace
@@ -58,6 +67,12 @@ int main() {
                  fmt_double(off.seconds, 2)});
     csv.add_row({"on", fmt_double(on.hpwl, 1), fmt_double(on.peak_temp, 4),
                  fmt_double(on.seconds, 2)});
+
+    json_report report("ablation_heat");
+    report.add(desc.name, "density_only", off.mr);
+    report.add(desc.name, "density_plus_heat", on.mr);
+    report.set_metric("peak_temp_change_pct",
+                      (on.peak_temp / off.peak_temp - 1.0) * 100.0);
 
     std::printf("\npeak temperature change: %+.1f%% (HPWL change %+.1f%%)\n",
                 (on.peak_temp / off.peak_temp - 1.0) * 100.0,

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 namespace gpf::bench {
 
@@ -40,6 +42,7 @@ netlist instantiate(const suite_circuit& descriptor) {
 
 method_result run_kraftwerk(const netlist& nl, double k_force) {
     method_result result;
+    phase_capture phases;
     stopwatch sw;
     placer_options opt;
     opt.force_scale_k = k_force;
@@ -54,24 +57,29 @@ method_result run_kraftwerk(const netlist& nl, double k_force) {
     legalize(nl, global, legal);
     result.seconds = sw.elapsed_seconds();
     result.hpwl = total_hpwl(nl, legal);
+    result.iterations = p.history().size();
+    phases.finish(result);
     result.ok = true;
     return result;
 }
 
 method_result run_gordian(const netlist& nl) {
     method_result result;
+    phase_capture phases;
     stopwatch sw;
     const placement global = gordian_place(nl);
     placement legal;
     legalize(nl, global, legal);
     result.seconds = sw.elapsed_seconds();
     result.hpwl = total_hpwl(nl, legal);
+    phases.finish(result);
     result.ok = true;
     return result;
 }
 
 method_result run_annealer(const netlist& nl) {
     method_result result;
+    phase_capture phases;
     stopwatch sw;
     annealer_options opt;
     opt.moves_per_cell = env_size("GPF_ANNEAL_MPC", 6);
@@ -90,6 +98,7 @@ method_result run_annealer(const netlist& nl) {
     legalize(nl, annealed, legal);
     result.seconds = sw.elapsed_seconds();
     result.hpwl = total_hpwl(nl, legal);
+    phases.finish(result);
     result.ok = true;
     return result;
 }
@@ -98,6 +107,113 @@ timing_config scaled_timing_config() {
     timing_config cfg;
     cfg.unit_meters = 20e-6 / std::sqrt(suite_scale());
     return cfg;
+}
+
+phase_capture::phase_capture() {
+    const profiler& prof = profiler::instance();
+    for (std::size_t i = 0; i < num_profile_phases; ++i) {
+        start_seconds_[i] = prof.total_seconds(static_cast<profile_phase>(i));
+    }
+}
+
+void phase_capture::finish(method_result& result) const {
+    const profiler& prof = profiler::instance();
+    for (std::size_t i = 0; i < num_profile_phases; ++i) {
+        result.phase_ms[i] =
+            (prof.total_seconds(static_cast<profile_phase>(i)) - start_seconds_[i]) *
+            1e3;
+    }
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string json_number(double v) {
+    if (!std::isfinite(v)) return "null";
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+json_report::json_report(std::string name) : name_(std::move(name)) {}
+
+json_report::~json_report() {
+    if (!written_) {
+        try {
+            write();
+        } catch (...) {
+            // Destructor must not throw; the bench already printed its
+            // human-readable results.
+        }
+    }
+}
+
+void json_report::add(const std::string& circuit, const std::string& method,
+                      const method_result& result) {
+    records_.push_back({circuit, method, result});
+}
+
+void json_report::set_metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+}
+
+std::string json_report::write() {
+    written_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "json_report: cannot write %s\n", path.c_str());
+        return path;
+    }
+    out << "{\n  \"bench\": \"" << json_escape(name_) << "\",\n"
+        << "  \"suite_scale\": " << json_number(suite_scale()) << ",\n"
+        << "  \"seed\": " << suite_seed() << ",\n"
+        << "  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << '"' << json_escape(metrics_[i].first)
+            << "\": " << json_number(metrics_[i].second);
+    }
+    out << "},\n  \"results\": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const record& r = records_[i];
+        out << (i > 0 ? ",\n    " : "\n    ") << "{\"circuit\": \""
+            << json_escape(r.circuit) << "\", \"method\": \""
+            << json_escape(r.method) << "\", \"ok\": "
+            << (r.result.ok ? "true" : "false")
+            << ", \"hpwl\": " << json_number(r.result.hpwl)
+            << ", \"seconds\": " << json_number(r.result.seconds)
+            << ", \"iterations\": " << r.result.iterations << ", \"phase_ms\": {";
+        bool first = true;
+        for (std::size_t ph = 0; ph < num_profile_phases; ++ph) {
+            if (r.result.phase_ms[ph] <= 0.0) continue;
+            if (!first) out << ", ";
+            first = false;
+            out << '"' << profile_phase_name(static_cast<profile_phase>(ph))
+                << "\": " << json_number(r.result.phase_ms[ph]);
+        }
+        out << "}}";
+    }
+    out << "\n  ]\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+    return path;
 }
 
 double geometric_mean(const std::vector<double>& values) {
@@ -115,6 +231,9 @@ double arithmetic_mean(const std::vector<double>& values) {
 }
 
 void print_preamble(const std::string& experiment, const std::string& paper_claim) {
+    // Collection-only profiling (no trace lines) so every bench can report
+    // per-phase wall clock in its BENCH_*.json; placements are unaffected.
+    profiler::instance().set_enabled(true);
     std::printf("==============================================================\n");
     std::printf("%s\n", experiment.c_str());
     std::printf("paper reference: %s\n", paper_claim.c_str());

@@ -27,9 +27,54 @@ std::vector<suite_circuit> selected_suite();
 netlist instantiate(const suite_circuit& descriptor);
 
 struct method_result {
-    double hpwl = 0.0;    ///< legalized + refined HPWL
-    double seconds = 0.0; ///< wall clock incl. final placement (like the paper)
+    double hpwl = 0.0;          ///< legalized + refined HPWL
+    double seconds = 0.0;       ///< wall clock incl. final placement (like the paper)
+    std::size_t iterations = 0; ///< global-placement transformations (0 if n/a)
+    /// Wall-clock milliseconds per transformation-loop phase, indexed by
+    /// profile_phase; filled by phase_capture when the profiler collects.
+    std::array<double, num_profile_phases> phase_ms{};
     bool ok = false;
+};
+
+/// Snapshot-diff around one method run: records the process-wide profiler
+/// totals at construction, finish() stores the per-phase deltas (in ms)
+/// into a method_result. Collection must be on (print_preamble enables it).
+class phase_capture {
+public:
+    phase_capture();
+    void finish(method_result& result) const;
+
+private:
+    std::array<double, num_profile_phases> start_seconds_{};
+};
+
+/// Machine-readable companion to the ascii table + CSV: accumulates one
+/// record per (circuit, method) measurement and writes BENCH_<name>.json
+/// next to the CSV (current directory). Written on destruction unless
+/// write() already ran.
+class json_report {
+public:
+    explicit json_report(std::string name);
+    ~json_report();
+    json_report(const json_report&) = delete;
+    json_report& operator=(const json_report&) = delete;
+
+    void add(const std::string& circuit, const std::string& method,
+             const method_result& result);
+    /// Extra experiment-level number (e.g. "speedup": 1.62).
+    void set_metric(const std::string& key, double value);
+    /// Emits BENCH_<name>.json; returns the path written.
+    std::string write();
+
+private:
+    struct record {
+        std::string circuit, method;
+        method_result result;
+    };
+    std::string name_;
+    std::vector<record> records_;
+    std::vector<std::pair<std::string, double>> metrics_;
+    bool written_ = false;
 };
 
 /// Kraftwerk (this paper): K = 0.2 standard, K = 1.0 fast. Fast mode also

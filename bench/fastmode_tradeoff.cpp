@@ -18,12 +18,15 @@ int main() {
     csv_writer csv("fastmode_tradeoff.csv",
                    {"circuit", "std_wl", "std_s", "fast_wl", "fast_s",
                     "wl_increase_pct", "speedup"});
+    json_report report("fastmode_tradeoff");
 
     std::vector<double> wl_ratio, time_ratio;
     for (const suite_circuit& desc : selected_suite()) {
         const netlist nl = instantiate(desc);
         const method_result std_mode = run_kraftwerk(nl, 0.2);
         const method_result fast_mode = run_kraftwerk(nl, 1.0);
+        report.add(desc.name, "standard", std_mode);
+        report.add(desc.name, "fast", fast_mode);
         const double incr = (fast_mode.hpwl / std_mode.hpwl - 1.0) * 100.0;
         const double speedup = std_mode.seconds / std::max(1e-9, fast_mode.seconds);
         wl_ratio.push_back(fast_mode.hpwl / std_mode.hpwl);
@@ -39,6 +42,8 @@ int main() {
         std::printf("  done %s\n", desc.name.c_str());
     }
     table.print(std::cout);
+    report.set_metric("avg_wl_increase_pct", (geometric_mean(wl_ratio) - 1.0) * 100.0);
+    report.set_metric("avg_speedup", geometric_mean(time_ratio));
     std::printf("\naverage: +%.1f%% wire length at %.2fx speedup "
                 "(paper: +6%% at ~3x)\n",
                 (geometric_mean(wl_ratio) - 1.0) * 100.0, geometric_mean(time_ratio));

@@ -55,8 +55,10 @@ int main() {
     csv_writer csv("floorplan_mixed.csv",
                    {"flow", "hpwl", "block_overlap", "cell_overlap", "cpu_s"});
 
+    json_report report("floorplan_mixed");
     for (const bool fix_blocks : {false, true}) {
         const netlist nl = make_mixed(fix_blocks);
+        phase_capture phases;
         stopwatch sw;
         placer p(nl, {});
         const placement global = p.run();
@@ -65,6 +67,13 @@ int main() {
         const double seconds = sw.elapsed_seconds();
         const double overlap = total_overlap_area(nl, legal);
         const std::string name = fix_blocks ? "blocks fixed" : "blocks movable";
+        method_result mr;
+        mr.hpwl = total_hpwl(nl, legal);
+        mr.seconds = seconds;
+        mr.iterations = p.history().size();
+        phases.finish(mr);
+        mr.ok = true;
+        report.add("mixed", fix_blocks ? "blocks_fixed" : "blocks_movable", mr);
         table.add_row({name, fmt_double(total_hpwl(nl, legal), 0),
                        fmt_double(lr.blocks.residual_overlap, 2), fmt_double(overlap, 2),
                        fmt_double(seconds, 1)});

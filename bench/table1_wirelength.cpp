@@ -21,6 +21,7 @@ int main() {
     csv_writer csv("table1_wirelength.csv",
                    {"circuit", "cells", "nets", "anneal_wl", "anneal_s", "gordian_wl",
                     "gordian_s", "ours_wl", "ours_s"});
+    json_report report("table1_wirelength");
 
     std::vector<double> ours_vs_gordian;
     std::vector<double> ours_vs_anneal;
@@ -38,6 +39,9 @@ int main() {
                      fmt_double(anneal.hpwl, 1), fmt_double(anneal.seconds, 2),
                      fmt_double(gordian.hpwl, 1), fmt_double(gordian.seconds, 2),
                      fmt_double(ours.hpwl, 1), fmt_double(ours.seconds, 2)});
+        report.add(desc.name, "anneal", anneal);
+        report.add(desc.name, "gordian", gordian);
+        report.add(desc.name, "kraftwerk", ours);
         ours_vs_gordian.push_back(ours.hpwl / gordian.hpwl);
         ours_vs_anneal.push_back(ours.hpwl / anneal.hpwl);
         std::printf("  done %s\n", desc.name.c_str());

@@ -20,6 +20,7 @@ int main() {
     csv_writer csv("table2_comparison.csv",
                    {"circuit", "impr_vs_anneal_pct", "relcpu_vs_anneal",
                     "impr_vs_gordian_pct", "relcpu_vs_gordian"});
+    json_report report("table2_comparison");
 
     std::vector<double> impr_a, impr_g, cpu_a, cpu_g;
     for (const suite_circuit& desc : selected_suite()) {
@@ -28,6 +29,9 @@ int main() {
         const method_result gordian = run_gordian(nl);
         const method_result ours = run_kraftwerk(nl, 0.2);
 
+        report.add(desc.name, "anneal", anneal);
+        report.add(desc.name, "gordian", gordian);
+        report.add(desc.name, "kraftwerk", ours);
         const double ia = (1.0 - ours.hpwl / anneal.hpwl) * 100.0;
         const double ig = (1.0 - ours.hpwl / gordian.hpwl) * 100.0;
         const double ca = ours.seconds / std::max(1e-9, anneal.seconds);
@@ -49,6 +53,8 @@ int main() {
                    fmt_double(arithmetic_mean(impr_g), 1),
                    fmt_double(arithmetic_mean(cpu_g), 2)});
     table.print(std::cout);
+    report.set_metric("avg_impr_vs_anneal_pct", arithmetic_mean(impr_a));
+    report.set_metric("avg_impr_vs_gordian_pct", arithmetic_mean(impr_g));
     std::printf("\npaper averages: +7.9%% vs TimberWolf (at ~1.4x its speed mode), "
                 "+6.6%% vs Gordian/Domino\n");
     return 0;

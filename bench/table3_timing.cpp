@@ -21,17 +21,26 @@ int main() {
     ascii_table table({"circuit", "without [ns]", "with [ns]", "reduction", "CPU [s]"});
     csv_writer csv("table3_timing.csv",
                    {"circuit", "without_ns", "with_ns", "reduction_pct", "cpu_s"});
+    json_report report("table3_timing");
 
     for (const std::string& name : timing_suite_names()) {
         const suite_circuit& desc = suite_circuit_by_name(name);
         netlist nl = instantiate(desc);
 
+        phase_capture phases;
         stopwatch sw;
         timing_driven_options opt;
         opt.timing = scaled_timing_config();
         opt.optimization_iterations = 60;
         const timing_result res = timing_optimize(nl, opt);
         const double seconds = sw.elapsed_seconds();
+
+        method_result mr;
+        mr.hpwl = total_hpwl(nl, res.pl);
+        mr.seconds = seconds;
+        phases.finish(mr);
+        mr.ok = true;
+        report.add(name, "timing_driven", mr);
 
         const double without_ns = res.delay_before * 1e9;
         const double with_ns = res.delay_after * 1e9;

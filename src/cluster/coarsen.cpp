@@ -1,0 +1,207 @@
+#include "cluster/coarsen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "model/net_models.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace gpf {
+
+namespace {
+
+/// Cells the matcher may merge: movable non-pads. Fixed cells and pads
+/// carry through one-to-one so the coarse netlist keeps the exact supply
+/// sinks and boundary constraints of the fine one.
+bool mergeable(const cell& c) { return !c.fixed && c.kind != cell_kind::pad; }
+
+} // namespace
+
+std::optional<cluster_level> coarsen(const netlist& fine, const coarsen_options& opt) {
+    const std::size_t n = fine.num_cells();
+    const std::size_t movable = fine.num_movable();
+    if (movable <= opt.min_coarse_cells) return std::nullopt;
+
+    const double avg_area = fine.movable_area() / static_cast<double>(movable);
+    const double area_cap = opt.max_area_ratio * avg_area;
+
+    // --- heavy-edge / best-choice matching --------------------------------
+    // Visit cells in id order; each unmatched mergeable cell accumulates
+    // the clique-projected weight it shares with every mergeable neighbor
+    // and pairs with the best one by score = weight / combined area (the
+    // best-choice rating: strong connectivity, small resulting cluster).
+    // The selection is a total order over (score, id), so the result does
+    // not depend on hash-map iteration order, and the whole pass is
+    // serial — bitwise identical for any thread count.
+    const std::vector<std::vector<net_id>>& adjacency = fine.cell_nets();
+    std::vector<cell_id> match(n, invalid_cell);
+    std::unordered_map<cell_id, double> weights;
+    std::size_t matched_pairs = 0;
+    for (cell_id u = 0; u < n; ++u) {
+        const cell& cu = fine.cell_at(u);
+        if (!mergeable(cu) || match[u] != invalid_cell) continue;
+        weights.clear();
+        for (const net_id ni : adjacency[u]) {
+            const net& fn = fine.net_at(ni);
+            const std::size_t d = fn.degree();
+            if (d < 2 || d > opt.max_matching_degree) continue;
+            const double w = clique_edge_weight(fn.weight, d);
+            for (const pin& p : fn.pins) {
+                if (p.cell == u) continue;
+                const cell& cv = fine.cell_at(p.cell);
+                if (!mergeable(cv) || match[p.cell] != invalid_cell) continue;
+                if (cu.area() + cv.area() > area_cap) continue;
+                weights[p.cell] += w;
+            }
+        }
+        cell_id best = invalid_cell;
+        double best_score = 0.0;
+        for (const auto& [v, w] : weights) {
+            const double score = w / (cu.area() + fine.cell_at(v).area());
+            if (best == invalid_cell || score > best_score ||
+                (score == best_score && v < best)) {
+                best = v;
+                best_score = score;
+            }
+        }
+        if (best == invalid_cell) continue;
+        match[u] = best;
+        match[best] = u;
+        ++matched_pairs;
+    }
+
+    // A pass that cannot shrink the movable count by ~5% would stack
+    // near-identity levels whose placements cost time and buy nothing.
+    if (matched_pairs < movable / 20) return std::nullopt;
+
+    // --- coarse cells ------------------------------------------------------
+    // Coarse ids are assigned in fine-id order of each cluster's smallest
+    // member, which fixes the coarse netlist layout deterministically.
+    cluster_level level;
+    level.parent.assign(n, invalid_cell);
+    level.offset.assign(n, point());
+    level.fine_pins = fine.num_pins();
+    level.fine_movable = movable;
+
+    const rect region = fine.region();
+    for (cell_id u = 0; u < n; ++u) {
+        if (level.parent[u] != invalid_cell) continue;
+        const cell& cu = fine.cell_at(u);
+        if (!mergeable(cu) || match[u] == invalid_cell) {
+            // Fixed cells, pads and unmatched movables carry through 1:1.
+            level.parent[u] = level.coarse.add_cell(cu);
+            continue;
+        }
+        const cell_id v = match[u];
+        const cell& cv = fine.cell_at(v);
+        cell merged;
+        merged.name = "m" + std::to_string(level.coarse.num_cells());
+        const double area = cu.area() + cv.area();
+        // Square footprint of the summed area, clipped to the region, so
+        // density stamping sees the exact member area at a plausible
+        // aspect no matter how elongated the members were.
+        const double side = std::sqrt(area);
+        merged.width = std::min(side, region.width());
+        merged.height = area / merged.width;
+        merged.kind = (cu.kind == cell_kind::block || cv.kind == cell_kind::block)
+                          ? cell_kind::block
+                          : cell_kind::standard;
+        merged.fixed = false;
+        merged.intrinsic_delay = std::max(cu.intrinsic_delay, cv.intrinsic_delay);
+        merged.power = cu.power + cv.power;
+        merged.sequential = cu.sequential || cv.sequential;
+        const cell_id cc = level.coarse.add_cell(std::move(merged));
+        level.parent[u] = cc;
+        level.parent[v] = cc;
+        // Members sit side by side inside the cluster footprint; the
+        // interpolated placement then starts with the members already
+        // locally separated instead of coincident.
+        const double span = cu.width + cv.width;
+        level.offset[u] = point(-span / 2 + cu.width / 2, 0.0);
+        level.offset[v] = point(span / 2 - cv.width / 2, 0.0);
+    }
+
+    // --- net projection ----------------------------------------------------
+    // Pins of one net landing in the same cluster merge into a single pin
+    // at the cluster center; nets collapsing to fewer than two distinct
+    // clusters are dropped. Pin order inside a kept net follows the first
+    // occurrence in the fine net, so projection is order-deterministic.
+    std::unordered_map<cell_id, std::size_t> seen;
+    for (net_id ni = 0; ni < fine.num_nets(); ++ni) {
+        const net& fn = fine.net_at(ni);
+        net cn;
+        cn.name = fn.name;
+        cn.weight = fn.weight;
+        seen.clear();
+        std::size_t merged_here = 0;
+        for (std::size_t pi = 0; pi < fn.pins.size(); ++pi) {
+            const cell_id cc = level.parent[fn.pins[pi].cell];
+            const auto [it, inserted] = seen.emplace(cc, cn.pins.size());
+            if (inserted) {
+                cn.pins.push_back({cc, point()});
+            } else {
+                ++merged_here;
+            }
+            if (fn.driver == pi) cn.driver = it->second;
+        }
+        if (cn.pins.size() < 2) {
+            level.dropped_pins += fn.degree();
+            continue;
+        }
+        level.merged_pins += merged_here;
+        level.coarse.add_net(std::move(cn));
+    }
+
+    level.coarse.set_region(region);
+    level.coarse.set_row_height(fine.row_height());
+    return level;
+}
+
+cluster_hierarchy build_hierarchy(const netlist& nl, std::size_t max_levels,
+                                  const coarsen_options& opt) {
+    cluster_hierarchy hierarchy;
+    const netlist* current = &nl;
+    for (std::size_t l = 0; l < max_levels; ++l) {
+        std::optional<cluster_level> level = coarsen(*current, opt);
+        if (!level.has_value()) break;
+        log(log_level::debug) << "coarsen level " << l + 1 << ": "
+                              << current->num_movable() << " -> "
+                              << level->coarse.num_movable() << " movable cells, "
+                              << level->coarse.num_nets() << " nets ("
+                              << level->merged_pins << " pins merged, "
+                              << level->dropped_pins << " dropped)";
+        hierarchy.levels.push_back(std::move(*level));
+        current = &hierarchy.levels.back().coarse;
+    }
+    return hierarchy;
+}
+
+placement interpolate(const netlist& fine, const cluster_level& level,
+                      const placement& coarse_pl) {
+    GPF_CHECK(level.parent.size() == fine.num_cells());
+    GPF_CHECK(coarse_pl.size() == level.coarse.num_cells());
+    const rect region = fine.region();
+    placement pl(fine.num_cells());
+    for (cell_id i = 0; i < fine.num_cells(); ++i) {
+        const cell& c = fine.cell_at(i);
+        if (c.fixed) {
+            pl[i] = c.position;
+            continue;
+        }
+        point p = coarse_pl[level.parent[i]] + level.offset[i];
+        // Same projection the placer's clamp_to_region step applies, so an
+        // offset poking past the boundary cannot start the next level with
+        // an out-of-region center.
+        const double hw = std::min(c.width / 2, region.width() / 2);
+        const double hh = std::min(c.height / 2, region.height() / 2);
+        p.x = std::clamp(p.x, region.xlo + hw, region.xhi - hw);
+        p.y = std::clamp(p.y, region.ylo + hh, region.yhi - hh);
+        pl[i] = p;
+    }
+    return pl;
+}
+
+} // namespace gpf

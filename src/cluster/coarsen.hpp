@@ -1,0 +1,106 @@
+// Multilevel netlist coarsening (DESIGN.md §11).
+//
+// A cluster V-cycle places a coarsened stand-in of the netlist first —
+// where the expensive early spreading iterations run on a problem 4–16×
+// smaller — then interpolates cluster positions down and refines at the
+// next finer level. This module builds the level hierarchy:
+//
+//   * coarsen()          — one heavy-edge / best-choice matching pass:
+//                          movable cells pair with their most strongly
+//                          connected unmatched neighbor (score = shared
+//                          edge weight / combined area, ties broken by
+//                          the smaller cell id), subject to an area cap.
+//                          Fixed cells and pads are never merged and are
+//                          carried through one-to-one.
+//   * build_hierarchy()  — repeated coarsening into a level chain until
+//                          the requested depth, a minimum cell count, or
+//                          a vanishing reduction factor stops it.
+//   * interpolate()      — expand a coarse placement one level down:
+//                          members placed at the cluster center plus a
+//                          per-member offset packed at clustering time.
+//
+// Determinism: matching, projection and interpolation are serial with a
+// total-order tie-break (weight score first, then cell id), so the
+// hierarchy and every interpolated placement are bitwise identical for
+// any GPF_THREADS value — the same contract the placement kernels obey.
+//
+// Net projection merges duplicate pins (pins of one net landing in the
+// same cluster collapse to a single pin at the cluster center) and drops
+// nets entirely internal to one cluster. The per-level accounting
+//
+//     fine pins == coarse pins + merged_pins + dropped_pins
+//
+// is recomputed independently by verify_coarsening() together with area
+// conservation and the fixed-cell carry-through.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gpf {
+
+struct coarsen_options {
+    /// A merge is allowed only while the combined cluster area stays below
+    /// `max_area_ratio` times the level's average movable-cell area; keeps
+    /// one giant cluster from swallowing a neighborhood and distorting the
+    /// density landscape.
+    double max_area_ratio = 4.0;
+    /// Stop coarsening once a level has at most this many movable cells —
+    /// below that the transformation loop is cheap enough flat.
+    std::size_t min_coarse_cells = 500;
+    /// Nets above this degree contribute no matching edges (a huge net
+    /// connects everything to everything and carries no locality signal);
+    /// they are still projected onto the coarse netlist.
+    std::size_t max_matching_degree = 64;
+};
+
+/// One coarsening step: the coarse netlist plus the fine→coarse mapping
+/// and the accounting the verifier checks.
+struct cluster_level {
+    netlist coarse;
+    /// Fine cell id → coarse cell id; every fine cell has a parent.
+    std::vector<cell_id> parent;
+    /// Fine cell id → offset of the member from its cluster center, used
+    /// by interpolate(). Zero for singleton and fixed cells.
+    std::vector<point> offset;
+
+    // Conservation accounting of the net projection:
+    //   fine_pins == coarse pins + merged_pins + dropped_pins.
+    std::size_t fine_pins = 0;    ///< num_pins() of the fine netlist
+    std::size_t merged_pins = 0;  ///< duplicate pins collapsed inside kept nets
+    std::size_t dropped_pins = 0; ///< pins of nets internal to one cluster
+    std::size_t fine_movable = 0; ///< movable cells before this step
+};
+
+/// One matching pass over `fine`. Returns nullopt when the netlist is
+/// already at or below min_coarse_cells, or when matching cannot shrink
+/// the movable cell count by at least ~5% (a netlist of mutually
+/// unmergeable cells would otherwise stack useless identity levels).
+std::optional<cluster_level> coarsen(const netlist& fine,
+                                     const coarsen_options& opt = {});
+
+/// Coarsening chain: levels[0] coarsens the original netlist, levels[k]
+/// coarsens levels[k-1].coarse; the last entry holds the coarsest
+/// netlist. May hold fewer than `max_levels` entries (or none) when the
+/// stopping rules of coarsen() cut the chain short.
+struct cluster_hierarchy {
+    std::vector<cluster_level> levels;
+
+    bool empty() const { return levels.empty(); }
+    std::size_t depth() const { return levels.size(); }
+};
+
+cluster_hierarchy build_hierarchy(const netlist& nl, std::size_t max_levels,
+                                  const coarsen_options& opt = {});
+
+/// Expand a placement of level.coarse to the fine netlist it was built
+/// from: member cells land at their cluster's center plus their packed
+/// offset, clamped into the region; fixed fine cells keep their
+/// constraint position.
+placement interpolate(const netlist& fine, const cluster_level& level,
+                      const placement& coarse_pl);
+
+} // namespace gpf

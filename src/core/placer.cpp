@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "cluster/coarsen.hpp"
 #include "core/metrics.hpp"
 #include "density/empty_square.hpp"
 #include "density/force_field.hpp"
@@ -66,6 +67,7 @@ const char* recovery_action_name(recovery_action action) {
         case recovery_action::retry_tightened: return "retry_tightened";
         case recovery_action::rollback: return "rollback";
         case recovery_action::stop_best: return "stop_best";
+        case recovery_action::level_fallback: return "level_fallback";
     }
     return "unknown";
 }
@@ -431,7 +433,219 @@ placement placer::transform(const placement& current) {
     return next;
 }
 
-placement placer::run() { return run_from(nl_.centered_placement(), /*reset_forces=*/true); }
+placement placer::run() {
+    level_log_.clear();
+    if (options_.coarsen_levels > 0) return run_multilevel();
+    return run_from(nl_.centered_placement(), /*reset_forces=*/true);
+}
+
+placement placer::run_multilevel() {
+    stopwatch total_clock;
+    coarsen_options copt;
+    copt.max_area_ratio = options_.cluster_max_area_ratio;
+    copt.min_coarse_cells = options_.min_coarse_cells;
+    cluster_hierarchy hierarchy;
+    {
+        phase_timer timer(profile_phase::coarsen);
+        hierarchy = build_hierarchy(nl_, options_.coarsen_levels, copt);
+    }
+    if (hierarchy.empty()) {
+        log(log_level::info) << "multilevel: coarsening found no level to build ("
+                             << nl_.num_movable()
+                             << " movable cells); running the flat loop";
+        return run_from(nl_.centered_placement(), /*reset_forces=*/true);
+    }
+
+    const double fine_movable = static_cast<double>(nl_.num_movable());
+    std::vector<recovery_event> level_events;
+    bool any_degraded = false;
+    bool any_fallback = false;
+
+    // Coarsest level first. `carried` always holds a placement of the
+    // netlist the upcoming level places (interpolated from below, or
+    // nothing for the coarsest, which starts from the paper init).
+    std::optional<placement> carried;
+    for (std::size_t li = hierarchy.depth(); li-- > 0;) {
+        const cluster_level& lvl = hierarchy.levels[li];
+        const netlist& coarse_nl = lvl.coarse;
+        const netlist& finer_nl = li == 0 ? nl_ : hierarchy.levels[li - 1].coarse;
+        stopwatch level_clock;
+        level_summary summary;
+        summary.level = li + 1;
+        summary.movable_cells = coarse_nl.num_movable();
+        summary.nets = coarse_nl.num_nets();
+
+        // Coarse levels run the full transformation loop with a
+        // proportionally coarser density/FFT grid and a looser stopping
+        // criterion — their only job is bulk spreading; precision belongs
+        // to the finer levels.
+        placer_options sub = options_;
+        sub.coarsen_levels = 0;
+        const double ratio = static_cast<double>(coarse_nl.num_movable()) /
+                             std::max(1.0, fine_movable);
+        sub.density_bins = std::max<std::size_t>(
+            256, static_cast<std::size_t>(
+                     std::llround(static_cast<double>(options_.density_bins) * ratio)));
+        sub.spread_factor = options_.spread_factor * 2.0;
+        if (options_.plateau_window > 0) {
+            sub.plateau_window = std::max<std::size_t>(4, options_.plateau_window / 4);
+        }
+        sub.max_iterations = std::max<std::size_t>(20, options_.max_iterations / 3);
+        // Wire relaxation is the most expensive phase of a transformation
+        // and exists to re-tighten wire length — pointless precision at a
+        // level whose placement survives only as an interpolation seed.
+        if (options_.wire_relax_interval > 0) {
+            sub.wire_relax_interval = options_.wire_relax_interval * 4;
+        }
+        if (options_.time_budget > 0.0) {
+            sub.time_budget =
+                std::max(0.01, options_.time_budget - total_clock.elapsed_seconds());
+        }
+
+        const placement start =
+            carried.has_value() ? std::move(*carried) : coarse_nl.centered_placement();
+        placement out;
+        bool ok = true;
+        std::string reason;
+        try {
+            if (verify_checkpoints_enabled()) {
+                verify_coarsening(finer_nl, coarse_nl, lvl.parent)
+                    .require("placer::multilevel coarsen level " +
+                             std::to_string(li + 1));
+            }
+            placer sub_placer(coarse_nl, sub);
+            out = sub_placer.run_from(start, /*reset_forces=*/!carried.has_value());
+            summary.iterations = sub_placer.history().size();
+            summary.degraded = sub_placer.degraded();
+            for (recovery_event ev : sub_placer.recovery_log()) {
+                ev.reason = "level " + std::to_string(li + 1) + ": " + ev.reason;
+                level_events.push_back(std::move(ev));
+            }
+            for (cell_id i = 0; i < coarse_nl.num_cells() && ok; ++i) {
+                if (!std::isfinite(out[i].x) || !std::isfinite(out[i].y)) {
+                    ok = false;
+                    reason = "non-finite coarse placement";
+                }
+            }
+            // A level that hit the ladder's final rung almost immediately
+            // produced nothing better than its starting clump; such a
+            // seed would silently cost every finer level a full run, so
+            // the level falls back instead of being interpolated.
+            if (ok && sub_placer.degraded() && sub_placer.history().size() < 5) {
+                for (const recovery_event& ev : sub_placer.recovery_log()) {
+                    if (ev.action == recovery_action::stop_best) {
+                        ok = false;
+                        reason = "coarse level stopped degraded after " +
+                                 std::to_string(sub_placer.history().size()) +
+                                 " transformations";
+                        break;
+                    }
+                }
+            }
+            if (ok && verify_checkpoints_enabled()) {
+                verify_options vopt;
+                vopt.check_in_region = options_.clamp_to_region;
+                verify_global_placement(coarse_nl, out, vopt)
+                    .require("placer::multilevel level " + std::to_string(li + 1));
+                // ∫D ≈ 0 on the level's own grid: finalize() balances
+                // supply against demand, so any residual integral means
+                // the coarse netlist's areas and region disagree.
+                const density_map check =
+                    compute_density(coarse_nl, out, sub.density_bins);
+                double integral = 0.0;
+                for (const double d : check.demand()) integral += d - check.supply_level();
+                integral *= check.bin_area();
+                GPF_CHECK_MSG(std::abs(integral) <=
+                                  1e-6 * std::max(1.0, coarse_nl.movable_area()),
+                              "level " << li + 1 << " density does not integrate to "
+                                       << "zero (got " << integral << ")");
+            }
+        } catch (const check_error& e) {
+            ok = false;
+            reason = e.what();
+        }
+        if (ok) {
+            summary.hpwl = total_hpwl(coarse_nl, out);
+            any_degraded = any_degraded || summary.degraded;
+        } else {
+            // Recovery: a failed coarse level is discarded and the finer
+            // level starts from whatever placement this level started
+            // from — degraded but never fatal.
+            summary.fell_back = true;
+            any_degraded = true;
+            any_fallback = true;
+            recovery_event ev{recovery_action::level_fallback, 0,
+                              "level " + std::to_string(li + 1) + ": " + reason};
+            log(log_level::warning)
+                << "recovery: level_fallback — coarse level " << li + 1
+                << " failed (" << reason << "); continuing at the finer level";
+            level_events.push_back(std::move(ev));
+            out = start;
+        }
+        {
+            phase_timer timer(profile_phase::interpolate);
+            carried = interpolate(finer_nl, lvl, out);
+        }
+        summary.seconds = level_clock.elapsed_seconds();
+        log(log_level::info) << "multilevel level " << li + 1 << ": "
+                             << summary.movable_cells << " movable cells, "
+                             << summary.iterations << " transformations, hpwl="
+                             << summary.hpwl << (summary.fell_back ? " (fell back)" : "")
+                             << " in " << summary.seconds << " s";
+        level_log_.push_back(summary);
+    }
+
+    // Final pass: the flat loop on the full netlist, seeded by the
+    // interpolated placement. reset_forces=false — a fresh hold-and-move
+    // run would replace the seed with the unconstrained wire-length
+    // optimum and throw the V-cycle away. When every level held, the seed
+    // arrives near-converged (spread and tightened by the V-cycle), so
+    // this is a refinement pass: the overflow plateau confirms in half
+    // the window, wire relaxation runs at half the cadence (the seed's
+    // wire length is already relaxed), and the transformation count is
+    // capped at a quarter of the flat budget — the remaining descent is
+    // the same trust-region-limited tail grind the flat loop ends in, and
+    // a healthy seed reaches flat-termination quality well inside the
+    // cap (spread/plateau stops stay active below it). If any level fell
+    // back the seed is untrusted and the pass runs with the full caller
+    // options. Quality is guarded by the acceptance gate (multilevel HPWL
+    // within 5% of flat, tests/test_cluster.cpp); the caller's options
+    // are restored on exit.
+    stopwatch final_clock;
+    history_.clear();
+    const std::size_t saved_plateau = options_.plateau_window;
+    const std::size_t saved_relax = options_.wire_relax_interval;
+    const std::size_t saved_max_it = options_.max_iterations;
+    if (!any_fallback) {
+        if (options_.plateau_window > 0) {
+            options_.plateau_window = std::max<std::size_t>(8, saved_plateau / 2);
+        }
+        if (options_.wire_relax_interval > 0) {
+            options_.wire_relax_interval = saved_relax * 2;
+        }
+        options_.max_iterations = std::max<std::size_t>(
+            std::max<std::size_t>(25, options_.min_iterations), saved_max_it / 4);
+    }
+    placement final_pl = run_from(std::move(*carried), /*reset_forces=*/false);
+    options_.plateau_window = saved_plateau;
+    options_.wire_relax_interval = saved_relax;
+    options_.max_iterations = saved_max_it;
+    // run_from cleared the recovery state; fold the level events back in.
+    const bool final_degraded = degraded_;
+    recovery_log_.insert(recovery_log_.begin(), level_events.begin(),
+                         level_events.end());
+    degraded_ = degraded_ || any_degraded;
+    level_summary fine;
+    fine.level = 0;
+    fine.movable_cells = nl_.num_movable();
+    fine.nets = nl_.num_nets();
+    fine.iterations = history_.size();
+    fine.hpwl = history_.empty() ? total_hpwl(nl_, final_pl) : history_.back().hpwl;
+    fine.seconds = final_clock.elapsed_seconds();
+    fine.degraded = final_degraded;
+    level_log_.push_back(fine);
+    return final_pl;
+}
 
 std::string placer::health_check(const iteration_stats& stats, const placement& pl,
                                  double prev_overflow) const {

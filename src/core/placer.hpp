@@ -103,6 +103,22 @@ struct placer_options {
     /// default cold-start path; off by default.
     bool warm_start_cg = false;
 
+    // --- Multilevel V-cycle (DESIGN.md §11) -------------------------------
+    /// Number of coarsening levels. 0 (default) runs today's flat loop —
+    /// bitwise identical to builds without the multilevel engine. With
+    /// N > 0 the netlist is clustered up to N times (heavy-edge matching,
+    /// src/cluster/), the full transformation loop runs on each coarse
+    /// netlist with a proportionally coarser density grid and a looser
+    /// stopping criterion, and cluster positions interpolate down to seed
+    /// the next finer level; the finest level runs with the exact flat
+    /// options. Deterministic for any GPF_THREADS value.
+    std::size_t coarsen_levels = 0;
+    /// Cluster area cap: a merge may not exceed this multiple of the
+    /// level's average movable-cell area.
+    double cluster_max_area_ratio = 4.0;
+    /// Coarsening stops once a level has at most this many movable cells.
+    std::size_t min_coarse_cells = 500;
+
     // --- Recovery engine (DESIGN.md §9) -----------------------------------
     // After every transformation a health check runs: finite coordinates,
     // CG progress, no runaway overflow. The checks are pure reads and the
@@ -143,6 +159,7 @@ enum class recovery_action {
     retry_tightened, ///< transformation re-run, Jacobi + halved step cap
     rollback,        ///< restored a healthy snapshot, halved force_scale_k
     stop_best,       ///< run ended, best-so-far placement returned
+    level_fallback,  ///< a coarse level failed; continuing at the finer level
 };
 
 /// Canonical name ("retry_tightened", "rollback", "stop_best").
@@ -177,13 +194,28 @@ struct iteration_stats {
     std::vector<recovery_event> recovery;
 };
 
+/// One level of a multilevel run, coarsest first; level 0 is the full
+/// netlist (the final refinement pass).
+struct level_summary {
+    std::size_t level = 0;       ///< 0 = finest/full netlist
+    std::size_t movable_cells = 0;
+    std::size_t nets = 0;
+    std::size_t iterations = 0;  ///< transformations spent at this level
+    double hpwl = 0.0;           ///< HPWL of the level's final placement
+    double seconds = 0.0;        ///< wall clock of the level (incl. interpolation)
+    bool degraded = false;       ///< the level's run needed the recovery ladder
+    bool fell_back = false;      ///< level failed; its result was discarded
+};
+
 class placer {
 public:
     explicit placer(const netlist& nl, placer_options options = {});
     ~placer();
 
     /// Full algorithm from the paper's initialization (all movable cells at
-    /// the region center, e = 0).
+    /// the region center, e = 0). With options.coarsen_levels > 0 this is
+    /// the multilevel V-cycle entry: coarse levels first, then the flat
+    /// loop on the full netlist from the interpolated placement.
     placement run();
 
     /// Full algorithm from a given placement. reset_forces=false keeps the
@@ -233,10 +265,16 @@ public:
     /// same events are attached to the iteration_stats they concluded at).
     const std::vector<recovery_event>& recovery_log() const { return recovery_log_; }
 
+    /// Per-level record of the last multilevel run (coarsest first, the
+    /// full-netlist pass last); empty after a flat run.
+    const std::vector<level_summary>& level_log() const { return level_log_; }
+
     /// Average movable-cell area (the stopping criterion's yardstick).
     double average_cell_area() const;
 
 private:
+    /// The cluster V-cycle behind run() when coarsen_levels > 0.
+    placement run_multilevel();
     std::pair<std::size_t, std::size_t> density_dims() const;
     /// Returns the (x, y) CG results of the relaxation solves.
     std::pair<cg_result, cg_result> wire_relax(placement& pl);
@@ -261,6 +299,7 @@ private:
     bool converged_ = false;
     bool degraded_ = false;
     std::vector<recovery_event> recovery_log_;
+    std::vector<level_summary> level_log_;
 
     // Iteration-persistent caches (placer_options::iteration_cache) and
     // solver workspaces. The caches never change results: the calculator

@@ -14,6 +14,7 @@
 
 #include "baseline/annealer.hpp"
 #include "baseline/gordian.hpp"
+#include "cluster/coarsen.hpp"
 #include "core/metrics.hpp"
 #include "core/placer.hpp"
 #include "density/density_map.hpp"

@@ -1,10 +1,12 @@
 #include "linalg/cg_solver.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 #include "util/check.hpp"
 #include "util/fault.hpp"
+#include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gpf {
@@ -205,6 +207,17 @@ cg_result cg_solve_operator(const linear_operator& apply,
 
     cg_result result;
     if (inject_cg_fault(x, result)) return result;
+    // SSOR needs A's triangular parts; behind an opaque operator only the
+    // diagonal is known, so the solve runs with Jacobi instead. Warn once
+    // per process rather than downgrade silently.
+    if (options.preconditioner == preconditioner_kind::ssor) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true, std::memory_order_relaxed)) {
+            log(log_level::warning)
+                << "cg_solve_operator: ssor preconditioning is unavailable for "
+                   "matrix-free solves; using jacobi (this is logged once)";
+        }
+    }
     const double bnorm = norm2(b);
     if (bnorm == 0.0) {
         x.assign(n, 0.0);

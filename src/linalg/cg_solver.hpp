@@ -44,8 +44,11 @@ cg_result cg_solve(const csr_matrix& a, const std::vector<double>& b,
                    const std::vector<double>* diagonal = nullptr);
 
 /// Matrix-free variant: `apply` computes y = A x; `diagonal` is used for
-/// Jacobi preconditioning (ssor is not available here and falls back to
-/// Jacobi). Used for modified systems like A + diag(anchor weights).
+/// Jacobi preconditioning. SSOR needs the triangular structure of A and
+/// cannot exist behind an opaque operator: requesting it here downgrades
+/// to Jacobi and logs a one-time warning, so anchored solves (hold-and-
+/// move, wire relaxation) never lose the configured preconditioner
+/// silently. Used for modified systems like A + diag(anchor weights).
 using linear_operator = std::function<void(const std::vector<double>&, std::vector<double>&)>;
 cg_result cg_solve_operator(const linear_operator& apply,
                             const std::vector<double>& diagonal,

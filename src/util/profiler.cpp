@@ -16,6 +16,8 @@ const char* profile_phase_name(profile_phase phase) {
         case profile_phase::solve: return "solve";
         case profile_phase::wire_relax: return "wire_relax";
         case profile_phase::spread_check: return "spread_check";
+        case profile_phase::coarsen: return "coarsen";
+        case profile_phase::interpolate: return "interpolate";
         case profile_phase::other: return "other";
         case profile_phase::count_: break;
     }

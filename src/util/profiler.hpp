@@ -27,6 +27,8 @@ enum class profile_phase : std::size_t {
     solve,        ///< hold-and-move CG solves (x and y)
     wire_relax,   ///< wire-relaxation CG solves
     spread_check, ///< stopping-criterion evaluation
+    coarsen,      ///< multilevel hierarchy construction (outside transforms)
+    interpolate,  ///< coarse→fine placement expansion (outside transforms)
     other,        ///< everything else inside a transformation
     count_,
 };

@@ -254,6 +254,102 @@ verify_report verify_legal_placement(const netlist& nl, const placement& pl,
     return report;
 }
 
+verify_report verify_coarsening(const netlist& fine, const netlist& coarse,
+                                const std::vector<cell_id>& parent,
+                                const verify_options& opt) {
+    verify_report report;
+    (void)opt;
+    if (parent.size() != fine.num_cells()) {
+        report.add("mapping", "parent map has " + std::to_string(parent.size()) +
+                                  " entries for " + std::to_string(fine.num_cells()) +
+                                  " fine cells");
+        return report;
+    }
+
+    // Membership and the fixed-cell carry-through.
+    std::vector<double> member_area(coarse.num_cells(), 0.0);
+    std::vector<std::size_t> member_count(coarse.num_cells(), 0);
+    for (cell_id i = 0; i < fine.num_cells(); ++i) {
+        const cell& fc = fine.cell_at(i);
+        if (parent[i] >= coarse.num_cells()) {
+            report.add("cell " + fc.name, "parent index " + std::to_string(parent[i]) +
+                                              " out of range");
+            continue;
+        }
+        member_area[parent[i]] += fc.area();
+        ++member_count[parent[i]];
+        const cell& cc = coarse.cell_at(parent[i]);
+        if ((fc.fixed || fc.kind == cell_kind::pad) &&
+            (!cc.fixed || cc.kind != fc.kind || !(cc.position == fc.position) ||
+             cc.width != fc.width || cc.height != fc.height)) {
+            report.add("cell " + fc.name,
+                       "fixed cell was merged or altered by coarsening");
+        }
+    }
+    constexpr double kRelTol = 1e-9;
+    for (cell_id c = 0; c < coarse.num_cells(); ++c) {
+        const cell& cc = coarse.cell_at(c);
+        if (member_count[c] == 0) {
+            report.add("cell " + cc.name, "coarse cell has no members");
+            continue;
+        }
+        if ((cc.fixed || cc.kind == cell_kind::pad) && member_count[c] != 1) {
+            report.add("cell " + cc.name,
+                       "fixed coarse cell owns " + std::to_string(member_count[c]) +
+                           " members (must be exactly 1)");
+        }
+        const double scale = std::max(1.0, std::abs(member_area[c]));
+        if (std::abs(cc.area() - member_area[c]) > kRelTol * scale) {
+            report.add("cell " + cc.name, "area " + fmt(cc.area()) +
+                                              " != sum of member areas " +
+                                              fmt(member_area[c]));
+        }
+    }
+    const double fine_movable = fine.movable_area();
+    const double coarse_movable = coarse.movable_area();
+    if (std::abs(fine_movable - coarse_movable) >
+        kRelTol * std::max(1.0, fine_movable)) {
+        report.add("netlist", "movable area not conserved: fine " + fmt(fine_movable) +
+                                  " vs coarse " + fmt(coarse_movable));
+    }
+
+    // Pin-count conservation: re-project every fine net independently and
+    // demand the exact same net and pin totals the coarse netlist carries.
+    std::size_t expected_nets = 0;
+    std::size_t expected_pins = 0;
+    std::unordered_set<cell_id> distinct;
+    for (net_id ni = 0; ni < fine.num_nets(); ++ni) {
+        distinct.clear();
+        for (const pin& p : fine.net_at(ni).pins) {
+            if (p.cell < parent.size()) distinct.insert(parent[p.cell]);
+        }
+        if (distinct.size() >= 2) {
+            ++expected_nets;
+            expected_pins += distinct.size();
+        }
+    }
+    if (expected_nets != coarse.num_nets()) {
+        report.add("netlist", "projected net count " + std::to_string(expected_nets) +
+                                  " != coarse net count " +
+                                  std::to_string(coarse.num_nets()));
+    }
+    if (expected_pins != coarse.num_pins()) {
+        report.add("netlist", "projected pin count " + std::to_string(expected_pins) +
+                                  " != coarse pin count " +
+                                  std::to_string(coarse.num_pins()));
+    }
+
+    const rect fr = fine.region();
+    const rect cr = coarse.region();
+    if (fr.xlo != cr.xlo || fr.ylo != cr.ylo || fr.xhi != cr.xhi || fr.yhi != cr.yhi) {
+        report.add("region", "coarse region differs from fine region");
+    }
+    if (fine.row_height() != coarse.row_height()) {
+        report.add("region", "coarse row height differs from fine row height");
+    }
+    return report;
+}
+
 namespace {
 
 std::atomic<bool> g_forced{false};

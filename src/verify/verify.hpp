@@ -96,6 +96,21 @@ verify_report verify_global_placement(const netlist& nl, const placement& pl,
 verify_report verify_legal_placement(const netlist& nl, const placement& pl,
                                      const verify_options& opt = {});
 
+/// Invariants of one multilevel coarsening step (DESIGN.md §11), checked
+/// from the fine netlist, the coarse netlist and the fine→coarse cell
+/// mapping alone — independent of how the clustering engine built them:
+///   * every fine cell has a valid parent; fixed cells and pads map onto
+///     an identical, exclusively-owned coarse cell (never merged);
+///   * area conservation — each coarse movable cell's area equals the sum
+///     of its members' areas, and the totals match, to relative 1e-9;
+///   * pin-count conservation — re-projecting every fine net (duplicate
+///     pins merged, single-cluster nets dropped) must reproduce exactly
+///     the coarse netlist's net and pin counts;
+///   * the coarse region and row height equal the fine ones.
+verify_report verify_coarsening(const netlist& fine, const netlist& coarse,
+                                const std::vector<cell_id>& parent,
+                                const verify_options& opt = {});
+
 /// True when pipeline checkpoints should run: GPF_VERIFY is set to
 /// anything but "" or "0" in the environment (read once), or a test
 /// forced them on. force_verify_checkpoints(false) undoes a previous

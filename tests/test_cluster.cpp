@@ -1,0 +1,306 @@
+// The multilevel coarsening engine (src/cluster/, DESIGN.md §11): netlist
+// invariants of the hierarchy, bitwise determinism of clustering and of
+// the multilevel placement for any GPF_THREADS value, the --levels 0
+// identity with the flat loop, the HPWL quality gate against flat, and
+// graceful degradation when a fault fires inside a coarse level.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpf.hpp"
+
+namespace gpf {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {2, 4, 8};
+
+class scoped_threads {
+public:
+    explicit scoped_threads(std::size_t n)
+        : previous_(thread_pool::instance().num_threads()) {
+        thread_pool::instance().set_num_threads(n);
+    }
+    ~scoped_threads() { thread_pool::instance().set_num_threads(previous_); }
+
+private:
+    std::size_t previous_;
+};
+
+class scoped_fault {
+public:
+    scoped_fault(fault_site site, std::size_t iteration, std::uint64_t seed = 0,
+                 std::size_t count = 1) {
+        fault_injector::instance().arm(site, iteration, seed, count);
+    }
+    ~scoped_fault() { fault_injector::instance().disarm(); }
+};
+
+netlist test_circuit(std::size_t cells, std::uint64_t seed) {
+    generator_options opt;
+    opt.num_cells = cells;
+    opt.num_nets = cells + cells / 6;
+    opt.num_rows = 12;
+    opt.num_pads = 24;
+    opt.seed = seed;
+    return generate_circuit(opt);
+}
+
+coarsen_options small_options() {
+    coarsen_options opt;
+    opt.min_coarse_cells = 50; // test circuits are small; keep coarsening live
+    return opt;
+}
+
+placer_options multilevel_options(std::size_t levels) {
+    placer_options opt;
+    opt.coarsen_levels = levels;
+    opt.min_coarse_cells = 50;
+    return opt;
+}
+
+/// Flatten everything clustering decides into one comparable vector: the
+/// fine→coarse mapping, member offsets, and the coarse cells' geometry.
+std::vector<double> cluster_signature(const cluster_level& level) {
+    std::vector<double> sig;
+    sig.reserve(level.parent.size() * 3 + level.coarse.num_cells() * 2);
+    for (std::size_t i = 0; i < level.parent.size(); ++i) {
+        sig.push_back(static_cast<double>(level.parent[i]));
+        sig.push_back(level.offset[i].x);
+        sig.push_back(level.offset[i].y);
+    }
+    for (cell_id c = 0; c < level.coarse.num_cells(); ++c) {
+        sig.push_back(level.coarse.cell_at(c).width);
+        sig.push_back(level.coarse.cell_at(c).height);
+    }
+    for (net_id n = 0; n < level.coarse.num_nets(); ++n) {
+        const net& nn = level.coarse.net_at(n);
+        sig.push_back(static_cast<double>(nn.pins.size()));
+        for (const pin& p : nn.pins) sig.push_back(static_cast<double>(p.cell));
+    }
+    return sig;
+}
+
+TEST(Coarsen, ConservationInvariants) {
+    const netlist nl = test_circuit(600, 11);
+    const std::optional<cluster_level> level = coarsen(nl, small_options());
+    ASSERT_TRUE(level.has_value());
+
+    // The coarse netlist is a valid netlist and the independent verifier
+    // (area conservation, exclusive fixed-cell clusters, re-projected pin
+    // counts) accepts the mapping.
+    EXPECT_TRUE(verify_netlist(level->coarse).ok());
+    EXPECT_TRUE(verify_coarsening(nl, level->coarse, level->parent).ok());
+
+    // Pin accounting: every fine pin is kept, merged or dropped.
+    EXPECT_EQ(level->fine_pins, nl.num_pins());
+    EXPECT_EQ(level->fine_pins,
+              level->coarse.num_pins() + level->merged_pins + level->dropped_pins);
+
+    // Clustering must shrink the movable side and leave fixed cells alone.
+    EXPECT_LT(level->coarse.num_movable(), nl.num_movable());
+    EXPECT_NEAR(level->coarse.movable_area(), nl.movable_area(),
+                1e-9 * nl.movable_area());
+    std::size_t fine_fixed = 0, coarse_fixed = 0;
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        fine_fixed += nl.cell_at(i).fixed ? 1u : 0u;
+    }
+    for (cell_id i = 0; i < level->coarse.num_cells(); ++i) {
+        coarse_fixed += level->coarse.cell_at(i).fixed ? 1u : 0u;
+    }
+    EXPECT_EQ(fine_fixed, coarse_fixed);
+}
+
+TEST(Coarsen, HierarchyShrinksMonotonically) {
+    const netlist nl = test_circuit(800, 3);
+    const cluster_hierarchy h = build_hierarchy(nl, 3, small_options());
+    ASSERT_FALSE(h.empty());
+    std::size_t previous = nl.num_movable();
+    for (const cluster_level& level : h.levels) {
+        EXPECT_LT(level.coarse.num_movable(), previous);
+        EXPECT_TRUE(verify_netlist(level.coarse).ok());
+        previous = level.coarse.num_movable();
+    }
+}
+
+TEST(Coarsen, StopsAtMinCells) {
+    const netlist nl = test_circuit(300, 5);
+    coarsen_options opt;
+    opt.min_coarse_cells = nl.num_movable(); // already at the floor
+    EXPECT_FALSE(coarsen(nl, opt).has_value());
+    EXPECT_TRUE(build_hierarchy(nl, 4, opt).empty());
+}
+
+TEST(Coarsen, DeterministicForAnyThreadCount) {
+    const netlist nl = test_circuit(700, 23);
+    std::vector<double> serial;
+    {
+        scoped_threads guard(1);
+        const auto level = coarsen(nl, small_options());
+        ASSERT_TRUE(level.has_value());
+        serial = cluster_signature(*level);
+    }
+    for (const std::size_t t : kThreadCounts) {
+        scoped_threads guard(t);
+        const auto level = coarsen(nl, small_options());
+        ASSERT_TRUE(level.has_value());
+        const std::vector<double> threaded = cluster_signature(*level);
+        ASSERT_EQ(serial.size(), threaded.size()) << "threads=" << t;
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            ASSERT_EQ(serial[i], threaded[i])
+                << "cluster signature differs at " << i << " with " << t
+                << " threads";
+        }
+    }
+}
+
+TEST(Coarsen, InterpolateRestoresFixedAndStaysInRegion) {
+    const netlist nl = test_circuit(500, 9);
+    const auto level = coarsen(nl, small_options());
+    ASSERT_TRUE(level.has_value());
+
+    placement coarse_pl = level->coarse.centered_placement();
+    const placement fine_pl = interpolate(nl, *level, coarse_pl);
+    ASSERT_EQ(fine_pl.size(), nl.num_cells());
+    const rect region = nl.region();
+    for (cell_id i = 0; i < nl.num_cells(); ++i) {
+        const cell& c = nl.cell_at(i);
+        if (c.fixed) {
+            EXPECT_EQ(fine_pl[i], c.position) << "fixed cell " << c.name << " moved";
+            continue;
+        }
+        EXPECT_GE(fine_pl[i].x, region.xlo - 1e-9);
+        EXPECT_LE(fine_pl[i].x, region.xhi + 1e-9);
+        EXPECT_GE(fine_pl[i].y, region.ylo - 1e-9);
+        EXPECT_LE(fine_pl[i].y, region.yhi + 1e-9);
+    }
+}
+
+TEST(Multilevel, LevelsZeroIsBitwiseFlat) {
+    const netlist nl = test_circuit(400, 17);
+    placer flat(nl, {});
+    const placement a = flat.run();
+
+    placer_options zero;
+    zero.coarsen_levels = 0;
+    placer explicit_zero(nl, zero);
+    const placement b = explicit_zero.run();
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i], b[i]) << "cell " << i;
+    }
+    EXPECT_TRUE(explicit_zero.level_log().empty());
+}
+
+TEST(Multilevel, BitwiseDeterministicForAnyThreadCount) {
+    const netlist nl = test_circuit(600, 29);
+    const auto place = [&nl] {
+        placer p(nl, multilevel_options(2));
+        return p.run();
+    };
+    placement serial;
+    {
+        scoped_threads guard(1);
+        serial = place();
+    }
+    for (const std::size_t t : kThreadCounts) {
+        scoped_threads guard(t);
+        const placement threaded = place();
+        ASSERT_EQ(serial.size(), threaded.size()) << "threads=" << t;
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            ASSERT_EQ(serial[i], threaded[i])
+                << "multilevel placement differs at cell " << i << " with " << t
+                << " threads";
+        }
+    }
+}
+
+TEST(Multilevel, RunsEveryLevelAndVerifies) {
+    const netlist nl = test_circuit(800, 41);
+    force_verify_checkpoints(true);
+    placer p(nl, multilevel_options(2));
+    const placement pl = p.run();
+    force_verify_checkpoints(false);
+
+    // level_log: coarsest → finest, finest (level 0) last.
+    ASSERT_GE(p.level_log().size(), 2u);
+    EXPECT_EQ(p.level_log().back().level, 0u);
+    EXPECT_EQ(p.level_log().back().movable_cells, nl.num_movable());
+    for (std::size_t i = 1; i < p.level_log().size(); ++i) {
+        EXPECT_LT(p.level_log()[i - 1].level, p.level_log().size());
+        EXPECT_GT(p.level_log()[i].movable_cells,
+                  p.level_log()[i - 1].movable_cells);
+    }
+    EXPECT_FALSE(p.degraded());
+    EXPECT_TRUE(verify_global_placement(nl, pl).ok());
+}
+
+TEST(Multilevel, HpwlWithinFivePercentOfFlat) {
+    // The quality gate of the acceptance criterion, on small suite
+    // circuits (the speedup half is measured by bench/multilevel_speedup
+    // on >= 50k cells; small circuits only gate quality).
+    for (const char* name : {"fract", "primary1"}) {
+        const netlist nl = make_suite_circuit(suite_circuit_by_name(name),
+                                              /*scale=*/0.05, /*seed=*/1998);
+        placer flat(nl, {});
+        const double flat_hpwl = total_hpwl(nl, flat.run());
+
+        placer ml(nl, multilevel_options(2));
+        const double ml_hpwl = total_hpwl(nl, ml.run());
+
+        EXPECT_LE(ml_hpwl, flat_hpwl * 1.05)
+            << name << ": multilevel " << ml_hpwl << " vs flat " << flat_hpwl;
+    }
+}
+
+TEST(Multilevel, FaultInCoarseLevelDegradesNotFails) {
+    const netlist nl = test_circuit(700, 7);
+    // A CG stall storm early in the run lands inside the coarsest level's
+    // transformation loop; the sub-placer's ladder and, if the level's
+    // output is rejected, the level fallback must absorb it — the run
+    // completes degraded instead of throwing.
+    scoped_fault fault(fault_site::cg_stall, /*iteration=*/2, /*seed=*/0,
+                       /*count=*/6);
+    placer p(nl, multilevel_options(2));
+    placement pl;
+    ASSERT_NO_THROW(pl = p.run());
+    EXPECT_TRUE(p.degraded());
+    ASSERT_FALSE(p.recovery_log().empty());
+    bool coarse_event = false;
+    for (const recovery_event& ev : p.recovery_log()) {
+        coarse_event |= ev.reason.rfind("level ", 0) == 0;
+    }
+    EXPECT_TRUE(coarse_event) << "no recovery event attributed to a coarse level";
+    EXPECT_TRUE(verify_global_placement(nl, pl).ok());
+}
+
+TEST(Multilevel, FaultStormAtCoarseLevelFallsBackToFinerLevel) {
+    const netlist nl = test_circuit(700, 13);
+    force_verify_checkpoints(true);
+    // Spike every density computation from early on: the coarse level's
+    // recovery ladder runs out of rungs almost immediately and stops on
+    // its best-so-far clump, which run_multilevel rejects as a seed — the
+    // level must fall back (its result discarded, the finer level
+    // continuing from its own seed) rather than abort the placement.
+    placement pl;
+    {
+        scoped_fault fault(fault_site::density_spike, /*iteration=*/1, /*seed=*/3,
+                           /*count=*/100000);
+        placer p(nl, multilevel_options(2));
+        ASSERT_NO_THROW(pl = p.run());
+        EXPECT_TRUE(p.degraded());
+        bool fell_back = false;
+        for (const level_summary& lvl : p.level_log()) fell_back |= lvl.fell_back;
+        for (const recovery_event& ev : p.recovery_log()) {
+            fell_back |= ev.action == recovery_action::level_fallback;
+        }
+        EXPECT_TRUE(fell_back) << "no coarse level fell back";
+    }
+    force_verify_checkpoints(false);
+    for (const point& pt : pl) {
+        ASSERT_TRUE(std::isfinite(pt.x) && std::isfinite(pt.y));
+    }
+}
+
+} // namespace
+} // namespace gpf

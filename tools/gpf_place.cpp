@@ -6,6 +6,10 @@
 //
 // Flow options:
 //   --fast                 K = 1.0 instead of 0.2
+//   --levels N             multilevel V-cycle with N coarsening levels
+//                          (0 = flat loop, the default)
+//   --net-model M          clique | star | hybrid net decomposition
+//   --star-threshold N     hybrid: degree above which star is used
 //   --timing               timing-driven net weighting
 //   --congestion           RUDY congestion hook
 //   --legalizer tetris|abacus
@@ -57,6 +61,9 @@ struct cli_options {
     bool verify = false;
     bool quiet = false;
     std::size_t iterations = 0; // 0 = default
+    std::size_t levels = 0;     // 0 = flat placement loop
+    std::string net_model = "clique";
+    std::size_t star_threshold = 0; // 0 = library default
     double time_budget = 0.0;       // 0 = unlimited
     double max_iter_seconds = 0.0;  // 0 = no watchdog
     std::string legalizer = "abacus";
@@ -67,7 +74,9 @@ void usage(const char* argv0, std::FILE* to) {
     std::fprintf(to,
                  "usage: %s [--cells N | --bookshelf BASE | --suite NAME]\n"
                  "          [--scale S] [--seed N] [--fast] [--timing]\n"
-                 "          [--congestion] [--legalizer tetris|abacus]\n"
+                 "          [--levels N] [--net-model clique|star|hybrid]\n"
+                 "          [--star-threshold N] [--congestion]\n"
+                 "          [--legalizer tetris|abacus]\n"
                  "          [--iterations N] [--time-budget S]\n"
                  "          [--max-iter-seconds S] [--out PREFIX] [--svg]\n"
                  "          [--verify] [--quiet]\n"
@@ -113,6 +122,29 @@ parse_status parse(int argc, char** argv, cli_options& opt) {
             const char* v = next();
             if (!v) return parse_status::error;
             opt.iterations = static_cast<std::size_t>(std::atoll(v));
+        } else if (arg == "--levels") {
+            const char* v = next();
+            if (!v) return parse_status::error;
+            opt.levels = static_cast<std::size_t>(std::atoll(v));
+        } else if (arg == "--net-model") {
+            const char* v = next();
+            if (!v) return parse_status::error;
+            opt.net_model = v;
+            if (opt.net_model != "clique" && opt.net_model != "star" &&
+                opt.net_model != "hybrid") {
+                std::fprintf(stderr,
+                             "--net-model wants clique, star or hybrid, got '%s'\n", v);
+                return parse_status::error;
+            }
+        } else if (arg == "--star-threshold") {
+            const char* v = next();
+            if (!v) return parse_status::error;
+            opt.star_threshold = static_cast<std::size_t>(std::atoll(v));
+            if (opt.star_threshold < 2) {
+                std::fprintf(stderr,
+                             "--star-threshold wants a degree >= 2, got '%s'\n", v);
+                return parse_status::error;
+            }
         } else if (arg == "--time-budget") {
             const char* v = next();
             if (!v) return parse_status::error;
@@ -210,6 +242,11 @@ int main(int argc, char** argv) {
         gpf::placer_options popt;
         popt.force_scale_k = cli.fast ? 1.0 : 0.2;
         if (cli.iterations > 0) popt.max_iterations = cli.iterations;
+        popt.coarsen_levels = cli.levels;
+        popt.net_model.kind = cli.net_model == "star"   ? gpf::net_model_kind::star
+                              : cli.net_model == "hybrid" ? gpf::net_model_kind::hybrid
+                                                          : gpf::net_model_kind::clique;
+        if (cli.star_threshold > 0) popt.net_model.star_threshold = cli.star_threshold;
         popt.time_budget = cli.time_budget;
         popt.max_transform_seconds = cli.max_iter_seconds;
 
@@ -231,6 +268,12 @@ int main(int argc, char** argv) {
             global = p.run();
             std::printf("global placement: %zu transformations, HPWL %.1f\n",
                         p.history().size(), gpf::total_hpwl(nl, global));
+            for (const gpf::level_summary& lvl : p.level_log()) {
+                std::printf("  level %zu: %zu movable cells, %zu transformations, "
+                            "HPWL %.1f in %.2fs%s\n",
+                            lvl.level, lvl.movable_cells, lvl.iterations, lvl.hpwl,
+                            lvl.seconds, lvl.fell_back ? " (fell back)" : "");
+            }
             degraded = p.degraded();
             if (degraded) {
                 for (const gpf::recovery_event& ev : p.recovery_log()) {
@@ -259,6 +302,9 @@ int main(int argc, char** argv) {
             gpf::write_heatmap_svg(grid, rudy, cli.out + "_congestion.svg");
         }
         std::printf("wrote %s.{nodes,nets,pl,scl,svg}\n", cli.out.c_str());
+        if (gpf::profiler::instance().enabled()) {
+            std::fprintf(stderr, "%s", gpf::profiler::instance().summary().c_str());
+        }
         if (degraded) {
             std::fprintf(stderr,
                          "degraded: recovery engaged during global placement; "

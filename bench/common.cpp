@@ -58,6 +58,7 @@ method_result run_kraftwerk(const netlist& nl, double k_force) {
     result.seconds = sw.elapsed_seconds();
     result.hpwl = total_hpwl(nl, legal);
     result.iterations = p.history().size();
+    result.degraded = p.degraded();
     phases.finish(result);
     result.ok = true;
     return result;
@@ -194,12 +195,18 @@ std::string json_report::write() {
     out << "},\n  \"results\": [";
     for (std::size_t i = 0; i < records_.size(); ++i) {
         const record& r = records_[i];
+        // A run that never completed (ok=false) or that completed through
+        // the recovery ladder (degraded) must not serialize misleading
+        // zeros: the flags are always explicit and a dead run's metrics
+        // are null, so downstream gating can tell "fast" from "absent".
+        const bool dead = !r.result.ok;
         out << (i > 0 ? ",\n    " : "\n    ") << "{\"circuit\": \""
             << json_escape(r.circuit) << "\", \"method\": \""
             << json_escape(r.method) << "\", \"ok\": "
-            << (r.result.ok ? "true" : "false")
-            << ", \"hpwl\": " << json_number(r.result.hpwl)
-            << ", \"seconds\": " << json_number(r.result.seconds)
+            << (r.result.ok ? "true" : "false") << ", \"degraded\": "
+            << (r.result.degraded ? "true" : "false")
+            << ", \"hpwl\": " << (dead ? "null" : json_number(r.result.hpwl))
+            << ", \"seconds\": " << (dead ? "null" : json_number(r.result.seconds))
             << ", \"iterations\": " << r.result.iterations << ", \"phase_ms\": {";
         bool first = true;
         for (std::size_t ph = 0; ph < num_profile_phases; ++ph) {

@@ -34,6 +34,12 @@ struct method_result {
     /// profile_phase; filled by phase_capture when the profiler collects.
     std::array<double, num_profile_phases> phase_ms{};
     bool ok = false;
+    /// The run completed but through the recovery ladder or a resource
+    /// guard (placer::degraded()); its numbers describe the best-so-far
+    /// placement and must not be compared against clean baselines. The
+    /// JSON report always carries this flag explicitly — a degraded or
+    /// aborted run must never masquerade as "hpwl": 0.
+    bool degraded = false;
 };
 
 /// Snapshot-diff around one method run: records the process-wide profiler

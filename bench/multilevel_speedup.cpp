@@ -42,6 +42,7 @@ method_result run(const netlist& nl, std::size_t levels) {
     } else {
         result.iterations = p.history().size();
     }
+    result.degraded = p.degraded();
     phases.finish(result);
     result.ok = true;
     return result;

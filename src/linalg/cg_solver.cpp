@@ -40,7 +40,18 @@ bool inject_cg_fault(std::vector<double>& x, cg_result& result) {
     return false;
 }
 
+/// Once-per-process latch of the SSOR→Jacobi downgrade warning in
+/// cg_solve_operator; reset_cg_operator_ssor_warning() re-arms it.
+std::atomic<bool>& ssor_operator_warned() {
+    static std::atomic<bool> warned{false};
+    return warned;
+}
+
 } // namespace
+
+void reset_cg_operator_ssor_warning() {
+    ssor_operator_warned().store(false, std::memory_order_relaxed);
+}
 
 double dot(const std::vector<double>& a, const std::vector<double>& b) {
     GPF_DCHECK(a.size() == b.size());
@@ -211,8 +222,7 @@ cg_result cg_solve_operator(const linear_operator& apply,
     // diagonal is known, so the solve runs with Jacobi instead. Warn once
     // per process rather than downgrade silently.
     if (options.preconditioner == preconditioner_kind::ssor) {
-        static std::atomic<bool> warned{false};
-        if (!warned.exchange(true, std::memory_order_relaxed)) {
+        if (!ssor_operator_warned().exchange(true, std::memory_order_relaxed)) {
             log(log_level::warning)
                 << "cg_solve_operator: ssor preconditioning is unavailable for "
                    "matrix-free solves; using jacobi (this is logged once)";

@@ -55,6 +55,11 @@ cg_result cg_solve_operator(const linear_operator& apply,
                             const std::vector<double>& b, std::vector<double>& x,
                             const cg_options& options = {});
 
+/// Test support: re-arm the once-per-process SSOR→Jacobi downgrade
+/// warning of cg_solve_operator, so a regression test can pin the
+/// exactly-once contract regardless of what ran earlier in the process.
+void reset_cg_operator_ssor_warning();
+
 // --- small dense-free vector helpers shared by solver clients -------------
 
 double dot(const std::vector<double>& a, const std::vector<double>& b);

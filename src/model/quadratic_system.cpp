@@ -235,7 +235,27 @@ void quadratic_system::assemble(const placement& current) {
     bx_.assign(num_vars_, 0.0);
     by_.assign(num_vars_, 0.0);
 
-    double stiffness_acc = 0.0; // Σ base weight × movable endpoints
+    // Stiffness yardstick for the floating-component anchor, computed from
+    // the *nets* (clique-equivalent total 2·w·(k−1) per net touching a
+    // movable cell), never from the decomposed edges: the star and clique
+    // forms of the same netlist must produce bitwise-identical anchors, or
+    // the exact model equivalence (star center eliminated == 1/k clique)
+    // breaks for floating components.
+    double stiffness_acc = 0.0;
+    for (net_id ni = 0; ni < nl_.num_nets(); ++ni) {
+        const net& n = nl_.net_at(ni);
+        if (n.degree() < 2) continue;
+        bool touches_movable = false;
+        for (const pin& p : n.pins) {
+            if (!nl_.cell_at(p.cell).fixed) {
+                touches_movable = true;
+                break;
+            }
+        }
+        if (!touches_movable) continue;
+        stiffness_acc += 2.0 * n.weight * static_cast<double>(n.degree() - 1);
+    }
+
     for (std::size_t k = 0; k < edges_.size(); ++k) {
         const edge& e = edges_[k];
         const edge_slots& s = edge_slots_[k];
@@ -257,7 +277,6 @@ void quadratic_system::assemble(const placement& current) {
         }
 
         if (e.var_a != invalid_var && e.var_b != invalid_var) {
-            stiffness_acc += base * 2.0;
             vx[s.aa] += wx;
             vx[s.bb] += wx;
             vx[s.ab] -= wx;
@@ -274,7 +293,6 @@ void quadratic_system::assemble(const placement& current) {
             by_[e.var_b] -= wy * dy;
         } else {
             // Exactly one endpoint movable.
-            stiffness_acc += base;
             const bool a_movable = e.var_a != invalid_var;
             const std::size_t v = a_movable ? e.var_a : e.var_b;
             const double off_x = a_movable ? e.off_ax : e.off_bx;
@@ -288,18 +306,21 @@ void quadratic_system::assemble(const placement& current) {
         }
     }
 
-    // Variables in floating components (no fixed endpoint reachable) get a
-    // weak anchor to the region center so their equilibrium is well
+    // Cell variables in floating components (no fixed endpoint reachable)
+    // get a weak anchor to the region center so their equilibrium is well
     // defined; everything else gets a tiny regularization for positive
-    // definiteness.
+    // definiteness. Star centers are never anchored: a floating center is
+    // held by its edges to the (anchored) cells of its component, and an
+    // anchor on the center would perturb the eliminated system away from
+    // the exact 1/k clique.
     constexpr double kRegularization = 1e-9;
     const point center = nl_.region().center();
-    const double mean = num_vars_ == 0
+    const double mean = movable_.empty()
                             ? 0.0
-                            : stiffness_acc / static_cast<double>(num_vars_);
+                            : stiffness_acc / static_cast<double>(movable_.size());
     const double anchor = 1e-3 * std::max(1e-9, mean);
     for (std::size_t v = 0; v < num_vars_; ++v) {
-        if (floating_[v]) {
+        if (floating_[v] && v < movable_.size()) {
             vx[diag_slot_[v]] += anchor;
             vy[diag_slot_[v]] += anchor;
             bx_[v] += anchor * -center.x;

@@ -1,0 +1,292 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace gpf {
+
+namespace {
+
+const char* kind_name(json_value::kind k) {
+    switch (k) {
+        case json_value::kind::null: return "null";
+        case json_value::kind::boolean: return "boolean";
+        case json_value::kind::number: return "number";
+        case json_value::kind::string: return "string";
+        case json_value::kind::array: return "array";
+        case json_value::kind::object: return "object";
+    }
+    return "?";
+}
+
+[[noreturn]] void wrong_kind(json_value::kind want, json_value::kind have) {
+    throw check_error(std::string("json: expected ") + kind_name(want) + ", have " +
+                      kind_name(have));
+}
+
+class parser {
+public:
+    parser(const std::string& text, std::string where)
+        : text_(text), where_(std::move(where)) {}
+
+    json_ptr parse_document() {
+        json_ptr value = parse_value();
+        skip_whitespace();
+        if (pos_ != text_.size()) fail("trailing content after the document");
+        return value;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& message) const {
+        throw parse_error(where_, line_, "json: " + message);
+    }
+
+    void skip_whitespace() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '\n') ++line_;
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        skip_whitespace();
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "', found '" +
+                              text_[pos_] + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(const char* lit) {
+        const std::size_t n = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, n, lit) != 0) return false;
+        pos_ += n;
+        return true;
+    }
+
+    json_ptr parse_value() {
+        const char c = peek();
+        switch (c) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return json_value::make_string(parse_string());
+            case 't':
+                if (consume_literal("true")) return json_value::make_bool(true);
+                fail("invalid literal");
+            case 'f':
+                if (consume_literal("false")) return json_value::make_bool(false);
+                fail("invalid literal");
+            case 'n':
+                if (consume_literal("null")) return json_value::make_null();
+                fail("invalid literal");
+            default: return parse_number();
+        }
+    }
+
+    json_ptr parse_object() {
+        expect('{');
+        std::vector<std::pair<std::string, json_ptr>> members;
+        if (peek() == '}') {
+            ++pos_;
+            return json_value::make_object(std::move(members));
+        }
+        while (true) {
+            if (peek() != '"') fail("object key must be a string");
+            std::string key = parse_string();
+            expect(':');
+            members.emplace_back(std::move(key), parse_value());
+            const char next = peek();
+            if (next == ',') {
+                ++pos_;
+                continue;
+            }
+            if (next == '}') {
+                ++pos_;
+                return json_value::make_object(std::move(members));
+            }
+            fail("expected ',' or '}' in object");
+        }
+    }
+
+    json_ptr parse_array() {
+        expect('[');
+        std::vector<json_ptr> items;
+        if (peek() == ']') {
+            ++pos_;
+            return json_value::make_array(std::move(items));
+        }
+        while (true) {
+            items.push_back(parse_value());
+            const char next = peek();
+            if (next == ',') {
+                ++pos_;
+                continue;
+            }
+            if (next == ']') {
+                ++pos_;
+                return json_value::make_array(std::move(items));
+            }
+            fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c == '\n') fail("raw newline in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'r': out += '\r'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                default: fail(std::string("unsupported escape '\\") + esc + "'");
+            }
+        }
+    }
+
+    json_ptr parse_number() {
+        skip_whitespace();
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        const auto digits = [&] {
+            std::size_t n = 0;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                ++n;
+            }
+            return n;
+        };
+        const std::size_t int_start = pos_;
+        if (digits() == 0) fail("invalid number");
+        if (text_[int_start] == '0' && pos_ - int_start > 1) {
+            fail("leading zeros are not valid JSON");
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (digits() == 0) fail("digits required after '.'");
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            if (digits() == 0) fail("digits required in exponent");
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        return json_value::make_number(std::strtod(token.c_str(), nullptr));
+    }
+
+    const std::string& text_;
+    std::string where_;
+    std::size_t pos_ = 0;
+    std::size_t line_ = 1;
+};
+
+} // namespace
+
+bool json_value::as_bool() const {
+    if (kind_ != kind::boolean) wrong_kind(kind::boolean, kind_);
+    return bool_;
+}
+
+double json_value::as_number() const {
+    if (kind_ != kind::number) wrong_kind(kind::number, kind_);
+    return number_;
+}
+
+const std::string& json_value::as_string() const {
+    if (kind_ != kind::string) wrong_kind(kind::string, kind_);
+    return string_;
+}
+
+const std::vector<json_ptr>& json_value::items() const {
+    if (kind_ != kind::array) wrong_kind(kind::array, kind_);
+    return array_;
+}
+
+const std::vector<std::pair<std::string, json_ptr>>& json_value::members() const {
+    if (kind_ != kind::object) wrong_kind(kind::object, kind_);
+    return object_;
+}
+
+json_ptr json_value::get(const std::string& key) const {
+    if (kind_ != kind::object) return nullptr;
+    for (const auto& [name, value] : object_) {
+        if (name == key) return value;
+    }
+    return nullptr;
+}
+
+json_ptr json_value::make_null() {
+    return json_ptr(new json_value(kind::null));
+}
+
+json_ptr json_value::make_bool(bool v) {
+    auto* value = new json_value(kind::boolean);
+    value->bool_ = v;
+    return json_ptr(value);
+}
+
+json_ptr json_value::make_number(double v) {
+    auto* value = new json_value(kind::number);
+    value->number_ = v;
+    return json_ptr(value);
+}
+
+json_ptr json_value::make_string(std::string v) {
+    auto* value = new json_value(kind::string);
+    value->string_ = std::move(v);
+    return json_ptr(value);
+}
+
+json_ptr json_value::make_array(std::vector<json_ptr> v) {
+    auto* value = new json_value(kind::array);
+    value->array_ = std::move(v);
+    return json_ptr(value);
+}
+
+json_ptr json_value::make_object(std::vector<std::pair<std::string, json_ptr>> v) {
+    auto* value = new json_value(kind::object);
+    value->object_ = std::move(v);
+    return json_ptr(value);
+}
+
+json_ptr json_parse(const std::string& text, const std::string& where) {
+    parser p(text, where);
+    return p.parse_document();
+}
+
+json_ptr json_parse_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw io_error("cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) throw io_error("cannot read " + path);
+    return json_parse(buffer.str(), path);
+}
+
+} // namespace gpf

@@ -1,0 +1,75 @@
+// Minimal recursive-descent JSON reader.
+//
+// Just enough JSON for the in-repo machine-readable artifacts — the
+// BENCH_*.json reports every bench binary emits and the committed
+// bench/baseline.json the perf gate compares them against. Parses the
+// full value grammar (objects, arrays, strings with the escapes our
+// writer emits, numbers, booleans, null) into an immutable tree; numbers
+// are kept as double, which is exact for every count the reports contain.
+// Malformed input throws gpf::io_error with a 1-based line number.
+//
+// This is intentionally not a general-purpose JSON library: no
+// serialization, no \uXXXX escapes beyond pass-through, no streaming.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gpf {
+
+class json_value;
+using json_ptr = std::shared_ptr<const json_value>;
+
+class json_value {
+public:
+    enum class kind { null, boolean, number, string, array, object };
+
+    kind type() const { return kind_; }
+    bool is_null() const { return kind_ == kind::null; }
+    bool is_object() const { return kind_ == kind::object; }
+    bool is_array() const { return kind_ == kind::array; }
+    bool is_number() const { return kind_ == kind::number; }
+    bool is_string() const { return kind_ == kind::string; }
+    bool is_bool() const { return kind_ == kind::boolean; }
+
+    /// Typed accessors; throw check_error when the kind does not match.
+    bool as_bool() const;
+    double as_number() const;
+    const std::string& as_string() const;
+    const std::vector<json_ptr>& items() const;
+
+    /// Object member or nullptr when absent (or not an object).
+    json_ptr get(const std::string& key) const;
+    /// Object members in document order.
+    const std::vector<std::pair<std::string, json_ptr>>& members() const;
+
+    // Construction is the parser's business; use json_parse.
+    static json_ptr make_null();
+    static json_ptr make_bool(bool v);
+    static json_ptr make_number(double v);
+    static json_ptr make_string(std::string v);
+    static json_ptr make_array(std::vector<json_ptr> v);
+    static json_ptr make_object(std::vector<std::pair<std::string, json_ptr>> v);
+
+private:
+    explicit json_value(kind k) : kind_(k) {}
+
+    kind kind_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<json_ptr> array_;
+    std::vector<std::pair<std::string, json_ptr>> object_;
+};
+
+/// Parse a complete JSON document from text. `where` names the source in
+/// diagnostics (a file path, "<string>", ...). Throws io_error on any
+/// syntax error or trailing garbage.
+json_ptr json_parse(const std::string& text, const std::string& where = "<string>");
+
+/// Read and parse a JSON file. Throws io_error when the file cannot be
+/// read or does not parse.
+json_ptr json_parse_file(const std::string& path);
+
+} // namespace gpf

@@ -1,0 +1,102 @@
+// Property-based invariant layer (DESIGN.md §12).
+//
+// The verifier of DESIGN.md §8 checks *structural* invariants of one
+// concrete pipeline state. This layer checks the *analytic* invariants the
+// transformation loop silently relies on, across randomized instances
+// drawn from seeded distributions — the variational properties that the
+// Poisson-energy formulation of the force field makes explicit:
+//
+//   * conservativeness   — the force field is the gradient of a potential,
+//                          so its discrete curl vanishes (up to the finite-
+//                          difference truncation of sampling ∇G);
+//   * anti-symmetry      — eq. (9) is linear and odd in D: negating every
+//                          demand stamp negates the field exactly;
+//   * ∫D ≈ 0             — finalize() subtracts the mean demand as supply,
+//                          so the density integrates to zero for any rect
+//                          mix, including rects overhanging the region;
+//   * spectral == direct — the FFT evaluation of the Green's-function
+//                          convolution equals the literal O(m⁴) sum;
+//   * model equivalence  — star decomposition with the center eliminated
+//                          is mathematically the 1/k clique, so all three
+//                          net models solve to the same placement within a
+//                          bound derived from the CG residual tolerance;
+//   * conservation       — every coarsening level conserves movable area
+//                          and the pin accounting, re-checked from the
+//                          fine/coarse pair alone (verify_coarsening);
+//   * stop-best monotone — when the recovery ladder (or a resource guard)
+//                          ends a run, the returned placement is never
+//                          worse than the best-scoring healthy iteration.
+//
+// Every check is a pure function of its seed: check(seed) builds its own
+// instance from seeded distributions and returns a verify_report, so a CI
+// failure replays locally from the seed alone. The catalogue lets harness
+// code (tests/test_invariant_properties.cpp, the nightly deep sweep) drive
+// all checks uniformly and log failing seeds as reproducers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "verify/verify.hpp"
+
+namespace gpf {
+
+struct property_options {
+    /// Conservativeness: aggregate |curl f| over interior bins must stay
+    /// below this fraction of the aggregate |D| (the natural scale — the
+    /// same sampled-kernel truncation error bounds both the curl and the
+    /// divergence defect). Calibrated empirically: 500 seeds of the
+    /// random_density distribution measured a worst ratio of 0.188
+    /// (coarse, strongly anisotropic grids dominate); 0.30 leaves ~1.6×
+    /// headroom while still catching a sign slip or axis swap, which push
+    /// the ratio past 1. See DESIGN.md §12.
+    double curl_ratio_limit = 0.30;
+    /// Anti-symmetry: |f(-D) + f(D)| per bin, relative to max |f(D)|.
+    double antisymmetry_tol = 1e-12;
+    /// ∫D: |Σ D·binarea| relative to the total stamped demand area.
+    double zero_integral_tol = 1e-9;
+    /// Spectral vs direct field: max abs difference relative to max |f|.
+    double fft_vs_direct_tol = 1e-8;
+    /// Net-model equivalence: per-cell position difference as a fraction
+    /// of (W + H). Derived from the CG contract: both solves stop at
+    /// relative residual r ≤ cg_tolerance, so the position error is
+    /// bounded by r·‖b‖/λmin; with the generator's diagonally dominant
+    /// Laplacians λmin is of order the smallest pin weight and the bound
+    /// evaluates to ≲ 10³·cg_tolerance·(W+H) — we gate an order of
+    /// magnitude tighter than worst case and two looser than typical.
+    double model_position_tol_fraction = 1e-6;
+    /// CG relative residual tolerance used by the equivalence solves.
+    double model_cg_tolerance = 1e-10;
+    /// Coarsening: hierarchy depth requested from build_hierarchy.
+    std::size_t hierarchy_levels = 3;
+};
+
+/// One randomized-instance invariant check: builds a seeded instance and
+/// returns every violation found (empty report = invariant held).
+using property_fn = verify_report (*)(std::uint64_t seed,
+                                      const property_options& opt);
+
+verify_report check_force_field_conservative(std::uint64_t seed,
+                                             const property_options& opt = {});
+verify_report check_force_field_antisymmetry(std::uint64_t seed,
+                                             const property_options& opt = {});
+verify_report check_density_zero_integral(std::uint64_t seed,
+                                          const property_options& opt = {});
+verify_report check_fft_field_matches_direct(std::uint64_t seed,
+                                             const property_options& opt = {});
+verify_report check_net_model_equivalence(std::uint64_t seed,
+                                          const property_options& opt = {});
+verify_report check_coarsening_conservation(std::uint64_t seed,
+                                            const property_options& opt = {});
+verify_report check_stop_best_monotonic(std::uint64_t seed,
+                                        const property_options& opt = {});
+
+struct property_check {
+    const char* name; ///< stable id, used in failure-reproducer logs
+    property_fn fn;
+};
+
+/// All checks above, in a stable order.
+const std::vector<property_check>& property_catalogue();
+
+} // namespace gpf

@@ -1,0 +1,234 @@
+// gpf_bench_gate end-to-end: the gate is a process-boundary contract
+// (CI calls the binary, not a library), so these tests exec the real
+// executable against synthetic BENCH_*.json files and assert on exit
+// codes — pass on baseline-identical reports, nonzero on every
+// regression class, 64 on usage errors.
+#include <gtest/gtest.h>
+
+#if !defined(_WIN32) && defined(GPF_BENCH_GATE_BIN)
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "test_paths.hpp"
+
+namespace gpf {
+namespace {
+
+struct record_spec {
+    std::string circuit = "avq.small";
+    std::string method = "kraftwerk";
+    bool ok = true;
+    bool degraded = false;
+    std::string hpwl = "1234.5";    // literal JSON: number or "null"
+    std::string seconds = "1.0";
+    std::string iterations = "42";
+};
+
+/// Writes a schema-complete BENCH report like bench/common.cpp's
+/// json_report::write, returning its path.
+std::string write_report(const std::string& tag,
+                         const std::vector<record_spec>& records,
+                         const std::string& bench = "table1_wirelength",
+                         double suite_scale = 0.02, int seed = 1) {
+    const std::string path =
+        testing::unique_temp_base("gpf_gate_" + tag) + ".json";
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"" << bench << "\",\n  \"suite_scale\": "
+        << suite_scale << ",\n  \"seed\": " << seed
+        << ",\n  \"metrics\": [\"hpwl\"],\n  \"results\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const record_spec& r = records[i];
+        out << "    {\"circuit\": \"" << r.circuit << "\", \"method\": \""
+            << r.method << "\", \"ok\": " << (r.ok ? "true" : "false")
+            << ", \"degraded\": " << (r.degraded ? "true" : "false")
+            << ", \"hpwl\": " << r.hpwl << ", \"seconds\": " << r.seconds
+            << ", \"iterations\": " << r.iterations << "}"
+            << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return path;
+}
+
+testing::subprocess_result run_gate(const std::string& args) {
+    return testing::run_subprocess(std::string(GPF_BENCH_GATE_BIN) + " " + args);
+}
+
+class BenchGate : public ::testing::Test {
+protected:
+    void TearDown() override {
+        for (const std::string& p : cleanup_) std::filesystem::remove(p);
+    }
+    std::string track(std::string path) {
+        cleanup_.push_back(path);
+        return path;
+    }
+    /// Baseline written from `base_records`, then the gate run against a
+    /// fresh report containing `fresh_records`; returns the gate's result.
+    testing::subprocess_result gate_against(
+        const std::vector<record_spec>& base_records,
+        const std::vector<record_spec>& fresh_records,
+        const std::string& extra_args = "") {
+        const std::string base_report = track(write_report("base", base_records));
+        const std::string baseline =
+            track(testing::unique_temp_base("gpf_gate_baseline") + ".json");
+        const testing::subprocess_result wrote =
+            run_gate("--write-baseline " + baseline + " " + base_report);
+        EXPECT_EQ(wrote.exit_code, 0) << wrote.output;
+        const std::string fresh = track(write_report("fresh", fresh_records));
+        return run_gate("--baseline " + baseline + " " + extra_args + " " + fresh);
+    }
+    std::vector<std::string> cleanup_;
+};
+
+TEST_F(BenchGate, ValidatePassesOnWellFormedReport) {
+    const std::string path = track(write_report("ok", {record_spec{}}));
+    const testing::subprocess_result res = run_gate("--validate " + path);
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+}
+
+TEST_F(BenchGate, ValidateFailsWithoutDegradedKey) {
+    const std::string path =
+        track(testing::unique_temp_base("gpf_gate_nodegraded") + ".json");
+    std::ofstream out(path);
+    out << "{\"bench\": \"b\", \"suite_scale\": 1, \"seed\": 1, \"results\": "
+           "[{\"circuit\": \"c\", \"method\": \"m\", \"ok\": true, "
+           "\"hpwl\": 10.0, \"seconds\": 1.0, \"iterations\": 5}]}";
+    out.close();
+    const testing::subprocess_result res = run_gate("--validate " + path);
+    EXPECT_EQ(res.exit_code, 1) << res.output;
+    EXPECT_NE(res.output.find("degraded"), std::string::npos) << res.output;
+}
+
+TEST_F(BenchGate, ValidateFailsOnMisleadingZeroHpwl) {
+    record_spec zero;
+    zero.hpwl = "0";
+    const std::string path = track(write_report("zero", {zero}));
+    const testing::subprocess_result res = run_gate("--validate " + path);
+    EXPECT_EQ(res.exit_code, 1) << res.output;
+    EXPECT_NE(res.output.find("hpwl"), std::string::npos) << res.output;
+}
+
+TEST_F(BenchGate, ValidateFailsWhenDeadRecordCarriesMetrics) {
+    record_spec dead;
+    dead.ok = false; // ok=false but hpwl/seconds still numeric
+    const std::string path = track(write_report("dead", {dead}));
+    const testing::subprocess_result res = run_gate("--validate " + path);
+    EXPECT_EQ(res.exit_code, 1) << res.output;
+    EXPECT_NE(res.output.find("null"), std::string::npos) << res.output;
+}
+
+TEST_F(BenchGate, ValidateAcceptsDeadRecordWithNullMetrics) {
+    record_spec dead;
+    dead.ok = false;
+    dead.hpwl = "null";
+    dead.seconds = "null";
+    const std::string path = track(write_report("deadnull", {dead}));
+    const testing::subprocess_result res = run_gate("--validate " + path);
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+}
+
+TEST_F(BenchGate, PassesOnIdenticalRun) {
+    const testing::subprocess_result res =
+        gate_against({record_spec{}}, {record_spec{}});
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+}
+
+TEST_F(BenchGate, PassesWithinNoiseAllowance) {
+    record_spec fresh;
+    fresh.hpwl = "1240.0";   // +0.45% < 2% tolerance
+    fresh.seconds = "1.2";   // +20% < 60% + 0.25 s floor
+    fresh.iterations = "44"; // +2 <= floor of 3
+    const testing::subprocess_result res =
+        gate_against({record_spec{}}, {fresh});
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+}
+
+TEST_F(BenchGate, FailsOnHpwlRegression) {
+    record_spec fresh;
+    fresh.hpwl = "1400.0"; // +13% > 2%
+    const testing::subprocess_result res =
+        gate_against({record_spec{}}, {fresh});
+    EXPECT_EQ(res.exit_code, 1) << res.output;
+    EXPECT_NE(res.output.find("QoR regression"), std::string::npos) << res.output;
+}
+
+TEST_F(BenchGate, FailsOnPerfRegression) {
+    record_spec fresh;
+    fresh.seconds = "5.0"; // 1.0 s baseline: allowance 1.0*1.6 + 0.25 = 1.85 s
+    const testing::subprocess_result res =
+        gate_against({record_spec{}}, {fresh});
+    EXPECT_EQ(res.exit_code, 1) << res.output;
+    EXPECT_NE(res.output.find("perf regression"), std::string::npos) << res.output;
+}
+
+TEST_F(BenchGate, NoPerfFlagSkipsWallClockGating) {
+    record_spec fresh;
+    fresh.seconds = "5.0";
+    const testing::subprocess_result res =
+        gate_against({record_spec{}}, {fresh}, "--no-perf");
+    EXPECT_EQ(res.exit_code, 0) << res.output;
+}
+
+TEST_F(BenchGate, FailsOnIterationBlowup) {
+    record_spec fresh;
+    fresh.iterations = "80"; // 42 + max(25%, 3) = 55.5 allowed
+    const testing::subprocess_result res =
+        gate_against({record_spec{}}, {fresh});
+    EXPECT_EQ(res.exit_code, 1) << res.output;
+    EXPECT_NE(res.output.find("convergence"), std::string::npos) << res.output;
+}
+
+TEST_F(BenchGate, FailsWhenBaselineRecordDisappears) {
+    record_spec second;
+    second.circuit = "industry2";
+    const testing::subprocess_result res =
+        gate_against({record_spec{}, second}, {record_spec{}});
+    EXPECT_EQ(res.exit_code, 1) << res.output;
+    EXPECT_NE(res.output.find("missing"), std::string::npos) << res.output;
+}
+
+TEST_F(BenchGate, FailsWhenFreshRunDegrades) {
+    record_spec fresh;
+    fresh.degraded = true;
+    const testing::subprocess_result res =
+        gate_against({record_spec{}}, {fresh});
+    EXPECT_EQ(res.exit_code, 1) << res.output;
+    EXPECT_NE(res.output.find("degraded"), std::string::npos) << res.output;
+}
+
+TEST_F(BenchGate, FailsOnConfigurationMismatch) {
+    const std::string base_report = track(write_report("cfg_base", {record_spec{}}));
+    const std::string baseline =
+        track(testing::unique_temp_base("gpf_gate_cfg_baseline") + ".json");
+    ASSERT_EQ(run_gate("--write-baseline " + baseline + " " + base_report)
+                  .exit_code,
+              0);
+    // Same bench name, different suite scale: numbers are not comparable.
+    const std::string fresh = track(
+        write_report("cfg_fresh", {record_spec{}}, "table1_wirelength", 0.05));
+    const testing::subprocess_result res =
+        run_gate("--baseline " + baseline + " " + fresh);
+    EXPECT_EQ(res.exit_code, 1) << res.output;
+    EXPECT_NE(res.output.find("mismatch"), std::string::npos) << res.output;
+}
+
+TEST_F(BenchGate, UsageErrorsExit64) {
+    EXPECT_EQ(run_gate("").exit_code, 64);
+    EXPECT_EQ(run_gate("--no-such-flag x.json").exit_code, 64);
+    const std::string path = track(write_report("usage", {record_spec{}}));
+    EXPECT_EQ(run_gate("--baseline").exit_code, 64);
+    EXPECT_EQ(run_gate("--validate --hpwl-tol banana " + path).exit_code, 64);
+}
+
+TEST_F(BenchGate, MissingInputFileIsIoError) {
+    EXPECT_EQ(run_gate("--validate /nonexistent/BENCH_x.json").exit_code, 3);
+}
+
+} // namespace
+} // namespace gpf
+
+#endif // !_WIN32 && GPF_BENCH_GATE_BIN

@@ -99,5 +99,50 @@ TEST(MeetRequirementFlow, TradeoffCurveIsMonotoneInIteration) {
     }
 }
 
+// --- CLI argument rejection (exit code 64 + usage diagnostic) -------------
+//
+// These run the real gpf_place binary: the contract under test is the
+// process boundary itself — a malformed flag must produce sysexits-style
+// EX_USAGE (64) and a usage synopsis on stderr, never a silent
+// misinterpretation (the historical bug class: atoll accepting "16x" as
+// 16 and wrapping "-1" to a huge unsigned count).
+#if !defined(_WIN32) && defined(GPF_PLACE_BIN)
+
+testing::subprocess_result run_gpf_place(const std::string& args) {
+    return testing::run_subprocess(std::string(GPF_PLACE_BIN) + " " + args);
+}
+
+void expect_usage_rejection(const std::string& args, const char* token) {
+    const testing::subprocess_result res = run_gpf_place(args);
+    EXPECT_EQ(res.exit_code, 64) << args << "\nstderr:\n" << res.output;
+    // The diagnostic names the offending value and the synopsis follows.
+    EXPECT_NE(res.output.find(token), std::string::npos)
+        << args << "\nstderr:\n" << res.output;
+    EXPECT_NE(res.output.find("usage:"), std::string::npos)
+        << args << "\nstderr:\n" << res.output;
+}
+
+TEST(CliRejection, UnknownNetModel) {
+    expect_usage_rejection("--net-model banana", "banana");
+}
+
+TEST(CliRejection, NegativeLevels) {
+    expect_usage_rejection("--levels -1", "-1");
+}
+
+TEST(CliRejection, MalformedStarThreshold) {
+    expect_usage_rejection("--star-threshold 4.5.2", "4.5.2");
+}
+
+TEST(CliRejection, TrailingGarbageInteger) {
+    expect_usage_rejection("--cells 16x", "16x");
+}
+
+TEST(CliRejection, UnknownFlag) {
+    expect_usage_rejection("--no-such-flag", "--no-such-flag");
+}
+
+#endif // !_WIN32 && GPF_PLACE_BIN
+
 } // namespace
 } // namespace gpf

@@ -5,6 +5,7 @@
 #include "linalg/cg_solver.hpp"
 #include "linalg/csr_matrix.hpp"
 #include "util/check.hpp"
+#include "util/logging.hpp"
 #include "util/prng.hpp"
 
 namespace gpf {
@@ -170,6 +171,59 @@ TEST(CgSolver, OperatorWithDiagonalShift) {
     std::vector<double> ax;
     apply(x, ax);
     for (std::size_t i = 0; i < 30; ++i) EXPECT_NEAR(ax[i], rhs[i], 1e-6);
+}
+
+TEST(CgSolver, OperatorSsorFallbackWarnsOnceAndMatchesJacobi) {
+    // Requesting SSOR behind the opaque-operator interface downgrades to
+    // Jacobi with a warning. Regression-pins the contract: the warning
+    // fires exactly once per process (not per solve, not zero times), and
+    // the downgrade really is Jacobi — the solution is bitwise identical
+    // to an explicit jacobi-preconditioned solve.
+    const csr_matrix m = make_tridiagonal(60, 3.0, -1.0);
+    std::vector<double> rhs(60);
+    prng rng(77);
+    for (double& v : rhs) v = rng.next_range(-1.0, 1.0);
+    const linear_operator apply = [&](const std::vector<double>& x,
+                                      std::vector<double>& y) { m.multiply(x, y); };
+    const std::vector<double> diag = m.diagonal();
+
+    reset_cg_operator_ssor_warning();
+    std::vector<std::string> warnings;
+    set_log_sink([&](log_level level, const std::string& message) {
+        if (level == log_level::warning) warnings.push_back(message);
+    });
+
+    cg_options ssor;
+    ssor.preconditioner = preconditioner_kind::ssor;
+    std::vector<double> x_first, x_second;
+    ASSERT_TRUE(cg_solve_operator(apply, diag, rhs, x_first, ssor).converged);
+    ASSERT_TRUE(cg_solve_operator(apply, diag, rhs, x_second, ssor).converged);
+    set_log_sink(nullptr);
+
+    ASSERT_EQ(warnings.size(), 1u) << "warning must fire exactly once";
+    EXPECT_NE(warnings[0].find("ssor"), std::string::npos) << warnings[0];
+    EXPECT_NE(warnings[0].find("jacobi"), std::string::npos) << warnings[0];
+
+    cg_options jacobi;
+    jacobi.preconditioner = preconditioner_kind::jacobi;
+    std::vector<double> x_jacobi;
+    ASSERT_TRUE(cg_solve_operator(apply, diag, rhs, x_jacobi, jacobi).converged);
+    ASSERT_EQ(x_first.size(), x_jacobi.size());
+    for (std::size_t i = 0; i < x_jacobi.size(); ++i) {
+        EXPECT_EQ(x_first[i], x_jacobi[i]) << i; // bitwise: same math path
+        EXPECT_EQ(x_second[i], x_jacobi[i]) << i;
+    }
+
+    // The reset hook re-arms it — a second process-lifetime can be simulated.
+    reset_cg_operator_ssor_warning();
+    warnings.clear();
+    set_log_sink([&](log_level level, const std::string& message) {
+        if (level == log_level::warning) warnings.push_back(message);
+    });
+    std::vector<double> x_again;
+    ASSERT_TRUE(cg_solve_operator(apply, diag, rhs, x_again, ssor).converged);
+    set_log_sink(nullptr);
+    EXPECT_EQ(warnings.size(), 1u);
 }
 
 TEST(VectorHelpers, DotNormAxpy) {

@@ -10,12 +10,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #ifdef _WIN32
 #include <process.h>
 #else
+#include <sys/wait.h>
 #include <unistd.h>
 #endif
 
@@ -44,5 +48,34 @@ inline std::string unique_temp_base(const std::string& prefix) {
     }
     return (std::filesystem::temp_directory_path() / name).string();
 }
+
+/// Result of running a tool binary as a subprocess: decoded exit status
+/// plus everything it wrote to the redirected stream.
+struct subprocess_result {
+    int exit_code = -1; ///< -1 when the process died on a signal
+    std::string output;
+};
+
+/// Runs `command` through the shell with stderr (or, when
+/// `capture_stdout`, stdout) redirected into a private temp file, and
+/// returns the decoded exit code plus the captured text. POSIX-only —
+/// callers guard with #ifndef _WIN32 (CI and the dev container are Linux).
+#ifndef _WIN32
+inline subprocess_result run_subprocess(const std::string& command,
+                                        bool capture_stdout = false) {
+    const std::string capture = unique_temp_base("gpf_subprocess") + ".txt";
+    const std::string full =
+        command + (capture_stdout ? " >" : " 2>") + "'" + capture + "'";
+    const int raw = std::system(full.c_str());
+    subprocess_result result;
+    if (raw != -1 && WIFEXITED(raw)) result.exit_code = WEXITSTATUS(raw);
+    std::ifstream in(capture);
+    std::ostringstream text;
+    text << in.rdbuf();
+    result.output = text.str();
+    std::filesystem::remove(capture);
+    return result;
+}
+#endif
 
 } // namespace gpf::testing

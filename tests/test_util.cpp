@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "util/check.hpp"
+#include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/prng.hpp"
 #include "util/stopwatch.hpp"
@@ -139,6 +140,58 @@ TEST(Stopwatch, MeasuresElapsedTime) {
     EXPECT_LT(t, 5.0);
     sw.reset();
     EXPECT_LT(sw.elapsed_seconds(), 0.015);
+}
+
+TEST(Json, ParsesEveryValueKind) {
+    const json_ptr root = json_parse(
+        R"({"s": "a\"b\\c", "n": -12.5e2, "t": true, "f": false, "z": null,
+            "arr": [1, 2, 3], "obj": {"k": "v"}})");
+    ASSERT_TRUE(root->is_object());
+    EXPECT_EQ(root->get("s")->as_string(), "a\"b\\c");
+    EXPECT_DOUBLE_EQ(root->get("n")->as_number(), -1250.0);
+    EXPECT_TRUE(root->get("t")->as_bool());
+    EXPECT_FALSE(root->get("f")->as_bool());
+    EXPECT_TRUE(root->get("z")->is_null());
+    ASSERT_TRUE(root->get("arr")->is_array());
+    ASSERT_EQ(root->get("arr")->items().size(), 3u);
+    EXPECT_DOUBLE_EQ(root->get("arr")->items()[1]->as_number(), 2.0);
+    EXPECT_EQ(root->get("obj")->get("k")->as_string(), "v");
+    EXPECT_EQ(root->get("missing"), nullptr);
+}
+
+TEST(Json, PreservesMemberOrder) {
+    const json_ptr root = json_parse(R"({"b": 1, "a": 2, "c": 3})");
+    const auto& members = root->members();
+    ASSERT_EQ(members.size(), 3u);
+    EXPECT_EQ(members[0].first, "b");
+    EXPECT_EQ(members[1].first, "a");
+    EXPECT_EQ(members[2].first, "c");
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+    for (const char* bad :
+         {"", "{", "[1,]", "{\"a\": }", "{\"a\" 1}", "tru", "01", "1 2",
+          "\"unterminated", "{\"a\": 1,}", "nan", "+1"}) {
+        EXPECT_THROW(json_parse(bad), io_error) << "accepted: " << bad;
+    }
+}
+
+TEST(Json, SyntaxErrorsCarryLineNumbers) {
+    try {
+        json_parse("{\n  \"a\": 1,\n  \"b\": oops\n}", "report.json");
+        FAIL() << "expected io_error";
+    } catch (const io_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("report.json"), std::string::npos) << what;
+        EXPECT_NE(what.find("3"), std::string::npos) << what;
+    }
+}
+
+TEST(Json, TypedAccessorsThrowOnKindMismatch) {
+    const json_ptr root = json_parse(R"({"n": 1})");
+    EXPECT_THROW(root->as_number(), check_error);
+    EXPECT_THROW(root->get("n")->as_string(), check_error);
+    EXPECT_THROW(root->get("n")->items(), check_error);
 }
 
 } // namespace

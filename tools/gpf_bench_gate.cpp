@@ -1,0 +1,518 @@
+// gpf_bench_gate — perf/QoR regression gate over BENCH_*.json reports.
+//
+// Every bench binary emits a machine-readable BENCH_<name>.json (one
+// record per circuit × method, see bench/common.hpp). This tool makes
+// those reports actionable:
+//
+//   gpf_bench_gate --validate BENCH_a.json [...]
+//       Schema check only: required keys present and typed, no
+//       misleading zeros (a clean record must carry a positive finite
+//       HPWL; dead runs carry null metrics and degraded runs say so).
+//
+//   gpf_bench_gate --baseline bench/baseline.json BENCH_a.json [...]
+//       Validate, then compare each record against the committed rolling
+//       baseline. Exit 1 on any perf or QoR regression.
+//
+//   gpf_bench_gate --write-baseline bench/baseline.json BENCH_a.json [...]
+//       Regenerate the rolling baseline from fresh reports (sorted for
+//       stable diffs). Run this deliberately, commit the diff, and the
+//       new numbers become the gate.
+//
+// Noise model (every threshold = relative tolerance + min-absolute
+// floor, so tiny denominators cannot produce false alarms):
+//   * hpwl        — deterministic for a (seed, scale) pair; tolerance
+//                   --hpwl-tol (default 2%) absorbs compiler/libm drift.
+//   * iterations  — deterministic; --iter-tol (default 25%) + 3 absolute.
+//   * seconds     — machine-dependent; a fresh run fails only when it is
+//                   --perf-tol (default 60%) slower AND at least
+//                   --perf-floor (default 0.25 s) slower in absolute
+//                   terms. GPF_GATE_PERF_SCALE=<f> multiplies the
+//                   relative allowance for known-slow runners; --no-perf
+//                   skips wall-clock gating entirely (QoR only).
+//   * a record in the baseline but missing from the fresh reports, a
+//     fresh run that went degraded while the baseline was clean, or a
+//     (suite_scale, seed) mismatch is always a failure — silence must
+//     never read as "still fast".
+//
+// Exit codes: 0 pass, 1 regression or validation failure, 3 I/O/parse
+// failure, 64 usage.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using gpf::json_parse_file;
+using gpf::json_ptr;
+
+constexpr int kExitPass = 0;
+constexpr int kExitFail = 1;
+constexpr int kExitIo = 3;
+constexpr int kExitUsage = 64;
+
+struct record {
+    std::string circuit;
+    std::string method;
+    bool ok = false;
+    bool degraded = false;
+    std::optional<double> hpwl;
+    std::optional<double> seconds;
+    double iterations = 0.0;
+};
+
+struct bench_report {
+    std::string bench;
+    std::string path;
+    double suite_scale = 0.0;
+    double seed = 0.0;
+    std::vector<record> records;
+};
+
+struct gate_options {
+    double hpwl_tol = 0.02;
+    double iter_tol = 0.25;
+    double iter_floor = 3.0;
+    double perf_tol = 0.60;
+    double perf_floor = 0.25; // seconds
+    bool gate_perf = true;
+};
+
+int g_problems = 0;
+
+void problem(const std::string& where, const std::string& message) {
+    std::fprintf(stderr, "gate: %s: %s\n", where.c_str(), message.c_str());
+    ++g_problems;
+}
+
+std::optional<double> number_or_null(const json_ptr& v) {
+    if (!v || v->is_null()) return std::nullopt;
+    return v->as_number();
+}
+
+// --- schema -----------------------------------------------------------------
+
+bool validate_record(const std::string& where, const json_ptr& rec, record& out) {
+    const int before = g_problems;
+    const json_ptr circuit = rec->get("circuit");
+    const json_ptr method = rec->get("method");
+    const json_ptr ok = rec->get("ok");
+    const json_ptr degraded = rec->get("degraded");
+    const json_ptr hpwl = rec->get("hpwl");
+    const json_ptr seconds = rec->get("seconds");
+    const json_ptr iterations = rec->get("iterations");
+
+    if (!circuit || !circuit->is_string()) problem(where, "missing string 'circuit'");
+    if (!method || !method->is_string()) problem(where, "missing string 'method'");
+    if (!ok || !ok->is_bool()) problem(where, "missing boolean 'ok'");
+    if (!degraded || !degraded->is_bool()) {
+        problem(where, "missing boolean 'degraded' (pre-gate report? re-run the "
+                       "bench binary)");
+    }
+    if (!hpwl || !(hpwl->is_number() || hpwl->is_null())) {
+        problem(where, "missing numeric-or-null 'hpwl'");
+    }
+    if (!seconds || !(seconds->is_number() || seconds->is_null())) {
+        problem(where, "missing numeric-or-null 'seconds'");
+    }
+    if (!iterations || !iterations->is_number()) {
+        problem(where, "missing numeric 'iterations'");
+    }
+    if (g_problems != before) return false;
+
+    out.circuit = circuit->as_string();
+    out.method = method->as_string();
+    out.ok = ok->as_bool();
+    out.degraded = degraded->as_bool();
+    out.hpwl = number_or_null(hpwl);
+    out.seconds = number_or_null(seconds);
+    out.iterations = iterations->as_number();
+
+    const std::string id = where + " (" + out.circuit + "/" + out.method + ")";
+    if (out.ok) {
+        // The misleading-zeros rule: a completed run always has a real
+        // wire length; zero means someone serialized an empty result.
+        if (!out.hpwl || !std::isfinite(*out.hpwl) || *out.hpwl <= 0.0) {
+            problem(id, "clean record without a positive finite hpwl "
+                        "(misleading zeros?)");
+        }
+        if (!out.seconds || !std::isfinite(*out.seconds) || *out.seconds < 0.0) {
+            problem(id, "clean record without a finite non-negative 'seconds'");
+        }
+    } else if (out.hpwl || out.seconds) {
+        problem(id, "dead record (ok=false) must carry null metrics");
+    }
+    if (out.iterations < 0.0 ||
+        out.iterations != std::floor(out.iterations)) {
+        problem(id, "'iterations' must be a non-negative integer");
+    }
+    return g_problems == before;
+}
+
+std::optional<bench_report> load_report(const std::string& path) {
+    const json_ptr root = json_parse_file(path);
+    bench_report report;
+    report.path = path;
+    const json_ptr bench = root->get("bench");
+    const json_ptr scale = root->get("suite_scale");
+    const json_ptr seed = root->get("seed");
+    const json_ptr results = root->get("results");
+    if (!bench || !bench->is_string()) problem(path, "missing string 'bench'");
+    if (!scale || !scale->is_number()) problem(path, "missing numeric 'suite_scale'");
+    if (!seed || !seed->is_number()) problem(path, "missing numeric 'seed'");
+    if (!results || !results->is_array()) problem(path, "missing array 'results'");
+    if (!bench || !bench->is_string() || !results || !results->is_array()) {
+        return std::nullopt;
+    }
+    report.bench = bench->as_string();
+    report.suite_scale = scale && scale->is_number() ? scale->as_number() : 0.0;
+    report.seed = seed && seed->is_number() ? seed->as_number() : 0.0;
+    if (results->items().empty()) problem(path, "'results' is empty");
+    for (std::size_t i = 0; i < results->items().size(); ++i) {
+        record rec;
+        if (validate_record(path + " record " + std::to_string(i),
+                            results->items()[i], rec)) {
+            report.records.push_back(std::move(rec));
+        }
+    }
+    return report;
+}
+
+// --- comparison -------------------------------------------------------------
+
+std::string key_of(const record& r) { return r.circuit + "\x1f" + r.method; }
+
+void compare_reports(const bench_report& base, const bench_report& fresh,
+                     const gate_options& opt) {
+    const std::string where = "bench '" + base.bench + "'";
+    if (base.suite_scale != fresh.suite_scale || base.seed != fresh.seed) {
+        problem(where, "configuration mismatch: baseline ran suite_scale=" +
+                           std::to_string(base.suite_scale) +
+                           " seed=" + std::to_string(base.seed) + ", fresh ran " +
+                           std::to_string(fresh.suite_scale) + "/" +
+                           std::to_string(fresh.seed) +
+                           " — regenerate the baseline or fix the invocation");
+        return;
+    }
+    std::map<std::string, const record*> fresh_by_key;
+    for (const record& r : fresh.records) fresh_by_key[key_of(r)] = &r;
+
+    for (const record& b : base.records) {
+        const auto it = fresh_by_key.find(key_of(b));
+        const std::string id = where + " " + b.circuit + "/" + b.method;
+        if (it == fresh_by_key.end()) {
+            problem(id, "present in the baseline but missing from the fresh "
+                        "report (lost coverage is not a pass)");
+            continue;
+        }
+        const record& f = *it->second;
+        if (!f.ok) {
+            problem(id, "fresh run did not complete (ok=false)");
+            continue;
+        }
+        if (f.degraded && !b.degraded) {
+            problem(id, "fresh run went through the recovery ladder "
+                        "(degraded=true) while the baseline ran clean");
+            continue;
+        }
+        if (b.ok && b.hpwl && f.hpwl) {
+            const double allowed = *b.hpwl * (1.0 + opt.hpwl_tol) + 1e-9;
+            if (*f.hpwl > allowed) {
+                problem(id, "QoR regression: hpwl " + std::to_string(*f.hpwl) +
+                                " > baseline " + std::to_string(*b.hpwl) + " + " +
+                                std::to_string(opt.hpwl_tol * 100.0) + "%");
+            }
+        }
+        if (b.ok && b.iterations > 0.0) {
+            const double allowed =
+                b.iterations +
+                std::max(opt.iter_tol * b.iterations, opt.iter_floor);
+            if (f.iterations > allowed) {
+                problem(id, "convergence regression: " +
+                                std::to_string(static_cast<long long>(f.iterations)) +
+                                " iterations > baseline " +
+                                std::to_string(static_cast<long long>(b.iterations)) +
+                                " beyond tolerance");
+            }
+        }
+        if (opt.gate_perf && b.ok && b.seconds && f.seconds) {
+            double perf_scale = 1.0;
+            if (const char* env = std::getenv("GPF_GATE_PERF_SCALE")) {
+                perf_scale = std::atof(env);
+                if (!(perf_scale >= 1.0)) perf_scale = 1.0;
+            }
+            const double allowed =
+                *b.seconds * (1.0 + opt.perf_tol * perf_scale) +
+                opt.perf_floor * perf_scale;
+            if (*f.seconds > allowed) {
+                problem(id, "perf regression: " + std::to_string(*f.seconds) +
+                                " s > baseline " + std::to_string(*b.seconds) +
+                                " s beyond " +
+                                std::to_string(opt.perf_tol * perf_scale * 100.0) +
+                                "% + " + std::to_string(opt.perf_floor * perf_scale) +
+                                " s floor");
+            }
+        }
+    }
+    for (const record& f : fresh.records) {
+        bool known = false;
+        for (const record& b : base.records) {
+            if (key_of(b) == key_of(f)) known = true;
+        }
+        if (!known) {
+            std::fprintf(stderr,
+                         "gate: note: %s %s/%s is new (not in the baseline); run "
+                         "--write-baseline to start gating it\n",
+                         where.c_str(), f.circuit.c_str(), f.method.c_str());
+        }
+    }
+}
+
+// --- baseline I/O -----------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+std::string fmt_number(double v) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.12g", v);
+    return buffer;
+}
+
+void write_baseline(const std::string& path, std::vector<bench_report> reports) {
+    std::sort(reports.begin(), reports.end(),
+              [](const bench_report& a, const bench_report& b) {
+                  return a.bench < b.bench;
+              });
+    std::ofstream out(path);
+    if (!out) throw gpf::io_error("cannot write " + path);
+    out << "{\n  \"comment\": \"rolling perf/QoR baseline; regenerate with "
+           "gpf_bench_gate --write-baseline (see DESIGN.md section 12)\",\n"
+        << "  \"baselines\": [";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        bench_report& rep = reports[i];
+        std::sort(rep.records.begin(), rep.records.end(),
+                  [](const record& a, const record& b) {
+                      return key_of(a) < key_of(b);
+                  });
+        out << (i > 0 ? ",\n    " : "\n    ") << "{\"bench\": \""
+            << json_escape(rep.bench) << "\", \"suite_scale\": "
+            << fmt_number(rep.suite_scale) << ", \"seed\": "
+            << fmt_number(rep.seed) << ",\n     \"results\": [";
+        for (std::size_t k = 0; k < rep.records.size(); ++k) {
+            const record& r = rep.records[k];
+            out << (k > 0 ? ",\n       " : "\n       ") << "{\"circuit\": \""
+                << json_escape(r.circuit) << "\", \"method\": \""
+                << json_escape(r.method) << "\", \"ok\": "
+                << (r.ok ? "true" : "false") << ", \"degraded\": "
+                << (r.degraded ? "true" : "false") << ", \"hpwl\": "
+                << (r.hpwl ? fmt_number(*r.hpwl) : "null") << ", \"seconds\": "
+                << (r.seconds ? fmt_number(*r.seconds) : "null")
+                << ", \"iterations\": " << fmt_number(r.iterations) << "}";
+        }
+        out << "\n     ]}";
+    }
+    out << "\n  ]\n}\n";
+    std::printf("gate: wrote baseline %s (%zu benches)\n", path.c_str(),
+                reports.size());
+}
+
+std::vector<bench_report> load_baseline(const std::string& path) {
+    const json_ptr root = json_parse_file(path);
+    const json_ptr baselines = root->get("baselines");
+    if (!baselines || !baselines->is_array()) {
+        throw gpf::io_error(path + ": missing 'baselines' array");
+    }
+    std::vector<bench_report> reports;
+    for (std::size_t i = 0; i < baselines->items().size(); ++i) {
+        const json_ptr entry = baselines->items()[i];
+        bench_report rep;
+        rep.path = path;
+        const json_ptr bench = entry->get("bench");
+        const json_ptr scale = entry->get("suite_scale");
+        const json_ptr seed = entry->get("seed");
+        const json_ptr results = entry->get("results");
+        if (!bench || !bench->is_string() || !results || !results->is_array()) {
+            throw gpf::io_error(path + ": baseline entry " + std::to_string(i) +
+                                " malformed");
+        }
+        rep.bench = bench->as_string();
+        rep.suite_scale = scale && scale->is_number() ? scale->as_number() : 0.0;
+        rep.seed = seed && seed->is_number() ? seed->as_number() : 0.0;
+        for (std::size_t k = 0; k < results->items().size(); ++k) {
+            record rec;
+            if (validate_record(path + " " + rep.bench + " record " +
+                                    std::to_string(k),
+                                results->items()[k], rec)) {
+                rep.records.push_back(std::move(rec));
+            }
+        }
+        reports.push_back(std::move(rep));
+    }
+    return reports;
+}
+
+void usage(std::FILE* to) {
+    std::fprintf(
+        to,
+        "usage: gpf_bench_gate --validate BENCH.json [...]\n"
+        "       gpf_bench_gate --baseline FILE [options] BENCH.json [...]\n"
+        "       gpf_bench_gate --write-baseline FILE BENCH.json [...]\n"
+        "options:\n"
+        "  --hpwl-tol F    relative QoR tolerance        (default 0.02)\n"
+        "  --iter-tol F    relative iteration tolerance  (default 0.25)\n"
+        "  --perf-tol F    relative wall-clock tolerance (default 0.60)\n"
+        "  --perf-floor S  absolute wall-clock floor, s  (default 0.25)\n"
+        "  --no-perf       gate QoR only, skip wall-clock comparisons\n"
+        "environment: GPF_GATE_PERF_SCALE=<f> multiplies the wall-clock\n"
+        "allowance (slow CI runners)\n"
+        "exit codes: 0 pass, 1 regression/validation failure, 3 I/O, 64 usage\n");
+}
+
+std::optional<double> parse_positive(const char* text) {
+    char* end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || !(v > 0.0) || !std::isfinite(v)) {
+        return std::nullopt;
+    }
+    return v;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    enum class mode { none, validate, gate, write };
+    mode m = mode::none;
+    std::string baseline_path;
+    std::vector<std::string> inputs;
+    gate_options opt;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+                usage(stderr);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        const auto next_positive = [&](double& into) {
+            const char* v = next();
+            if (!v) return false;
+            const std::optional<double> parsed = parse_positive(v);
+            if (!parsed) {
+                std::fprintf(stderr, "%s wants a positive number, got '%s'\n",
+                             arg.c_str(), v);
+                usage(stderr);
+                return false;
+            }
+            into = *parsed;
+            return true;
+        };
+        if (arg == "--validate") {
+            m = mode::validate;
+        } else if (arg == "--baseline") {
+            const char* v = next();
+            if (!v) return kExitUsage;
+            m = mode::gate;
+            baseline_path = v;
+        } else if (arg == "--write-baseline") {
+            const char* v = next();
+            if (!v) return kExitUsage;
+            m = mode::write;
+            baseline_path = v;
+        } else if (arg == "--hpwl-tol") {
+            if (!next_positive(opt.hpwl_tol)) return kExitUsage;
+        } else if (arg == "--iter-tol") {
+            if (!next_positive(opt.iter_tol)) return kExitUsage;
+        } else if (arg == "--perf-tol") {
+            if (!next_positive(opt.perf_tol)) return kExitUsage;
+        } else if (arg == "--perf-floor") {
+            if (!next_positive(opt.perf_floor)) return kExitUsage;
+        } else if (arg == "--no-perf") {
+            opt.gate_perf = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return kExitPass;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(stderr);
+            return kExitUsage;
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (m == mode::none || inputs.empty()) {
+        std::fprintf(stderr, "need a mode and at least one BENCH_*.json\n");
+        usage(stderr);
+        return kExitUsage;
+    }
+
+    try {
+        std::vector<bench_report> fresh;
+        for (const std::string& path : inputs) {
+            if (std::optional<bench_report> rep = load_report(path)) {
+                fresh.push_back(std::move(*rep));
+            }
+        }
+
+        if (m == mode::write) {
+            if (g_problems > 0) {
+                std::fprintf(stderr,
+                             "gate: refusing to write a baseline from reports "
+                             "with %d validation problem(s)\n",
+                             g_problems);
+                return kExitFail;
+            }
+            write_baseline(baseline_path, std::move(fresh));
+            return kExitPass;
+        }
+
+        if (m == mode::gate) {
+            const std::vector<bench_report> base = load_baseline(baseline_path);
+            for (const bench_report& f : fresh) {
+                const bench_report* matched = nullptr;
+                for (const bench_report& b : base) {
+                    if (b.bench == f.bench) matched = &b;
+                }
+                if (!matched) {
+                    std::fprintf(stderr,
+                                 "gate: note: bench '%s' has no baseline yet\n",
+                                 f.bench.c_str());
+                    continue;
+                }
+                compare_reports(*matched, f, opt);
+            }
+        }
+
+        if (g_problems > 0) {
+            std::fprintf(stderr, "gate: FAIL — %d problem(s)\n", g_problems);
+            return kExitFail;
+        }
+        std::printf("gate: PASS — %zu report(s)%s\n", fresh.size(),
+                    m == mode::gate ? " within baseline thresholds" : " valid");
+        return kExitPass;
+    } catch (const gpf::io_error& e) {
+        std::fprintf(stderr, "gate: error[io]: %s\n", e.what());
+        return kExitIo;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "gate: error: %s\n", e.what());
+        return kExitIo;
+    }
+}

@@ -30,6 +30,8 @@
 //   4   invariant/precondition violation (error[invariant]: on stderr)
 //   5   any other failure (error[internal]: on stderr)
 //   64  command-line usage error
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -87,6 +89,28 @@ void usage(const char* argv0, std::FILE* to) {
 
 enum class parse_status { run, help, error };
 
+/// Strict full-token numeric parsing: "-1", "3x" and "" are usage errors,
+/// never a silent atoll() truncation (a negative --levels used to wrap to
+/// a huge size_t and an unparseable --star-threshold read as 0).
+bool parse_count(const char* text, std::size_t& out) {
+    if (!text || *text == '\0') return false;
+    char* end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0' || v < 0) return false;
+    out = static_cast<std::size_t>(v);
+    return true;
+}
+
+bool parse_number(const char* text, double& out) {
+    if (!text || *text == '\0') return false;
+    char* end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || !std::isfinite(v)) return false;
+    out = v;
+    return true;
+}
+
 parse_status parse(int argc, char** argv, cli_options& opt) {
     bool bad = false;
     for (int i = 1; i < argc; ++i) {
@@ -94,80 +118,90 @@ parse_status parse(int argc, char** argv, cli_options& opt) {
         const auto next = [&]() -> const char* {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+                bad = true;
                 return nullptr;
             }
             return argv[++i];
         };
+        // Every rejection below falls through to the usage() diagnostic at
+        // the bottom — a usage error must always say what correct usage is.
+        const auto reject = [&](const char* wants, const char* got) {
+            std::fprintf(stderr, "%s wants %s, got '%s'\n", arg.c_str(), wants, got);
+            bad = true;
+        };
         if (arg == "--cells") {
             const char* v = next();
-            if (!v) return parse_status::error;
-            opt.cells = static_cast<std::size_t>(std::atoll(v));
+            if (!v) break;
+            if (!parse_count(v, opt.cells)) reject("a non-negative integer", v);
         } else if (arg == "--bookshelf") {
             const char* v = next();
-            if (!v) return parse_status::error;
+            if (!v) break;
             opt.bookshelf = v;
         } else if (arg == "--suite") {
             const char* v = next();
-            if (!v) return parse_status::error;
+            if (!v) break;
             opt.suite = v;
         } else if (arg == "--scale") {
             const char* v = next();
-            if (!v) return parse_status::error;
-            opt.scale = std::atof(v);
+            if (!v) break;
+            if (!parse_number(v, opt.scale) || !(opt.scale > 0.0)) {
+                reject("a positive scale factor", v);
+            }
         } else if (arg == "--seed") {
             const char* v = next();
-            if (!v) return parse_status::error;
-            opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+            if (!v) break;
+            std::size_t seed = 0;
+            if (!parse_count(v, seed)) {
+                reject("a non-negative integer", v);
+            } else {
+                opt.seed = seed;
+            }
         } else if (arg == "--iterations") {
             const char* v = next();
-            if (!v) return parse_status::error;
-            opt.iterations = static_cast<std::size_t>(std::atoll(v));
+            if (!v) break;
+            if (!parse_count(v, opt.iterations)) {
+                reject("a non-negative integer", v);
+            }
         } else if (arg == "--levels") {
             const char* v = next();
-            if (!v) return parse_status::error;
-            opt.levels = static_cast<std::size_t>(std::atoll(v));
+            if (!v) break;
+            if (!parse_count(v, opt.levels)) {
+                reject("a non-negative level count", v);
+            }
         } else if (arg == "--net-model") {
             const char* v = next();
-            if (!v) return parse_status::error;
+            if (!v) break;
             opt.net_model = v;
             if (opt.net_model != "clique" && opt.net_model != "star" &&
                 opt.net_model != "hybrid") {
-                std::fprintf(stderr,
-                             "--net-model wants clique, star or hybrid, got '%s'\n", v);
-                return parse_status::error;
+                reject("clique, star or hybrid", v);
             }
         } else if (arg == "--star-threshold") {
             const char* v = next();
-            if (!v) return parse_status::error;
-            opt.star_threshold = static_cast<std::size_t>(std::atoll(v));
-            if (opt.star_threshold < 2) {
-                std::fprintf(stderr,
-                             "--star-threshold wants a degree >= 2, got '%s'\n", v);
-                return parse_status::error;
+            if (!v) break;
+            if (!parse_count(v, opt.star_threshold) || opt.star_threshold < 2) {
+                reject("a degree >= 2", v);
             }
         } else if (arg == "--time-budget") {
             const char* v = next();
-            if (!v) return parse_status::error;
-            opt.time_budget = std::atof(v);
-            if (!(opt.time_budget > 0.0)) {
-                std::fprintf(stderr, "--time-budget wants a positive number of seconds, got '%s'\n", v);
-                return parse_status::error;
+            if (!v) break;
+            if (!parse_number(v, opt.time_budget) || !(opt.time_budget > 0.0)) {
+                reject("a positive number of seconds", v);
             }
         } else if (arg == "--max-iter-seconds") {
             const char* v = next();
-            if (!v) return parse_status::error;
-            opt.max_iter_seconds = std::atof(v);
-            if (!(opt.max_iter_seconds > 0.0)) {
-                std::fprintf(stderr, "--max-iter-seconds wants a positive number of seconds, got '%s'\n", v);
-                return parse_status::error;
+            if (!v) break;
+            if (!parse_number(v, opt.max_iter_seconds) ||
+                !(opt.max_iter_seconds > 0.0)) {
+                reject("a positive number of seconds", v);
             }
         } else if (arg == "--legalizer") {
             const char* v = next();
-            if (!v) return parse_status::error;
+            if (!v) break;
             opt.legalizer = v;
         } else if (arg == "--out") {
             const char* v = next();
-            if (!v) return parse_status::error;
+            if (!v) break;
             opt.out = v;
         } else if (arg == "--fast") {
             opt.fast = true;

@@ -9,12 +9,21 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdlib>
 
 #include "gpf.hpp"
 
 namespace {
 
 using namespace gpf;
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+// Sanitized benchmark builds pin the kernel dispatch to the scalar
+// reference (results are bitwise identical; the intrinsic paths are not
+// what the sanitizer is here to check). setenv with overwrite=0 keeps an
+// explicit GPF_SIMD from the caller authoritative.
+const int force_scalar_simd = [] { return setenv("GPF_SIMD", "scalar", 0); }();
+#endif
 
 /// Pool size for a benchmark arg: 1, 2, ... with 0 meaning "hardware".
 void use_threads(std::int64_t arg) {

@@ -5,6 +5,7 @@
 
 #include "util/check.hpp"
 #include "util/fault.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gpf {
@@ -98,9 +99,11 @@ void density_map::add_rects(const std::vector<rect>& rects, double weight) {
         for (std::size_t i = begin; i < end; ++i) stamp(rects[i], weight, grid);
         scratch[s] = std::move(grid);
     });
+    // Serial slab-order merge; the elementwise accumulate kernel is
+    // bitwise identical on every ISA (util/simd.hpp).
+    const simd_kernels& kern = simd();
     for (std::size_t s = 0; s < slabs; ++s) {
-        const std::vector<double>& grid = scratch[s];
-        for (std::size_t b = 0; b < demand_.size(); ++b) demand_[b] += grid[b];
+        kern.accumulate(scratch[s].data(), demand_.data(), demand_.size());
     }
 }
 
@@ -116,7 +119,7 @@ void density_map::add_point(const point& p, double area) {
 
 void density_map::add_field(const std::vector<double>& values, double weight) {
     GPF_CHECK(values.size() == demand_.size());
-    for (std::size_t i = 0; i < demand_.size(); ++i) demand_[i] += weight * values[i];
+    simd().axpy(weight, values.data(), demand_.data(), demand_.size());
     finalized_ = false;
 }
 

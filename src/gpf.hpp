@@ -49,6 +49,7 @@
 #include "util/logging.hpp"
 #include "util/prng.hpp"
 #include "util/profiler.hpp"
+#include "util/simd.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 #include "verify/fuzz.hpp"

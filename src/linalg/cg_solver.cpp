@@ -7,6 +7,7 @@
 #include "util/check.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gpf {
@@ -55,18 +56,39 @@ void reset_cg_operator_ssor_warning() {
 
 double dot(const std::vector<double>& a, const std::vector<double>& b) {
     GPF_DCHECK(a.size() == b.size());
-    // Fixed-slab reduction: bitwise reproducible for any thread count.
-    return deterministic_sum(a.size(), [&](std::size_t i) { return a[i] * b[i]; });
+    // deterministic_sum's fixed-slab shape with the SIMD 4-lane reduction
+    // inside each slab: slab boundaries and the serial slab merge depend
+    // only on n, and every ISA's dot kernel reduces in the same fixed lane
+    // order (util/simd.hpp) — bitwise reproducible across GPF_THREADS and
+    // GPF_SIMD alike.
+    const std::size_t n = a.size();
+    if (n == 0) return 0.0;
+    const simd_kernels& kern = simd();
+    const std::size_t slabs =
+        (n + deterministic_sum_slab - 1) / deterministic_sum_slab;
+    if (slabs == 1) return kern.dot(a.data(), b.data(), n);
+    std::vector<double> partial(slabs, 0.0);
+    parallel_for(slabs, [&](std::size_t s) {
+        const std::size_t begin = s * deterministic_sum_slab;
+        const std::size_t end = std::min(n, begin + deterministic_sum_slab);
+        partial[s] = kern.dot(a.data() + begin, b.data() + begin, end - begin);
+    });
+    double acc = 0.0;
+    for (const double p : partial) acc += p;
+    return acc;
 }
 
 double norm2(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
 
 void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
     GPF_DCHECK(x.size() == y.size());
+    const simd_kernels& kern = simd();
+    const double* xp = x.data();
+    double* yp = y.data();
     parallel_for_chunks(
         x.size(),
         [&](std::size_t begin, std::size_t end) {
-            for (std::size_t i = begin; i < end; ++i) y[i] += alpha * x[i];
+            kern.axpy(alpha, xp + begin, yp + begin, end - begin);
         },
         kVectorGrain);
 }
@@ -198,7 +220,7 @@ cg_result cg_solve(const csr_matrix& a, const std::vector<double>& b,
         parallel_for_chunks(
             n,
             [&](std::size_t begin, std::size_t end) {
-                for (std::size_t i = begin; i < end; ++i) p[i] = z[i] + beta * p[i];
+                simd().xpby(z.data() + begin, beta, p.data() + begin, end - begin);
             },
             kVectorGrain);
         result.iterations = it + 1;
@@ -282,7 +304,7 @@ cg_result cg_solve_operator(const linear_operator& apply,
         parallel_for_chunks(
             n,
             [&](std::size_t begin, std::size_t end) {
-                for (std::size_t i = begin; i < end; ++i) p[i] = z[i] + beta * p[i];
+                simd().xpby(z.data() + begin, beta, p.data() + begin, end - begin);
             },
             kVectorGrain);
         result.iterations = it + 1;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gpf {
@@ -23,17 +24,20 @@ void csr_matrix::multiply(const std::vector<double>& x, std::vector<double>& y) 
     const std::size_t n = rows();
     GPF_CHECK(x.size() == n);
     y.resize(n);
-    // Row-parallel: each y[i] is produced by exactly one left-to-right row
-    // sum, so the result is bitwise identical for any thread count.
+    // Row-parallel: each y[i] is produced by exactly one row reduction in
+    // the fixed 4-lane order of util/simd.hpp, so the result is bitwise
+    // identical for any thread count and any GPF_SIMD setting.
+    const simd_kernels& kern = simd();
+    const double* vals = values_.data();
+    const std::size_t* cols = col_idx_.data();
+    const double* xp = x.data();
     parallel_for_chunks(
         n,
         [&](std::size_t begin, std::size_t end) {
             for (std::size_t i = begin; i < end; ++i) {
-                double acc = 0.0;
-                for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-                    acc += values_[k] * x[col_idx_[k]];
-                }
-                y[i] = acc;
+                const std::size_t k0 = row_ptr_[i];
+                y[i] = kern.dot_gather(vals + k0, cols + k0, xp,
+                                       row_ptr_[i + 1] - k0);
             }
         },
         /*grain=*/256);

@@ -7,6 +7,8 @@
 
 #include "util/check.hpp"
 #include "util/fault.hpp"
+#include "util/profiler.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gpf {
@@ -25,17 +27,28 @@ namespace {
 /// Precomputed per-size transform plan: the bit-reversal permutation and
 /// the twiddle factors of every butterfly stage, for both directions.
 /// Twiddles for stage `len` live at offset len/2 - 1 (len/2 entries), the
-/// flat layout of sum_{len=2,4,...} len/2 = n - 1 values.
+/// flat layout of sum_{len=2,4,...} len/2 = n - 1 values. The radix-4
+/// passes read the stage tables of both fused stages from this same
+/// layout (offsets block/4 - 1 and block/2 - 1).
 struct fft_plan {
     std::size_t n = 0;
+    std::size_t log2 = 0;
     std::vector<std::uint32_t> bitrev;
     std::vector<std::complex<double>> forward;
     std::vector<std::complex<double>> inverse;
 };
 
-fft_plan* build_plan(std::size_t n) {
+// Plan cache counters (see fft_plan_cache_stats in the header). Relaxed:
+// the totals are exact, ordering between counters is not promised.
+std::atomic<std::size_t> g_cache_hits{0};
+std::atomic<std::size_t> g_cache_misses{0};
+std::atomic<std::size_t> g_cache_plans{0};
+std::atomic<std::size_t> g_cache_bytes{0};
+
+fft_plan* build_plan(std::size_t n, std::size_t log2) {
     auto* plan = new fft_plan;
     plan->n = n;
+    plan->log2 = log2;
 
     plan->bitrev.resize(n);
     for (std::size_t i = 1, j = 0; i < n; ++i) {
@@ -50,20 +63,14 @@ fft_plan* build_plan(std::size_t n) {
     for (int dir = 0; dir < 2; ++dir) {
         auto& table = dir == 0 ? plan->forward : plan->inverse;
         for (std::size_t len = 2; len <= n; len <<= 1) {
-            const double angle =
+            // Direct evaluation per entry: full trig accuracy for the
+            // large stages, unlike a running-product recurrence whose
+            // rounding error compounds over len/2 steps.
+            const double step =
                 (dir == 0 ? -2.0 : 2.0) * M_PI / static_cast<double>(len);
-            const double wr0 = std::cos(angle);
-            const double wi0 = std::sin(angle);
-            // Same running-product recurrence the butterfly loop used to
-            // evaluate inline, so table-driven transforms are bitwise
-            // identical to the untabled ones.
-            double wr = 1.0;
-            double wi = 0.0;
             for (std::size_t k = 0; k < len / 2; ++k) {
-                table[len / 2 - 1 + k] = {wr, wi};
-                const double nr = wr * wr0 - wi * wi0;
-                wi = wr * wi0 + wi * wr0;
-                wr = nr;
+                const double angle = step * static_cast<double>(k);
+                table[len / 2 - 1 + k] = {std::cos(angle), std::sin(angle)};
             }
         }
     }
@@ -71,7 +78,8 @@ fft_plan* build_plan(std::size_t n) {
 }
 
 /// Lock-free lookup of the cached plan for size n = 2^k; the first request
-/// of each size builds the tables under a mutex.
+/// of each size builds the tables under a mutex. Bounded by construction:
+/// one slot per power of two, never evicted.
 const fft_plan& plan_for(std::size_t n) {
     constexpr std::size_t kMaxLog2 = 40;
     static std::atomic<fft_plan*> slots[kMaxLog2] = {};
@@ -83,20 +91,30 @@ const fft_plan& plan_for(std::size_t n) {
 
     fft_plan* plan = slots[log2].load(std::memory_order_acquire);
     if (plan == nullptr) {
+        g_cache_misses.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(build_mutex);
         plan = slots[log2].load(std::memory_order_relaxed);
         if (plan == nullptr) {
-            plan = build_plan(n);
+            plan = build_plan(n, log2);
+            g_cache_plans.fetch_add(1, std::memory_order_relaxed);
+            g_cache_bytes.fetch_add(
+                sizeof(fft_plan) + n * sizeof(std::uint32_t) +
+                    2 * (n - 1) * sizeof(std::complex<double>),
+                std::memory_order_relaxed);
             slots[log2].store(plan, std::memory_order_release);
         }
+    } else {
+        g_cache_hits.fetch_add(1, std::memory_order_relaxed);
     }
     return *plan;
 }
 
-/// Shared butterfly core. Twiddle multiplies are written in explicit real
-/// arithmetic: for the finite values the placer feeds in this matches the
-/// std::complex product bit for bit while skipping its non-finite
-/// recovery paths.
+/// Shared transform core: bit-reversal permutation, then the butterfly
+/// stages fused pairwise into radix-4 passes through the active SIMD
+/// kernel table. An odd stage count opens with one radix-2 pass at len 2
+/// so the remaining stages pair up. Every kernel table produces bitwise
+/// identical results (util/simd.hpp), so the transform is reproducible
+/// across GPF_SIMD exactly as it is across GPF_THREADS.
 void fft_with_plan(std::complex<double>* a, std::size_t n, bool inverse,
                    const fft_plan& plan) {
     for (std::size_t i = 1; i < n; ++i) {
@@ -104,30 +122,27 @@ void fft_with_plan(std::complex<double>* a, std::size_t n, bool inverse,
         if (i < j) std::swap(a[i], a[j]);
     }
 
+    const simd_kernels& kern = simd();
     const std::complex<double>* table =
         (inverse ? plan.inverse : plan.forward).data();
-    for (std::size_t len = 2; len <= n; len <<= 1) {
-        const std::size_t half = len / 2;
-        const std::complex<double>* w = table + (half - 1);
-        for (std::size_t i = 0; i < n; i += len) {
-            for (std::size_t k = 0; k < half; ++k) {
-                const double ur = a[i + k].real();
-                const double ui = a[i + k].imag();
-                const double br = a[i + k + half].real();
-                const double bi = a[i + k + half].imag();
-                const double wr = w[k].real();
-                const double wi = w[k].imag();
-                const double vr = br * wr - bi * wi;
-                const double vi = br * wi + bi * wr;
-                a[i + k] = {ur + vr, ui + vi};
-                a[i + k + half] = {ur - vr, ui - vi};
-            }
-        }
+
+    std::size_t stage = 2;
+    if ((plan.log2 & 1U) != 0) {
+        kern.fft_radix2(a, n, 2, table);
+        stage = 4;
+    }
+    // Each radix-4 pass computes the fused stage pair (stage, 2*stage)
+    // over blocks of 2*stage; the next unprocessed stage is then 4*stage.
+    while (2 * stage <= n) {
+        const std::size_t block = 2 * stage;
+        kern.fft_radix4(a, n, block, table + (block / 4 - 1),
+                        table + (block / 2 - 1), inverse);
+        stage = 4 * stage;
     }
 
     if (inverse) {
-        const double inv_n = 1.0 / static_cast<double>(n);
-        for (std::size_t i = 0; i < n; ++i) a[i] *= inv_n;
+        kern.scale(reinterpret_cast<double*>(a),
+                   1.0 / static_cast<double>(n), 2 * n);
     }
 }
 
@@ -156,7 +171,23 @@ void fft_cols(std::complex<double>* a, std::size_t n0, std::size_t n1,
     });
 }
 
+/// Nominal flop count of one complex FFT of size n (the standard
+/// 5 n log2 n model), for throughput reporting only.
+double fft_flops(std::size_t n, std::size_t count = 1) {
+    const double dn = static_cast<double>(n);
+    return 5.0 * dn * std::log2(dn) * static_cast<double>(count);
+}
+
 } // namespace
+
+fft_cache_stats fft_plan_cache_stats() {
+    fft_cache_stats s;
+    s.hits = g_cache_hits.load(std::memory_order_relaxed);
+    s.misses = g_cache_misses.load(std::memory_order_relaxed);
+    s.plans = g_cache_plans.load(std::memory_order_relaxed);
+    s.bytes = g_cache_bytes.load(std::memory_order_relaxed);
+    return s;
+}
 
 void fft(std::complex<double>* a, std::size_t n, bool inverse) {
     GPF_CHECK_MSG(is_power_of_two(n), "fft size must be a power of two");
@@ -187,31 +218,43 @@ std::vector<double> convolve_2d(const std::vector<double>& data, std::size_t n0,
     const std::size_t k1 = 2 * n1 - 1;
     GPF_CHECK(kernel.size() == k0 * k1);
 
-    const std::size_t p0 = next_power_of_two(n0 + k0 - 1);
-    const std::size_t p1 = next_power_of_two(n1 + k1 - 1);
+    // Cyclic grid: P >= 2n-1 per dimension makes the wrap-around
+    // convolution agree exactly with the "same"-shaped linear one (no
+    // kernel tap aliases onto an offset within reach of the data).
+    const std::size_t p0 = next_power_of_two(k0);
+    const std::size_t p1 = next_power_of_two(k1);
 
     std::vector<std::complex<double>> fa(p0 * p1), fb(p0 * p1);
     for (std::size_t i = 0; i < n0; ++i)
         for (std::size_t j = 0; j < n1; ++j) fa[i * p1 + j] = data[i * n1 + j];
-    for (std::size_t i = 0; i < k0; ++i)
-        for (std::size_t j = 0; j < k1; ++j) fb[i * p1 + j] = kernel[i * k1 + j];
+    // Scatter kernel tap (i, j) — offset (i - (n0-1), j - (n1-1)) — to its
+    // wrap-around position (offset mod P).
+    for (std::size_t i = 0; i < k0; ++i) {
+        const std::size_t wi = (i + p0 - n0 + 1) & (p0 - 1);
+        for (std::size_t j = 0; j < k1; ++j) {
+            const std::size_t wj = (j + p1 - n1 + 1) & (p1 - 1);
+            fb[wi * p1 + wj] = kernel[i * k1 + j];
+        }
+    }
 
     fft_2d(fa, p0, p1, false);
     fft_2d(fb, p0, p1, false);
+    std::complex<double>* const pa = fa.data();
+    const std::complex<double>* const pb = fb.data();
+    const simd_kernels& kern = simd();
     parallel_for_chunks(
         fa.size(),
         [&](std::size_t begin, std::size_t end) {
-            for (std::size_t i = begin; i < end; ++i) fa[i] *= fb[i];
+            kern.cmul(pa + begin, pb + begin, end - begin);
         },
         /*grain=*/4096);
     fft_2d(fa, p0, p1, true);
 
-    // The zero-offset kernel tap sits at (n0-1, n1-1), so output (i, j) of
-    // the "same"-shaped result is padded position (i + n0 - 1, j + n1 - 1).
+    // On the cyclic grid output (i, j) sits at padded position (i, j).
     std::vector<double> out(n0 * n1);
     for (std::size_t i = 0; i < n0; ++i) {
         for (std::size_t j = 0; j < n1; ++j) {
-            out[i * n1 + j] = fa[(i + n0 - 1) * p1 + (j + n1 - 1)].real();
+            out[i * n1 + j] = fa[i * p1 + j].real();
         }
     }
     return out;
@@ -226,16 +269,19 @@ spectral_convolver::spectral_convolver(std::size_t n0, std::size_t n1,
     const std::size_t k1 = 2 * n1 - 1;
     GPF_CHECK(kernel_x.size() == k0 * k1);
     GPF_CHECK(kernel_y.size() == k0 * k1);
-    p0_ = next_power_of_two(n0 + k0 - 1);
-    p1_ = next_power_of_two(n1 + k1 - 1);
+    p0_ = next_power_of_two(k0);
+    p1_ = next_power_of_two(k1);
 
     // One forward transform digests both kernels: by linearity the
     // spectrum of kx + i·ky is Kx + i·Ky, exactly the packed operator
-    // convolve_pair() multiplies with.
+    // convolve_pair() multiplies with. Taps scatter to their wrap-around
+    // positions (offset mod P per dimension), as in convolve_2d.
     std::vector<std::complex<double>> packed(p0_ * p1_);
     for (std::size_t i = 0; i < k0; ++i) {
+        const std::size_t wi = (i + p0_ - n0 + 1) & (p0_ - 1);
         for (std::size_t j = 0; j < k1; ++j) {
-            packed[i * p1_ + j] = {kernel_x[i * k1 + j], kernel_y[i * k1 + j]};
+            const std::size_t wj = (j + p1_ - n1 + 1) & (p1_ - 1);
+            packed[wi * p1_ + wj] = {kernel_x[i * k1 + j], kernel_y[i * k1 + j]};
         }
     }
     fft_2d(packed, p0_, p1_, false);
@@ -304,36 +350,46 @@ void spectral_convolver::convolve_pair(const std::vector<double>& data,
                                        std::vector<double>& out_x,
                                        std::vector<double>& out_y) {
     GPF_CHECK(data.size() == n0_ * n1_);
+    const double area = static_cast<double>(p0_ * p1_);
 
-    forward_packed(data);
+    {
+        kernel_timer timer(profile_kernel::fft_forward,
+                           fft_flops(p1_, (n0_ + 1) / 2) + fft_flops(p0_, p1_));
+        forward_packed(data);
+    }
 
     // Pointwise product with the packed kernel spectrum. Both convolution
     // results are real, so they share the two channels of one inverse
     // transform: Re = data ⊛ kx, Im = data ⊛ ky.
-    const std::complex<double>* spec = spectrum_.data();
-    parallel_for_chunks(
-        work_.size(),
-        [&](std::size_t begin, std::size_t end) {
-            for (std::size_t i = begin; i < end; ++i) {
-                const double ar = work_[i].real();
-                const double ai = work_[i].imag();
-                const double br = spec[i].real();
-                const double bi = spec[i].imag();
-                work_[i] = {ar * br - ai * bi, ar * bi + ai * br};
-            }
-        },
-        /*grain=*/4096);
+    {
+        kernel_timer timer(profile_kernel::fft_pointwise, 6.0 * area);
+        std::complex<double>* const w = work_.data();
+        const std::complex<double>* const spec = spectrum_.data();
+        const simd_kernels& kern = simd();
+        parallel_for_chunks(
+            work_.size(),
+            [&](std::size_t begin, std::size_t end) {
+                kern.cmul(w + begin, spec + begin, end - begin);
+            },
+            /*grain=*/4096);
+    }
 
-    fft_2d(work_, p0_, p1_, true);
+    {
+        kernel_timer timer(profile_kernel::fft_inverse,
+                           fft_flops(p1_, p0_) + fft_flops(p0_, p1_) + 2.0 * area);
+        fft_2d(work_, p0_, p1_, true);
+    }
 
+    // On the cyclic grid the "same"-shaped output needs no offset: element
+    // (i, j) of both convolutions sits at padded position (i, j).
     out_x.resize(n0_ * n1_);
     out_y.resize(n0_ * n1_);
     parallel_for_chunks(n0_, [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-            const std::complex<double>* src = work_.data() + (i + n0_ - 1) * p1_;
+            const std::complex<double>* src = work_.data() + i * p1_;
             for (std::size_t j = 0; j < n1_; ++j) {
-                out_x[i * n1_ + j] = src[j + n1_ - 1].real();
-                out_y[i * n1_ + j] = src[j + n1_ - 1].imag();
+                out_x[i * n1_ + j] = src[j].real();
+                out_y[i * n1_ + j] = src[j].imag();
             }
         }
     });

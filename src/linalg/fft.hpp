@@ -1,15 +1,31 @@
-// Radix-2 complex FFT and 2-D real convolution.
+// Radix-4/radix-2 complex FFT and 2-D real convolution on wrap-around
+// (cyclic) grids, with runtime-dispatched SIMD butterflies.
 //
 // The force field of eq. (9) in the paper is a discrete convolution of the
 // density map with the free-space Green's-function kernel; with m² grid
 // bins the FFT evaluates it in O(m² log m) instead of O(m⁴).
 //
+// Butterfly passes run through the kernel table of util/simd.hpp: stages
+// are fused pairwise into radix-4 passes (one complex multiply saved per
+// four outputs and half the memory sweeps), with a single radix-2 pass
+// first when log2(n) is odd. Every ISA produces bitwise-identical output
+// (see the determinism contract in util/simd.hpp), so transforms — and
+// hence placements — are reproducible across GPF_SIMD as well as
+// GPF_THREADS.
+//
+// The "same"-shaped linear convolution with a centered (2n-1)-tap kernel
+// is evaluated *exactly* on a cyclic grid of next_power_of_two(2n-1) per
+// dimension — 2n for power-of-two n — by scattering kernel tap m to index
+// (m mod P): because P >= 2n-1, no aliased tap lands on an offset the
+// linear convolution uses, and output (i, j) reads directly at padded
+// position (i, j). This halves each padded dimension relative to the
+// classic 4n zero-padding (a 4x smaller transform area).
+//
 // Transform plans (bit-reversal permutation and per-stage twiddle tables)
-// are cached per size in a process-wide table, so repeated transforms of
-// the same size — the placer runs thousands on a fixed grid — never
-// recompute trigonometry. `spectral_convolver` goes further and caches the
-// *kernel spectra* of the force-field convolution across placement
-// transformations (see DESIGN.md §7).
+// are cached per size in a process-wide table; see fft_plan_cache_stats()
+// for the cache's observability hook and the locking contract below.
+// `spectral_convolver` goes further and caches the *kernel spectra* of the
+// force-field convolution across placement transformations (DESIGN.md §7).
 #pragma once
 
 #include <complex>
@@ -24,9 +40,10 @@ bool is_power_of_two(std::size_t n);
 /// Smallest power of two >= n (n >= 1).
 std::size_t next_power_of_two(std::size_t n);
 
-/// In-place iterative Cooley-Tukey FFT. a.size() must be a power of two.
-/// The inverse transform includes the 1/N normalization. Twiddle factors
-/// come from the per-size plan cache; inputs must be finite.
+/// In-place iterative FFT (radix-4 with one radix-2 stage for odd log2).
+/// a.size() must be a power of two. The inverse transform includes the
+/// 1/N normalization. Twiddle factors come from the per-size plan cache;
+/// inputs must be finite.
 void fft(std::vector<std::complex<double>>& a, bool inverse);
 
 /// Pointer variant of fft() for transforming a slice in place (n must be a
@@ -39,13 +56,34 @@ void fft(std::complex<double>* a, std::size_t n, bool inverse);
 void fft_2d(std::vector<std::complex<double>>& a, std::size_t n0, std::size_t n1,
             bool inverse);
 
+/// Counters of the process-wide FFT plan cache (test/observability hook).
+///
+/// The cache is bounded by construction — one slot per power-of-two size
+/// up to 2^40, never evicted — and lock-free on the hit path: each slot is
+/// an atomic pointer published with release ordering after the plan is
+/// fully built. Only the first request of each size takes the build mutex;
+/// concurrent first requests of *different* sizes serialize on it but
+/// every later lookup is a single acquire load. Counter updates are
+/// relaxed atomics: totals are exact, but a reader racing a builder may
+/// transiently observe `misses` ahead of `plans`/`bytes`.
+struct fft_cache_stats {
+    std::size_t hits = 0;   ///< lookups served from a populated slot
+    std::size_t misses = 0; ///< lookups that built (or waited on) a plan
+    std::size_t plans = 0;  ///< distinct sizes currently cached
+    std::size_t bytes = 0;  ///< approximate resident bytes of all plans
+};
+
+/// Snapshot of the plan-cache counters since process start.
+fft_cache_stats fft_plan_cache_stats();
+
 /// Linear (non-cyclic) 2-D convolution of a row-major n0 x n1 real array
 /// with a centered kernel of size (2*n0-1) x (2*n1-1):
 ///
 ///   out(i,j) = sum_{k,l} data(k,l) * kernel(i-k + n0-1, j-l + n1-1)
 ///
 /// Kernel index (n0-1, n1-1) is the zero-offset tap. Output has the same
-/// n0 x n1 shape as data.
+/// n0 x n1 shape as data. Evaluated on the wrap-around grid described in
+/// the header comment.
 std::vector<double> convolve_2d(const std::vector<double>& data, std::size_t n0,
                                 std::size_t n1, const std::vector<double>& kernel);
 
@@ -54,17 +92,18 @@ std::vector<double> convolve_2d(const std::vector<double>& data, std::size_t n0,
 /// (data ⊛ kernel_x, data ⊛ kernel_y with one shared real input).
 ///
 /// Construction pays the kernel cost exactly once: both centered
-/// (2n0-1) x (2n1-1) kernels are packed as kx + i·ky into one padded
-/// complex grid and forward-transformed in a single 2-D FFT (linearity
-/// makes that spectrum Kx + i·Ky).
+/// (2n0-1) x (2n1-1) kernels are scattered wrap-around (tap offset m to
+/// index m mod P per dimension) into one cyclic complex grid as kx + i·ky
+/// and forward-transformed in a single 2-D FFT (linearity makes that
+/// spectrum Kx + i·Ky).
 ///
-/// convolve_pair() then costs two padded 2-D transforms per call instead
+/// convolve_pair() then costs two cyclic 2-D transforms per call instead
 /// of the six a pair of convolve_2d calls performs:
 ///   - one forward transform of the real data, with the row pass packing
 ///     two real rows into each complex length-p1 transform (the classic
 ///     two-reals-in-one-complex trick) and skipping the all-zero padding
 ///     rows entirely,
-///   - one pointwise product against the cached spectrum,
+///   - one pointwise product against the cached spectrum (SIMD cmul),
 ///   - one inverse transform whose real part is data ⊛ kernel_x and whose
 ///     imaginary part is data ⊛ kernel_y (both convolutions are real, so
 ///     they ride the two channels of one complex transform).
@@ -91,14 +130,15 @@ public:
                        std::vector<double>& out_y);
 
 private:
-    /// Forward transform of the zero-padded real data into work_, with the
-    /// real rows packed pairwise through one complex row transform each.
+    /// Forward transform of the cyclically padded real data into work_,
+    /// with the real rows packed pairwise through one complex row
+    /// transform each.
     void forward_packed(const std::vector<double>& data);
 
     std::size_t n0_, n1_; ///< data shape
-    std::size_t p0_, p1_; ///< padded transform shape (powers of two)
+    std::size_t p0_, p1_; ///< cyclic transform shape (powers of two)
     std::vector<std::complex<double>> spectrum_; ///< FFT2(kx + i·ky), cached
-    std::vector<std::complex<double>> work_;     ///< padded scratch, reused
+    std::vector<std::complex<double>> work_;     ///< cyclic scratch, reused
 };
 
 } // namespace gpf

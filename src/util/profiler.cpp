@@ -24,6 +24,16 @@ const char* profile_phase_name(profile_phase phase) {
     return "?";
 }
 
+const char* profile_kernel_name(profile_kernel kernel) {
+    switch (kernel) {
+        case profile_kernel::fft_forward: return "fft_fwd";
+        case profile_kernel::fft_pointwise: return "fft_mul";
+        case profile_kernel::fft_inverse: return "fft_inv";
+        case profile_kernel::count_: break;
+    }
+    return "?";
+}
+
 profiler& profiler::instance() {
     static profiler p;
     return p;
@@ -44,6 +54,17 @@ void profiler::add_sample(profile_phase phase, double seconds) {
     current_[i] += seconds;
 }
 
+void profiler::add_kernel_sample(profile_kernel kernel, double seconds,
+                                 double flops) {
+    const std::size_t i = static_cast<std::size_t>(kernel);
+    kernels_[i].seconds += seconds;
+    kernels_[i].flops += flops;
+    kernels_[i].calls += 1;
+    kernels_current_[i].seconds += seconds;
+    kernels_current_[i].flops += flops;
+    kernels_current_[i].calls += 1;
+}
+
 void profiler::add_cg_iterations(std::size_t x_iters, std::size_t y_iters) {
     cg_x_total_ += x_iters;
     cg_y_total_ += y_iters;
@@ -62,10 +83,19 @@ void profiler::end_transform() {
                          profile_phase_name(static_cast<profile_phase>(i)),
                          current_[i] * 1e3);
         }
+        for (std::size_t i = 0; i < num_profile_kernels; ++i) {
+            const kernel_totals& k = kernels_current_[i];
+            if (k.calls == 0) continue;
+            const double gfs = k.seconds > 0.0 ? k.flops / k.seconds * 1e-9 : 0.0;
+            std::fprintf(stderr, " %s=%.3fms/%.2fGF",
+                         profile_kernel_name(static_cast<profile_kernel>(i)),
+                         k.seconds * 1e3, gfs);
+        }
         std::fprintf(stderr, " cg_x=%zu cg_y=%zu total=%.3fms\n", cg_x_current_,
                      cg_y_current_, total * 1e3);
     }
     current_.fill(0.0);
+    kernels_current_.fill(kernel_totals{});
     cg_x_current_ = 0;
     cg_y_current_ = 0;
 }
@@ -76,6 +106,18 @@ double profiler::total_seconds(profile_phase phase) const {
 
 std::size_t profiler::calls(profile_phase phase) const {
     return totals_[static_cast<std::size_t>(phase)].calls;
+}
+
+double profiler::kernel_seconds(profile_kernel kernel) const {
+    return kernels_[static_cast<std::size_t>(kernel)].seconds;
+}
+
+double profiler::kernel_flops(profile_kernel kernel) const {
+    return kernels_[static_cast<std::size_t>(kernel)].flops;
+}
+
+std::size_t profiler::kernel_calls(profile_kernel kernel) const {
+    return kernels_[static_cast<std::size_t>(kernel)].calls;
 }
 
 std::string profiler::summary() const {
@@ -94,6 +136,16 @@ std::string profiler::summary() const {
                       t.seconds * 1e3, pct, t.calls);
         os << line;
     }
+    for (std::size_t i = 0; i < num_profile_kernels; ++i) {
+        const kernel_totals& k = kernels_[i];
+        if (k.calls == 0) continue;
+        const double gfs = k.seconds > 0.0 ? k.flops / k.seconds * 1e-9 : 0.0;
+        std::snprintf(line, sizeof line,
+                      "  kernel %-8s %10.3f ms  %6.2f GFLOP/s  (%zu calls)\n",
+                      profile_kernel_name(static_cast<profile_kernel>(i)),
+                      k.seconds * 1e3, gfs, k.calls);
+        os << line;
+    }
     os << "  cg iterations: x=" << cg_x_total_ << " y=" << cg_y_total_ << "\n";
     return os.str();
 }
@@ -101,6 +153,8 @@ std::string profiler::summary() const {
 void profiler::reset() {
     totals_.fill(phase_totals{});
     current_.fill(0.0);
+    kernels_.fill(kernel_totals{});
+    kernels_current_.fill(kernel_totals{});
     transforms_ = 0;
     cg_x_total_ = cg_y_total_ = 0;
     cg_x_current_ = cg_y_current_ = 0;

@@ -39,6 +39,22 @@ inline constexpr std::size_t num_profile_phases =
 /// Name of a phase as printed in trace lines and summaries.
 const char* profile_phase_name(profile_phase phase);
 
+/// Sub-phase kernels of the spectral force-field pipeline. Unlike phases,
+/// kernel samples also carry a flop count, so trace lines and summaries
+/// can report effective GFLOP/s per kernel.
+enum class profile_kernel : std::size_t {
+    fft_forward = 0, ///< forward transforms (packed data rows + columns)
+    fft_pointwise,   ///< complex pointwise product against kernel spectra
+    fft_inverse,     ///< inverse transforms
+    count_,
+};
+
+inline constexpr std::size_t num_profile_kernels =
+    static_cast<std::size_t>(profile_kernel::count_);
+
+/// Name of a kernel as printed in trace lines and summaries.
+const char* profile_kernel_name(profile_kernel kernel);
+
 /// Process-wide profiler instance. Not thread-safe by design: phases are
 /// recorded from the placer's driving thread only (worker threads run
 /// inside a phase, never around one).
@@ -55,6 +71,9 @@ public:
     bool trace() const { return trace_; }
 
     void add_sample(profile_phase phase, double seconds);
+    /// Record one kernel invocation: wall-clock seconds plus the nominal
+    /// flop count of the work performed (for throughput reporting).
+    void add_kernel_sample(profile_kernel kernel, double seconds, double flops);
     void add_cg_iterations(std::size_t x_iters, std::size_t y_iters);
 
     /// Marks the end of one placement transformation; when tracing, emits
@@ -65,6 +84,9 @@ public:
     std::size_t transforms() const { return transforms_; }
     double total_seconds(profile_phase phase) const;
     std::size_t calls(profile_phase phase) const;
+    double kernel_seconds(profile_kernel kernel) const;
+    double kernel_flops(profile_kernel kernel) const;
+    std::size_t kernel_calls(profile_kernel kernel) const;
     std::size_t total_cg_x() const { return cg_x_total_; }
     std::size_t total_cg_y() const { return cg_y_total_; }
 
@@ -82,10 +104,18 @@ private:
         std::size_t calls = 0;
     };
 
+    struct kernel_totals {
+        double seconds = 0.0;
+        double flops = 0.0;
+        std::size_t calls = 0;
+    };
+
     bool enabled_ = false;
     bool trace_ = false;
     std::array<phase_totals, num_profile_phases> totals_{};
     std::array<double, num_profile_phases> current_{}; ///< this transform
+    std::array<kernel_totals, num_profile_kernels> kernels_{};
+    std::array<kernel_totals, num_profile_kernels> kernels_current_{};
     std::size_t transforms_ = 0;
     std::size_t cg_x_total_ = 0, cg_y_total_ = 0;
     std::size_t cg_x_current_ = 0, cg_y_current_ = 0;
@@ -107,6 +137,32 @@ public:
 
 private:
     profile_phase phase_;
+    bool active_;
+    stopwatch watch_;
+};
+
+/// RAII kernel scope: records elapsed wall-clock and a nominal flop count
+/// into the global profiler on destruction. The flop count may be set at
+/// construction or adjusted before the scope closes.
+class kernel_timer {
+public:
+    explicit kernel_timer(profile_kernel kernel, double flops = 0.0)
+        : kernel_(kernel), flops_(flops),
+          active_(profiler::instance().enabled()) {}
+    ~kernel_timer() {
+        if (active_) {
+            profiler::instance().add_kernel_sample(kernel_, watch_.elapsed_seconds(),
+                                                   flops_);
+        }
+    }
+    kernel_timer(const kernel_timer&) = delete;
+    kernel_timer& operator=(const kernel_timer&) = delete;
+
+    void set_flops(double flops) { flops_ = flops; }
+
+private:
+    profile_kernel kernel_;
+    double flops_;
     bool active_;
     stopwatch watch_;
 };

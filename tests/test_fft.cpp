@@ -65,6 +65,64 @@ TEST(Fft, MatchesNaiveDft) {
     }
 }
 
+// Sweeps every size the placer can request up to 128. Covers both stage
+// schedules of the radix-4 engine: even log2 (pure radix-4) and odd log2
+// (radix-2 opener), in both directions.
+TEST(Fft, MatchesNaiveDftAllSizes) {
+    for (std::size_t n = 2; n <= 128; n <<= 1) {
+        prng rng(100 + n);
+        std::vector<std::complex<double>> a(n);
+        for (auto& c : a) c = {rng.next_range(-1, 1), rng.next_range(-1, 1)};
+
+        for (const bool inverse : {false, true}) {
+            std::vector<std::complex<double>> ref(n);
+            const double sign = inverse ? 2.0 : -2.0;
+            for (std::size_t k = 0; k < n; ++k) {
+                std::complex<double> acc{0.0, 0.0};
+                for (std::size_t j = 0; j < n; ++j) {
+                    const double angle =
+                        sign * M_PI * static_cast<double>(k * j) /
+                        static_cast<double>(n);
+                    acc += a[j] * std::complex<double>(std::cos(angle),
+                                                       std::sin(angle));
+                }
+                ref[k] = inverse ? acc / static_cast<double>(n) : acc;
+            }
+
+            std::vector<std::complex<double>> got = a;
+            fft(got, inverse);
+            for (std::size_t k = 0; k < n; ++k) {
+                EXPECT_NEAR(got[k].real(), ref[k].real(), 1e-9)
+                    << "n=" << n << " inverse=" << inverse << " k=" << k;
+                EXPECT_NEAR(got[k].imag(), ref[k].imag(), 1e-9)
+                    << "n=" << n << " inverse=" << inverse << " k=" << k;
+            }
+        }
+    }
+}
+
+TEST(Fft, PlanCacheStatsObserveLookups) {
+    // The cache is process-wide, so only deltas are meaningful here. A
+    // size this large is not used by other tests: the first transform
+    // must build a plan, the second must hit it.
+    const std::size_t n = std::size_t{1} << 15;
+    std::vector<std::complex<double>> a(n, {1.0, 0.0});
+
+    const fft_cache_stats before = fft_plan_cache_stats();
+    fft(a, false);
+    const fft_cache_stats after_build = fft_plan_cache_stats();
+    EXPECT_GE(after_build.plans, before.plans);
+    EXPECT_GT(after_build.misses + after_build.hits,
+              before.misses + before.hits);
+    EXPECT_GT(after_build.bytes, 0u);
+
+    fft(a, true);
+    const fft_cache_stats after_hit = fft_plan_cache_stats();
+    EXPECT_GT(after_hit.hits, after_build.hits);
+    EXPECT_EQ(after_hit.plans, after_build.plans);
+    EXPECT_EQ(after_hit.bytes, after_build.bytes);
+}
+
 TEST(Fft, DeltaTransformsToConstant) {
     std::vector<std::complex<double>> a(8, {0.0, 0.0});
     a[0] = {1.0, 0.0};

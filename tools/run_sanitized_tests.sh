@@ -28,4 +28,8 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 
 # GPF_THREADS sets the default pool size; the equivalence tests also resize
 # the pool themselves, so both defaulted and explicit pools run sanitized.
+# GPF_SIMD pins the kernel dispatch to the scalar reference under the
+# sanitizer (instrumentation of the intrinsic paths is spotty, and scalar
+# is bitwise identical anyway); callers may still override it.
+export GPF_SIMD="${GPF_SIMD:-scalar}"
 GPF_THREADS="$THREADS" ctest --test-dir "$BUILD_DIR" --output-on-failure

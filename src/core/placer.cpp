@@ -481,11 +481,17 @@ placement placer::run_multilevel() {
         // to the finer levels.
         placer_options sub = options_;
         sub.coarsen_levels = 0;
-        const double ratio = static_cast<double>(coarse_nl.num_movable()) /
-                             std::max(1.0, fine_movable);
-        sub.density_bins = std::max<std::size_t>(
-            256, static_cast<std::size_t>(
-                     std::llround(static_cast<double>(options_.density_bins) * ratio)));
+        // Ratio-scale the density grid only past coarse_full_bin_limit:
+        // below it a full-resolution convolution is under the per-level
+        // spectral budget (the r2c path, DESIGN.md §13), and coarse
+        // levels spread better against the full grid.
+        if (options_.density_bins > options_.coarse_full_bin_limit) {
+            const double ratio = static_cast<double>(coarse_nl.num_movable()) /
+                                 std::max(1.0, fine_movable);
+            sub.density_bins = std::max<std::size_t>(
+                256, static_cast<std::size_t>(std::llround(
+                         static_cast<double>(options_.density_bins) * ratio)));
+        }
         sub.spread_factor = options_.spread_factor * 2.0;
         if (options_.plateau_window > 0) {
             sub.plateau_window = std::max<std::size_t>(4, options_.plateau_window / 4);

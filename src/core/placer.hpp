@@ -77,6 +77,15 @@ struct placer_options {
     double wire_relax_weight = 0.05;
     std::size_t max_iterations = 200;
     std::size_t density_bins = 4096;     ///< target total bin count
+    /// Multilevel coarse levels historically ratio-scaled density_bins by
+    /// the coarse/fine movable-cell ratio to keep per-convolve FFT cost
+    /// bounded. With the packed r2c spectral path a convolution at up to
+    /// this many bins is under budget (256×256 runs in single-digit ms
+    /// single-threaded), so coarse levels keep the full grid — better
+    /// force resolution for bulk spreading — and only ratio-scale when
+    /// density_bins exceeds this limit. 0 restores the old always-scale
+    /// behavior.
+    std::size_t coarse_full_bin_limit = std::size_t{1} << 16;
     double spread_factor = 4.0;          ///< stop: empty square area <= factor * avg cell area
     double empty_threshold = 0.05;       ///< bin demand below this counts as empty
     std::size_t min_iterations = 2;      ///< run at least this many transformations

@@ -36,39 +36,109 @@ void density_map::add_rect(const rect& r, double weight) {
     finalized_ = false;
 }
 
+namespace {
+
+/// Row-run decomposition of one axis of a clipped stamp: the covered bin
+/// range [lo, hi], split into an optional partial head bin, a fully
+/// covered interior span [full_lo, full_hi], and an optional partial tail
+/// bin. Fractions are coverage ratios in [0, 1]; a bin whose boundary the
+/// segment sits on bitwise is classified exactly — full coverage deposits
+/// exactly the stamp weight (never area/area ≈ 1 ± ulp), zero coverage
+/// deposits nothing at all.
+struct axis_run {
+    std::size_t lo = 0, hi = 0;           ///< covered bin range, inclusive
+    std::size_t full_lo = 1, full_hi = 0; ///< full subrange (empty when lo > hi)
+    double frac_lo = 0.0, frac_hi = 0.0;  ///< partial coverage of lo / hi
+    bool lo_partial = false, hi_partial = false;
+    bool empty = true;
+};
+
+axis_run decompose_axis(double seg_lo, double seg_hi, double origin, double bin,
+                        std::size_t count) {
+    axis_run run;
+    const auto last = static_cast<std::ptrdiff_t>(count) - 1;
+    const auto edge = [&](std::ptrdiff_t i) {
+        return origin + static_cast<double>(i) * bin;
+    };
+    // First bin whose span the segment enters, and the last bin whose low
+    // edge lies strictly below seg_hi (ceil - 1, so a segment ending
+    // bitwise on an edge never claims the bin above it).
+    const std::ptrdiff_t i0 =
+        std::clamp(static_cast<std::ptrdiff_t>(std::floor((seg_lo - origin) / bin)),
+                   std::ptrdiff_t{0}, last);
+    const std::ptrdiff_t i1 =
+        std::clamp(static_cast<std::ptrdiff_t>(std::ceil((seg_hi - origin) / bin)) - 1,
+                   std::ptrdiff_t{0}, last);
+    if (i1 < i0) return run;
+    run.empty = false;
+    run.lo = static_cast<std::size_t>(i0);
+    run.hi = static_cast<std::size_t>(i1);
+
+    // Boundary classification is bitwise: a segment end on (or beyond) the
+    // computed bin edge means exact full coverage of the inner bin.
+    const bool head_full = seg_lo <= edge(i0);
+    const bool tail_full = seg_hi >= edge(i1 + 1);
+    const auto clamp01 = [](double f) { return std::clamp(f, 0.0, 1.0); };
+
+    if (i0 == i1) {
+        if (head_full && tail_full) {
+            run.full_lo = run.lo;
+            run.full_hi = run.hi;
+        } else {
+            run.frac_lo = clamp01((seg_hi - seg_lo) / bin);
+            run.lo_partial = run.frac_lo > 0.0;
+            run.empty = !run.lo_partial;
+        }
+        return run;
+    }
+
+    run.full_lo = run.lo + (head_full ? 0 : 1);
+    run.full_hi = run.hi - (tail_full ? 0 : 1);
+    if (!head_full) {
+        run.frac_lo = clamp01((edge(i0 + 1) - seg_lo) / bin);
+        run.lo_partial = run.frac_lo > 0.0;
+    }
+    if (!tail_full) {
+        run.frac_hi = clamp01((seg_hi - edge(i1)) / bin);
+        run.hi_partial = run.frac_hi > 0.0;
+    }
+    return run;
+}
+
+} // namespace
+
 void density_map::stamp(const rect& r, double weight, std::vector<double>& out) const {
     const rect clipped = intersect(r, region_);
-    if (clipped.empty()) return;
+    // Degenerate (zero-area) rects carry nothing; strict comparisons also
+    // reject the empty intersection.
+    if (!(clipped.xlo < clipped.xhi) || !(clipped.ylo < clipped.yhi)) return;
 
-    const auto bin_of_x = [this](double x) {
-        const double t = (x - region_.xlo) / bin_w_;
-        return std::clamp(static_cast<std::ptrdiff_t>(std::floor(t)),
-                          std::ptrdiff_t{0}, static_cast<std::ptrdiff_t>(nx_) - 1);
+    const axis_run xs =
+        decompose_axis(clipped.xlo, clipped.xhi, region_.xlo, bin_w_, nx_);
+    const axis_run ys =
+        decompose_axis(clipped.ylo, clipped.yhi, region_.ylo, bin_h_, ny_);
+    if (xs.empty || ys.empty) return;
+
+    // Rows are contiguous in iy (index = ix * ny + iy): each covered ix
+    // deposits a partial head bin, a constant full-coverage span through
+    // the SIMD add_scalar kernel, and a partial tail bin. Full × full
+    // bins receive exactly `weight`.
+    const simd_kernels& kern = simd();
+    const std::size_t full_len =
+        ys.full_hi >= ys.full_lo ? ys.full_hi - ys.full_lo + 1 : 0;
+    const auto stamp_row = [&](std::size_t ix, double wx) {
+        double* row = out.data() + ix * ny_;
+        if (ys.lo_partial) row[ys.lo] += wx * ys.frac_lo;
+        if (full_len != 0) kern.add_scalar(row + ys.full_lo, wx, full_len);
+        if (ys.hi_partial) row[ys.hi] += wx * ys.frac_hi;
     };
-    const auto bin_of_y = [this](double y) {
-        const double t = (y - region_.ylo) / bin_h_;
-        return std::clamp(static_cast<std::ptrdiff_t>(std::floor(t)),
-                          std::ptrdiff_t{0}, static_cast<std::ptrdiff_t>(ny_) - 1);
-    };
-
-    const auto ix0 = bin_of_x(clipped.xlo);
-    const auto ix1 = bin_of_x(clipped.xhi);
-    const auto iy0 = bin_of_y(clipped.ylo);
-    const auto iy1 = bin_of_y(clipped.yhi);
-    const double inv_bin_area = 1.0 / bin_area();
-
-    for (auto ix = ix0; ix <= ix1; ++ix) {
-        const double bxlo = region_.xlo + static_cast<double>(ix) * bin_w_;
-        const double ox = overlap(interval(bxlo, bxlo + bin_w_), clipped.x_range());
-        if (ox <= 0.0) continue;
-        for (auto iy = iy0; iy <= iy1; ++iy) {
-            const double bylo = region_.ylo + static_cast<double>(iy) * bin_h_;
-            const double oy = overlap(interval(bylo, bylo + bin_h_), clipped.y_range());
-            if (oy <= 0.0) continue;
-            out[index(static_cast<std::size_t>(ix), static_cast<std::size_t>(iy))] +=
-                weight * ox * oy * inv_bin_area;
+    if (xs.lo_partial) stamp_row(xs.lo, weight * xs.frac_lo);
+    if (xs.full_hi >= xs.full_lo) {
+        for (std::size_t ix = xs.full_lo; ix <= xs.full_hi; ++ix) {
+            stamp_row(ix, weight);
         }
     }
+    if (xs.hi_partial) stamp_row(xs.hi, weight * xs.frac_hi);
 }
 
 void density_map::add_rects(const std::vector<rect>& rects, double weight) {
@@ -82,7 +152,11 @@ void density_map::add_rects(const std::vector<rect>& rects, double weight) {
     // slab order. The reduction tree is therefore identical whether the
     // slabs run inline or on any number of workers — placements stay
     // bitwise reproducible across GPF_THREADS settings.
-    constexpr std::size_t kMinRectsPerSlab = 256;
+    // 1024 rects amortize one scratch-grid allocation + merge; fewer,
+    // larger slabs keep the serial merge cost (slabs × grid sweeps) small
+    // now that the stamping inner loop itself is vectorized. Still a pure
+    // function of n, never of the thread count.
+    constexpr std::size_t kMinRectsPerSlab = 1024;
     constexpr std::size_t kMaxSlabs = 32;
     const std::size_t slabs =
         std::clamp<std::size_t>(n / kMinRectsPerSlab, 1, kMaxSlabs);

@@ -91,10 +91,15 @@ const fft_plan& plan_for(std::size_t n) {
 
     fft_plan* plan = slots[log2].load(std::memory_order_acquire);
     if (plan == nullptr) {
-        g_cache_misses.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(build_mutex);
         plan = slots[log2].load(std::memory_order_relaxed);
         if (plan == nullptr) {
+            // Only the thread that actually builds counts the miss —
+            // concurrent first requests of the same size that lose the
+            // build race find the slot populated and count a hit below,
+            // keeping misses == plans and hits + misses == lookups even
+            // under contention.
+            g_cache_misses.fetch_add(1, std::memory_order_relaxed);
             plan = build_plan(n, log2);
             g_cache_plans.fetch_add(1, std::memory_order_relaxed);
             g_cache_bytes.fetch_add(
@@ -102,6 +107,8 @@ const fft_plan& plan_for(std::size_t n) {
                     2 * (n - 1) * sizeof(std::complex<double>),
                 std::memory_order_relaxed);
             slots[log2].store(plan, std::memory_order_release);
+        } else {
+            g_cache_hits.fetch_add(1, std::memory_order_relaxed);
         }
     } else {
         g_cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -157,16 +164,146 @@ void fft_rows(std::complex<double>* a, std::size_t n0, std::size_t n1,
     });
 }
 
-/// Column pass: gather each column into a per-chunk scratch vector,
-/// transform, scatter back.
+/// Adjacent columns gathered per scratch block of the column pass: four
+/// complex doubles are one cache line, so the strided row walk pays one
+/// line fetch for four columns instead of four fetches of one.
+constexpr std::size_t kColBatch = 4;
+
+/// Column pass over columns [col_begin, col_end) of a row-major grid with
+/// row stride `stride`: gather kColBatch adjacent columns into contiguous
+/// scratch, transform each, scatter to dst (which may alias src for an
+/// in-place pass — batches own disjoint column ranges either way). The
+/// chunk schedule depends only on the column count, and every 1-D
+/// transform owns its scratch, so results are bitwise identical for any
+/// thread count.
+void fft_cols_strided(const std::complex<double>* src, std::complex<double>* dst,
+                      std::size_t rows, std::size_t stride, std::size_t col_begin,
+                      std::size_t col_end, bool inverse, const fft_plan& plan) {
+    const std::size_t cols = col_end - col_begin;
+    const std::size_t batches = (cols + kColBatch - 1) / kColBatch;
+    parallel_for_chunks(batches, [&](std::size_t begin, std::size_t end) {
+        std::vector<std::complex<double>> scratch(kColBatch * rows);
+        for (std::size_t b = begin; b < end; ++b) {
+            const std::size_t j0 = col_begin + b * kColBatch;
+            const std::size_t jn = std::min(col_end - j0, kColBatch);
+            for (std::size_t i = 0; i < rows; ++i) {
+                const std::complex<double>* row = src + i * stride + j0;
+                for (std::size_t c = 0; c < jn; ++c) scratch[c * rows + i] = row[c];
+            }
+            for (std::size_t c = 0; c < jn; ++c) {
+                fft_with_plan(scratch.data() + c * rows, rows, inverse, plan);
+            }
+            for (std::size_t i = 0; i < rows; ++i) {
+                std::complex<double>* row = dst + i * stride + j0;
+                for (std::size_t c = 0; c < jn; ++c) row[c] = scratch[c * rows + i];
+            }
+        }
+    });
+}
+
+/// Column pass of the full-width complex 2-D transform.
 void fft_cols(std::complex<double>* a, std::size_t n0, std::size_t n1,
               bool inverse, const fft_plan& plan) {
-    parallel_for_chunks(n1, [&](std::size_t begin, std::size_t end) {
-        std::vector<std::complex<double>> col(n0);
-        for (std::size_t j = begin; j < end; ++j) {
-            for (std::size_t i = 0; i < n0; ++i) col[i] = a[i * n1 + j];
-            fft_with_plan(col.data(), n0, inverse, plan);
-            for (std::size_t i = 0; i < n0; ++i) a[i * n1 + j] = col[i];
+    fft_cols_strided(a, a, n0, n1, 0, n1, inverse, plan);
+}
+
+/// Packed-pair r2c row pass: forward-transforms `rows` real rows of
+/// `width` samples each (zero-padded to transform length p1) and stores
+/// the retained half spectrum — columns 0..p1/2 — of every row into
+/// `out`, row-major with stride p1/2 + 1. Rows go pairwise through one
+/// complex transform each: FFT(r0 + i·r1) recovers both spectra via the
+/// conjugate symmetry of real input,
+///   FFT(r0)[k] = (Z[k] + conj(Z[-k])) / 2
+///   FFT(r1)[k] = (Z[k] - conj(Z[-k])) / 2i .
+/// The schedule depends only on (rows, p1), so the pass is bitwise
+/// reproducible at any thread count.
+void r2c_rows(const double* data, std::size_t rows, std::size_t width,
+              std::size_t p1, std::complex<double>* out, const fft_plan& plan) {
+    const std::size_t hw = p1 / 2 + 1;
+    const std::size_t pairs = (rows + 1) / 2;
+    parallel_for_chunks(pairs, [&](std::size_t begin, std::size_t end) {
+        std::vector<std::complex<double>> row(p1);
+        for (std::size_t r = begin; r < end; ++r) {
+            const std::size_t i0 = 2 * r;
+            const std::size_t i1 = i0 + 1;
+            if (i1 < rows) {
+                for (std::size_t j = 0; j < width; ++j) {
+                    row[j] = {data[i0 * width + j], data[i1 * width + j]};
+                }
+                std::fill(row.begin() + static_cast<std::ptrdiff_t>(width),
+                          row.end(), std::complex<double>{0.0, 0.0});
+                fft_with_plan(row.data(), p1, false, plan);
+                std::complex<double>* out0 = out + i0 * hw;
+                std::complex<double>* out1 = out + i1 * hw;
+                for (std::size_t k = 0; k < hw; ++k) {
+                    const std::size_t km = (p1 - k) & (p1 - 1);
+                    const double ar = row[k].real();
+                    const double ai = row[k].imag();
+                    const double br = row[km].real();
+                    const double bi = -row[km].imag(); // conj(Z[-k])
+                    out0[k] = {0.5 * (ar + br), 0.5 * (ai + bi)};
+                    out1[k] = {0.5 * (ai - bi), -0.5 * (ar - br)};
+                }
+            } else {
+                // Odd tail: a single real row transforms directly.
+                for (std::size_t j = 0; j < width; ++j) {
+                    row[j] = {data[i0 * width + j], 0.0};
+                }
+                std::fill(row.begin() + static_cast<std::ptrdiff_t>(width),
+                          row.end(), std::complex<double>{0.0, 0.0});
+                fft_with_plan(row.data(), p1, false, plan);
+                std::complex<double>* out0 = out + i0 * hw;
+                for (std::size_t k = 0; k < hw; ++k) out0[k] = row[k];
+            }
+        }
+    });
+}
+
+/// Packed-pair c2r row pass, the inverse of r2c_rows: rebuilds each full
+/// row spectrum from its retained half (columns k > p1/2 are the exact
+/// conjugate mirror of the stored ones — Hermitian symmetry of a real
+/// signal), rides two rows per complex inverse transform (z = H0 + i·H1
+/// ⇒ ifft(z) = r0 + i·r1 with both real), and writes `width` samples per
+/// row into `out` (row stride width). Includes the 1/p1 normalization.
+void c2r_rows(const std::complex<double>* half, std::size_t rows, std::size_t p1,
+              double* out, std::size_t width, const fft_plan& plan) {
+    const std::size_t hw = p1 / 2 + 1;
+    const std::size_t pairs = (rows + 1) / 2;
+    parallel_for_chunks(pairs, [&](std::size_t begin, std::size_t end) {
+        std::vector<std::complex<double>> row(p1);
+        for (std::size_t r = begin; r < end; ++r) {
+            const std::size_t i0 = 2 * r;
+            const std::size_t i1 = i0 + 1;
+            if (i1 < rows) {
+                const std::complex<double>* h0 = half + i0 * hw;
+                const std::complex<double>* h1 = half + i1 * hw;
+                for (std::size_t k = 0; k < hw; ++k) {
+                    // z[k] = H0[k] + i·H1[k]
+                    row[k] = {h0[k].real() - h1[k].imag(),
+                              h0[k].imag() + h1[k].real()};
+                }
+                for (std::size_t k = hw; k < p1; ++k) {
+                    // z[k] = conj(H0[p1-k]) + i·conj(H1[p1-k])
+                    const std::size_t km = p1 - k;
+                    row[k] = {h0[km].real() + h1[km].imag(),
+                              h1[km].real() - h0[km].imag()};
+                }
+                fft_with_plan(row.data(), p1, true, plan);
+                for (std::size_t j = 0; j < width; ++j) {
+                    out[i0 * width + j] = row[j].real();
+                    out[i1 * width + j] = row[j].imag();
+                }
+            } else {
+                const std::complex<double>* h0 = half + i0 * hw;
+                for (std::size_t k = 0; k < hw; ++k) row[k] = h0[k];
+                for (std::size_t k = hw; k < p1; ++k) {
+                    row[k] = std::conj(h0[p1 - k]);
+                }
+                fft_with_plan(row.data(), p1, true, plan);
+                for (std::size_t j = 0; j < width; ++j) {
+                    out[i0 * width + j] = row[j].real();
+                }
+            }
         }
     });
 }
@@ -211,6 +348,32 @@ void fft_2d(std::vector<std::complex<double>>& a, std::size_t n0, std::size_t n1
     fft_cols(a.data(), n0, n1, inverse, col_plan);
 }
 
+std::vector<std::complex<double>> fft_2d_r2c(const std::vector<double>& data,
+                                             std::size_t n0, std::size_t n1) {
+    GPF_CHECK(data.size() == n0 * n1);
+    GPF_CHECK_MSG(is_power_of_two(n0) && is_power_of_two(n1),
+                  "fft_2d_r2c dims must be powers of two");
+    const std::size_t hw = n1 / 2 + 1;
+    std::vector<std::complex<double>> half(n0 * hw);
+    r2c_rows(data.data(), n0, n1, n1, half.data(), plan_for(n1));
+    fft_cols_strided(half.data(), half.data(), n0, hw, 0, hw, false,
+                     plan_for(n0));
+    return half;
+}
+
+std::vector<double> fft_2d_c2r(std::vector<std::complex<double>>& half,
+                               std::size_t n0, std::size_t n1) {
+    GPF_CHECK_MSG(is_power_of_two(n0) && is_power_of_two(n1),
+                  "fft_2d_c2r dims must be powers of two");
+    const std::size_t hw = n1 / 2 + 1;
+    GPF_CHECK(half.size() == n0 * hw);
+    fft_cols_strided(half.data(), half.data(), n0, hw, 0, hw, true,
+                     plan_for(n0)); // includes the 1/n0 factor
+    std::vector<double> out(n0 * n1);
+    c2r_rows(half.data(), n0, n1, out.data(), n1, plan_for(n1)); // and 1/n1
+    return out;
+}
+
 std::vector<double> convolve_2d(const std::vector<double>& data, std::size_t n0,
                                 std::size_t n1, const std::vector<double>& kernel) {
     GPF_CHECK(data.size() == n0 * n1);
@@ -223,40 +386,48 @@ std::vector<double> convolve_2d(const std::vector<double>& data, std::size_t n0,
     // kernel tap aliases onto an offset within reach of the data).
     const std::size_t p0 = next_power_of_two(k0);
     const std::size_t p1 = next_power_of_two(k1);
+    const std::size_t hw = p1 / 2 + 1;
+    const fft_plan& row_plan = plan_for(p1);
+    const fft_plan& col_plan = plan_for(p0);
 
-    std::vector<std::complex<double>> fa(p0 * p1), fb(p0 * p1);
-    for (std::size_t i = 0; i < n0; ++i)
-        for (std::size_t j = 0; j < n1; ++j) fa[i * p1 + j] = data[i * n1 + j];
+    // Both operands are real, so everything runs on the half spectrum:
+    // r2c rows (zero-filled half rows for the data padding), a column
+    // pass over the hw retained columns, a half-size pointwise product —
+    // Hermitian × Hermitian is Hermitian — and a c2r inverse that only
+    // materializes the n0 output rows.
+    std::vector<std::complex<double>> da(p0 * hw);
+    r2c_rows(data.data(), n0, n1, p1, da.data(), row_plan);
+    fft_cols_strided(da.data(), da.data(), p0, hw, 0, hw, false, col_plan);
+
     // Scatter kernel tap (i, j) — offset (i - (n0-1), j - (n1-1)) — to its
-    // wrap-around position (offset mod P).
+    // wrap-around position (offset mod P), then transform it the same way.
+    std::vector<double> kb(p0 * p1, 0.0);
     for (std::size_t i = 0; i < k0; ++i) {
         const std::size_t wi = (i + p0 - n0 + 1) & (p0 - 1);
         for (std::size_t j = 0; j < k1; ++j) {
             const std::size_t wj = (j + p1 - n1 + 1) & (p1 - 1);
-            fb[wi * p1 + wj] = kernel[i * k1 + j];
+            kb[wi * p1 + wj] = kernel[i * k1 + j];
         }
     }
+    std::vector<std::complex<double>> hb(p0 * hw);
+    r2c_rows(kb.data(), p0, p1, p1, hb.data(), row_plan);
+    fft_cols_strided(hb.data(), hb.data(), p0, hw, 0, hw, false, col_plan);
 
-    fft_2d(fa, p0, p1, false);
-    fft_2d(fb, p0, p1, false);
-    std::complex<double>* const pa = fa.data();
-    const std::complex<double>* const pb = fb.data();
+    std::complex<double>* const pa = da.data();
+    const std::complex<double>* const pb = hb.data();
     const simd_kernels& kern = simd();
     parallel_for_chunks(
-        fa.size(),
+        da.size(),
         [&](std::size_t begin, std::size_t end) {
             kern.cmul(pa + begin, pb + begin, end - begin);
         },
         /*grain=*/4096);
-    fft_2d(fa, p0, p1, true);
 
-    // On the cyclic grid output (i, j) sits at padded position (i, j).
+    fft_cols_strided(da.data(), da.data(), p0, hw, 0, hw, true, col_plan);
+    // On the cyclic grid output (i, j) sits at padded position (i, j), so
+    // the inverse row pass only runs the n0 rows the output reads.
     std::vector<double> out(n0 * n1);
-    for (std::size_t i = 0; i < n0; ++i) {
-        for (std::size_t j = 0; j < n1; ++j) {
-            out[i * n1 + j] = fa[i * p1 + j].real();
-        }
-    }
+    c2r_rows(da.data(), n0, p1, out.data(), n1, row_plan);
     return out;
 }
 
@@ -271,11 +442,12 @@ spectral_convolver::spectral_convolver(std::size_t n0, std::size_t n1,
     GPF_CHECK(kernel_y.size() == k0 * k1);
     p0_ = next_power_of_two(k0);
     p1_ = next_power_of_two(k1);
+    hw_ = p1_ / 2 + 1;
 
     // One forward transform digests both kernels: by linearity the
-    // spectrum of kx + i·ky is Kx + i·Ky, exactly the packed operator
-    // convolve_pair() multiplies with. Taps scatter to their wrap-around
-    // positions (offset mod P per dimension), as in convolve_2d.
+    // spectrum of kx + i·ky is Kx + i·Ky. Taps scatter to their
+    // wrap-around positions (offset mod P per dimension), as in
+    // convolve_2d.
     std::vector<std::complex<double>> packed(p0_ * p1_);
     for (std::size_t i = 0; i < k0; ++i) {
         const std::size_t wi = (i + p0_ - n0 + 1) & (p0_ - 1);
@@ -285,114 +457,115 @@ spectral_convolver::spectral_convolver(std::size_t n0, std::size_t n1,
         }
     }
     fft_2d(packed, p0_, p1_, false);
-    spectrum_ = std::move(packed);
-    work_.assign(p0_ * p1_, {0.0, 0.0});
-}
 
-void spectral_convolver::forward_packed(const std::vector<double>& data) {
-    const fft_plan& row_plan = plan_for(p1_);
-    const fft_plan& col_plan = plan_for(p0_);
-
-    // Zero the scratch: the inverse transform of the previous call left it
-    // fully populated, and the padding region must read 0.
-    std::fill(work_.begin(), work_.end(), std::complex<double>{0.0, 0.0});
-
-    // Row pass over the n0 data rows only — the p0 - n0 padding rows are
-    // zero and transform to zero without arithmetic. Rows go pairwise
-    // through one complex transform each: FFT(r0 + i·r1) recovers both
-    // spectra via the conjugate symmetry of real input,
-    //   FFT(r0)[k] = (Z[k] + conj(Z[-k])) / 2
-    //   FFT(r1)[k] = (Z[k] - conj(Z[-k])) / 2i .
-    // Each pair owns rows 2r and 2r+1 of work_, so the pass parallelizes
-    // with a schedule fixed by n0 alone.
-    const std::size_t pairs = (n0_ + 1) / 2;
-    parallel_for_chunks(pairs, [&](std::size_t begin, std::size_t end) {
-        std::vector<std::complex<double>> row(p1_);
-        for (std::size_t r = begin; r < end; ++r) {
-            const std::size_t i0 = 2 * r;
-            const std::size_t i1 = i0 + 1;
-            if (i1 < n0_) {
-                for (std::size_t j = 0; j < n1_; ++j) {
-                    row[j] = {data[i0 * n1_ + j], data[i1 * n1_ + j]};
-                }
-                std::fill(row.begin() + static_cast<std::ptrdiff_t>(n1_),
-                          row.end(), std::complex<double>{0.0, 0.0});
-                fft_with_plan(row.data(), p1_, false, row_plan);
-                std::complex<double>* out0 = work_.data() + i0 * p1_;
-                std::complex<double>* out1 = work_.data() + i1 * p1_;
-                for (std::size_t k = 0; k < p1_; ++k) {
-                    const std::size_t km = (p1_ - k) & (p1_ - 1);
-                    const double ar = row[k].real();
-                    const double ai = row[k].imag();
-                    const double br = row[km].real();
-                    const double bi = -row[km].imag(); // conj(Z[-k])
-                    out0[k] = {0.5 * (ar + br), 0.5 * (ai + bi)};
-                    out1[k] = {0.5 * (ai - bi), -0.5 * (ar - br)};
-                }
-            } else {
-                // Odd tail: a single real row transforms directly.
-                for (std::size_t j = 0; j < n1_; ++j) {
-                    row[j] = {data[i0 * n1_ + j], 0.0};
-                }
-                std::fill(row.begin() + static_cast<std::ptrdiff_t>(n1_),
-                          row.end(), std::complex<double>{0.0, 0.0});
-                fft_with_plan(row.data(), p1_, false, row_plan);
-                std::complex<double>* out0 = work_.data() + i0 * p1_;
-                for (std::size_t k = 0; k < p1_; ++k) out0[k] = row[k];
-            }
+    // Unpack the two real-kernel half spectra from the packed transform
+    // (the same conjugate-symmetry split the r2c row pass uses, applied
+    // in 2-D: the mirror of (i, j) is ((p0-i) mod p0, (p1-j) mod p1)):
+    //   Kx[i,j] = (F[i,j] + conj(F[-i,-j])) / 2
+    //   Ky[i,j] = (F[i,j] - conj(F[-i,-j])) / 2i .
+    // Only columns 0..p1/2 are kept; convolve_pair() never touches a
+    // full-width spectrum again.
+    spec_x_.resize(p0_ * hw_);
+    spec_y_.resize(p0_ * hw_);
+    for (std::size_t i = 0; i < p0_; ++i) {
+        const std::size_t mi = (p0_ - i) & (p0_ - 1);
+        for (std::size_t j = 0; j < hw_; ++j) {
+            const std::size_t mj = (p1_ - j) & (p1_ - 1);
+            const std::complex<double> a = packed[i * p1_ + j];
+            const std::complex<double> b = packed[mi * p1_ + mj];
+            const double ar = a.real(), ai = a.imag();
+            const double br = b.real(), bi = -b.imag(); // conj(F[-i,-j])
+            spec_x_[i * hw_ + j] = {0.5 * (ar + br), 0.5 * (ai + bi)};
+            spec_y_[i * hw_ + j] = {0.5 * (ai - bi), -0.5 * (ar - br)};
         }
-    });
+    }
 
-    fft_cols(work_.data(), p0_, p1_, false, col_plan);
+    // Row-spectrum scratch: the r2c row pass rewrites rows 0..n0-1 every
+    // call, while the p0 - n0 padding rows stay zero forever — no
+    // full-grid refill per convolution.
+    row_spec_.assign(p0_ * hw_, {0.0, 0.0});
+    spec_d_.resize(p0_ * hw_);
+    spec_q_.resize(p0_ * hw_);
 }
 
 void spectral_convolver::convolve_pair(const std::vector<double>& data,
                                        std::vector<double>& out_x,
                                        std::vector<double>& out_y) {
     GPF_CHECK(data.size() == n0_ * n1_);
-    const double area = static_cast<double>(p0_ * p1_);
+    const fft_plan& row_plan = plan_for(p1_);
+    const fft_plan& col_plan = plan_for(p0_);
+    const double half_area = static_cast<double>(p0_ * hw_);
 
+    // Forward r2c: packed-pair row transforms of the n0 data rows into
+    // the persistent row-spectrum scratch (padding rows are already
+    // zero), then one column pass over the hw retained columns, gathered
+    // from row_spec_ and scattered into spec_d_.
     {
         kernel_timer timer(profile_kernel::fft_forward,
-                           fft_flops(p1_, (n0_ + 1) / 2) + fft_flops(p0_, p1_));
-        forward_packed(data);
+                           fft_flops(p1_, (n0_ + 1) / 2) + fft_flops(p0_, hw_));
+        r2c_rows(data.data(), n0_, n1_, p1_, row_spec_.data(), row_plan);
+        fft_cols_strided(row_spec_.data(), spec_d_.data(), p0_, hw_, 0, hw_,
+                         false, col_plan);
     }
 
-    // Pointwise product with the packed kernel spectrum. Both convolution
-    // results are real, so they share the two channels of one inverse
-    // transform: Re = data ⊛ kx, Im = data ⊛ ky.
+    // Hermitian pointwise products on the half grid, one sweep over the
+    // shared data spectrum: spec_d_ becomes D·Kx, spec_q_ becomes D·Ky.
     {
-        kernel_timer timer(profile_kernel::fft_pointwise, 6.0 * area);
-        std::complex<double>* const w = work_.data();
-        const std::complex<double>* const spec = spectrum_.data();
+        kernel_timer timer(profile_kernel::fft_pointwise, 12.0 * half_area);
+        std::complex<double>* const w = spec_d_.data();
+        std::complex<double>* const q = spec_q_.data();
+        const std::complex<double>* const sx = spec_x_.data();
+        const std::complex<double>* const sy = spec_y_.data();
         const simd_kernels& kern = simd();
         parallel_for_chunks(
-            work_.size(),
+            spec_d_.size(),
             [&](std::size_t begin, std::size_t end) {
-                kern.cmul(w + begin, spec + begin, end - begin);
+                kern.cmul_pair(w + begin, q + begin, sx + begin, sy + begin,
+                               end - begin);
             },
             /*grain=*/4096);
     }
 
-    {
-        kernel_timer timer(profile_kernel::fft_inverse,
-                           fft_flops(p1_, p0_) + fft_flops(p0_, p1_) + 2.0 * area);
-        fft_2d(work_, p0_, p1_, true);
-    }
-
-    // On the cyclic grid the "same"-shaped output needs no offset: element
-    // (i, j) of both convolutions sits at padded position (i, j).
+    // Inverse: both product spectra are Hermitian (real ⊛ real), so each
+    // gets a half-width column pass, and the row pass rides both results
+    // through one packed complex inverse per output row — conj-mirrored
+    // to full width as z = X + i·Y, so Re = data ⊛ kx, Im = data ⊛ ky.
+    // Only the n0 rows the output reads are assembled (the cyclic grid
+    // puts output (i, j) at padded position (i, j), no offset).
     out_x.resize(n0_ * n1_);
     out_y.resize(n0_ * n1_);
-    parallel_for_chunks(n0_, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-            const std::complex<double>* src = work_.data() + i * p1_;
-            for (std::size_t j = 0; j < n1_; ++j) {
-                out_x[i * n1_ + j] = src[j].real();
-                out_y[i * n1_ + j] = src[j].imag();
+    {
+        kernel_timer timer(profile_kernel::fft_inverse,
+                           fft_flops(p0_, 2 * hw_) + fft_flops(p1_, n0_) +
+                               2.0 * half_area);
+        fft_cols_strided(spec_d_.data(), spec_d_.data(), p0_, hw_, 0, hw_, true,
+                         col_plan);
+        fft_cols_strided(spec_q_.data(), spec_q_.data(), p0_, hw_, 0, hw_, true,
+                         col_plan);
+        parallel_for_chunks(n0_, [&](std::size_t begin, std::size_t end) {
+            std::vector<std::complex<double>> row(p1_);
+            for (std::size_t i = begin; i < end; ++i) {
+                const std::complex<double>* xr = spec_d_.data() + i * hw_;
+                const std::complex<double>* yr = spec_q_.data() + i * hw_;
+                for (std::size_t k = 0; k < hw_; ++k) {
+                    // z[k] = X[k] + i·Y[k]
+                    row[k] = {xr[k].real() - yr[k].imag(),
+                              xr[k].imag() + yr[k].real()};
+                }
+                for (std::size_t k = hw_; k < p1_; ++k) {
+                    // z[k] = conj(X[p1-k]) + i·conj(Y[p1-k])
+                    const std::size_t km = p1_ - k;
+                    row[k] = {xr[km].real() + yr[km].imag(),
+                              yr[km].real() - xr[km].imag()};
+                }
+                fft_with_plan(row.data(), p1_, true, row_plan);
+                for (std::size_t j = 0; j < n1_; ++j) {
+                    out_x[i * n1_ + j] = row[j].real();
+                    out_y[i * n1_ + j] = row[j].imag();
+                }
             }
-        }
-    });
+        });
+    }
 
     // Injection site (util/fault.hpp): a corrupted frequency-domain
     // coefficient contaminates every spatial sample of the inverse

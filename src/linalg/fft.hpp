@@ -64,17 +64,44 @@ void fft_2d(std::vector<std::complex<double>>& a, std::size_t n0, std::size_t n1
 /// fully built. Only the first request of each size takes the build mutex;
 /// concurrent first requests of *different* sizes serialize on it but
 /// every later lookup is a single acquire load. Counter updates are
-/// relaxed atomics: totals are exact, but a reader racing a builder may
+/// relaxed atomics; only the thread that actually builds a plan counts a
+/// miss (a lookup that loses the build race counts a hit), so the totals
+/// satisfy misses == plans and hits + misses == lookups even under
+/// concurrent first requests — though a reader racing a builder may
 /// transiently observe `misses` ahead of `plans`/`bytes`.
 struct fft_cache_stats {
-    std::size_t hits = 0;   ///< lookups served from a populated slot
-    std::size_t misses = 0; ///< lookups that built (or waited on) a plan
+    std::size_t hits = 0;   ///< lookups served from an already-built plan
+    std::size_t misses = 0; ///< lookups that built a plan (== plans ever built)
     std::size_t plans = 0;  ///< distinct sizes currently cached
     std::size_t bytes = 0;  ///< approximate resident bytes of all plans
 };
 
 /// Snapshot of the plan-cache counters since process start.
 fft_cache_stats fft_plan_cache_stats();
+
+/// Packed real-to-complex 2-D FFT of a row-major n0 x n1 real array (both
+/// powers of two). Returns the half spectrum: n0 x (n1/2 + 1) complex
+/// values, row-major with row stride n1/2 + 1. The dropped columns are
+/// redundant by Hermitian symmetry of real input,
+///
+///   F[i, j] = conj(F[(n0 - i) mod n0, (n1 - j) mod n1]),
+///
+/// so column j > n1/2 is recoverable as conj(F[(n0-i) mod n0, n1-j]).
+/// Rows transform pairwise through one complex FFT each (the classic
+/// two-reals-in-one-complex trick), then the n1/2 + 1 retained columns
+/// get a full complex pass — about half the transform work of a complex
+/// 2-D FFT of the same grid.
+std::vector<std::complex<double>> fft_2d_r2c(const std::vector<double>& data,
+                                             std::size_t n0, std::size_t n1);
+
+/// Inverse of fft_2d_r2c: consumes an n0 x (n1/2 + 1) half spectrum
+/// (modified in place as scratch) and returns the n0 x n1 real array,
+/// normalized by 1/(n0·n1). The input must carry the Hermitian symmetry
+/// of a real signal (as fft_2d_r2c output does); the reconstruction
+/// mirrors columns j > n1/2 from the retained half before each packed
+/// row inverse, so no full-width spectrum is ever materialized.
+std::vector<double> fft_2d_c2r(std::vector<std::complex<double>>& half,
+                               std::size_t n0, std::size_t n1);
 
 /// Linear (non-cyclic) 2-D convolution of a row-major n0 x n1 real array
 /// with a centered kernel of size (2*n0-1) x (2*n1-1):
@@ -93,26 +120,30 @@ std::vector<double> convolve_2d(const std::vector<double>& data, std::size_t n0,
 ///
 /// Construction pays the kernel cost exactly once: both centered
 /// (2n0-1) x (2n1-1) kernels are scattered wrap-around (tap offset m to
-/// index m mod P per dimension) into one cyclic complex grid as kx + i·ky
-/// and forward-transformed in a single 2-D FFT (linearity makes that
-/// spectrum Kx + i·Ky).
+/// index m mod P per dimension) into one cyclic complex grid as kx + i·ky,
+/// forward-transformed in a single 2-D FFT, and split back into the two
+/// real-kernel *half spectra* Kx, Ky (columns 0..p1/2 only — the rest is
+/// the conjugate mirror, Hermitian symmetry of real input).
 ///
-/// convolve_pair() then costs two cyclic 2-D transforms per call instead
-/// of the six a pair of convolve_2d calls performs:
-///   - one forward transform of the real data, with the row pass packing
-///     two real rows into each complex length-p1 transform (the classic
-///     two-reals-in-one-complex trick) and skipping the all-zero padding
-///     rows entirely,
-///   - one pointwise product against the cached spectrum (SIMD cmul),
-///   - one inverse transform whose real part is data ⊛ kernel_x and whose
-///     imaginary part is data ⊛ kernel_y (both convolutions are real, so
-///     they ride the two channels of one complex transform).
+/// convolve_pair() then runs entirely on the half grid:
+///   - forward r2c of the real data: packed-pair row transforms (two real
+///     rows per complex length-p1 FFT) over the n0 data rows only, then a
+///     column pass over just the p1/2 + 1 retained columns,
+///   - one dual Hermitian pointwise product (SIMD cmul_pair): D·Kx and
+///     D·Ky in a single sweep over the shared data spectrum,
+///   - c2r inverse: a half-width column pass per product, then one packed
+///     complex row inverse per *output* row (n0 rows, not p0), with
+///     Re = data ⊛ kernel_x and Im = data ⊛ kernel_y riding the two
+///     channels.
+/// Relative to the PR-8 full-spectrum path this removes ~30% of the
+/// transform work and halves the pointwise memory traffic.
 ///
-/// All scratch buffers are reused across calls. The arithmetic schedule
-/// depends only on (n0, n1), so results are bitwise identical for any
-/// thread count, and a fresh convolver produces bitwise identical output
-/// to a reused one — the cache contract tests/test_transform_cache.cpp
-/// locks in.
+/// All scratch buffers are reused across calls; the padding rows of the
+/// row-spectrum scratch are zeroed once at construction and never
+/// rewritten. The arithmetic schedule depends only on (n0, n1), so
+/// results are bitwise identical for any thread count, and a fresh
+/// convolver produces bitwise identical output to a reused one — the
+/// cache contract tests/test_transform_cache.cpp locks in.
 class spectral_convolver {
 public:
     /// kernel_x / kernel_y: centered (2n0-1) x (2n1-1) taps, laid out as in
@@ -130,15 +161,14 @@ public:
                        std::vector<double>& out_y);
 
 private:
-    /// Forward transform of the cyclically padded real data into work_,
-    /// with the real rows packed pairwise through one complex row
-    /// transform each.
-    void forward_packed(const std::vector<double>& data);
-
     std::size_t n0_, n1_; ///< data shape
     std::size_t p0_, p1_; ///< cyclic transform shape (powers of two)
-    std::vector<std::complex<double>> spectrum_; ///< FFT2(kx + i·ky), cached
-    std::vector<std::complex<double>> work_;     ///< cyclic scratch, reused
+    std::size_t hw_;      ///< half-spectrum width, p1/2 + 1
+    std::vector<std::complex<double>> spec_x_;   ///< Kx half spectrum, cached
+    std::vector<std::complex<double>> spec_y_;   ///< Ky half spectrum, cached
+    std::vector<std::complex<double>> row_spec_; ///< r2c row spectra scratch
+    std::vector<std::complex<double>> spec_d_;   ///< data spectrum → D·Kx
+    std::vector<std::complex<double>> spec_q_;   ///< D·Ky product spectrum
 };
 
 } // namespace gpf

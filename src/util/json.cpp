@@ -162,8 +162,70 @@ private:
                 case 'r': out += '\r'; break;
                 case 'b': out += '\b'; break;
                 case 'f': out += '\f'; break;
+                case 'u': append_utf8(parse_codepoint(), out); break;
                 default: fail(std::string("unsupported escape '\\") + esc + "'");
             }
+        }
+    }
+
+    /// Four hex digits after "\u", already consumed up to the 'u'.
+    unsigned parse_hex4() {
+        if (pos_ + 4 > text_.size()) fail("unterminated \\u escape");
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            unsigned nibble;
+            if (h >= '0' && h <= '9') {
+                nibble = static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+                nibble = static_cast<unsigned>(h - 'a') + 10;
+            } else if (h >= 'A' && h <= 'F') {
+                nibble = static_cast<unsigned>(h - 'A') + 10;
+            } else {
+                fail(std::string("invalid hex digit '") + h + "' in \\u escape");
+            }
+            value = (value << 4) | nibble;
+        }
+        return value;
+    }
+
+    /// One \uXXXX escape, combining UTF-16 surrogate pairs into a single
+    /// code point. Lone surrogates — a high half without a following
+    /// \uDC00..\uDFFF, or a bare low half — are rejected rather than
+    /// passed through as garbage.
+    unsigned parse_codepoint() {
+        const unsigned first = parse_hex4();
+        if (first >= 0xDC00 && first <= 0xDFFF) {
+            fail("lone low surrogate in \\u escape");
+        }
+        if (first < 0xD800 || first > 0xDBFF) return first;
+        if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+            text_[pos_ + 1] != 'u') {
+            fail("high surrogate not followed by \\u escape");
+        }
+        pos_ += 2;
+        const unsigned second = parse_hex4();
+        if (second < 0xDC00 || second > 0xDFFF) {
+            fail("high surrogate not followed by a low surrogate");
+        }
+        return 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+    }
+
+    static void append_utf8(unsigned cp, std::string& out) {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
         }
     }
 

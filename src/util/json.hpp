@@ -3,13 +3,15 @@
 // Just enough JSON for the in-repo machine-readable artifacts — the
 // BENCH_*.json reports every bench binary emits and the committed
 // bench/baseline.json the perf gate compares them against. Parses the
-// full value grammar (objects, arrays, strings with the escapes our
-// writer emits, numbers, booleans, null) into an immutable tree; numbers
-// are kept as double, which is exact for every count the reports contain.
-// Malformed input throws gpf::io_error with a 1-based line number.
+// full value grammar (objects, arrays, strings with all standard escapes
+// including \uXXXX with surrogate pairs decoded to UTF-8, numbers,
+// booleans, null) into an immutable tree; numbers are kept as double,
+// which is exact for every count the reports contain. Malformed input —
+// including lone or mismatched UTF-16 surrogates — throws gpf::io_error
+// with a 1-based line number.
 //
 // This is intentionally not a general-purpose JSON library: no
-// serialization, no \uXXXX escapes beyond pass-through, no streaming.
+// serialization, no streaming.
 #pragma once
 
 #include <memory>

@@ -28,6 +28,10 @@ void accumulate_scalar(const double* src, double* dst, std::size_t n) {
     for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
 }
 
+void add_scalar_scalar(double* dst, double c, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] += c;
+}
+
 void scale_scalar(double* p, double s, std::size_t n) {
     for (std::size_t i = 0; i < n; ++i) p[i] *= s;
 }
@@ -77,6 +81,25 @@ void cmul_scalar(std::complex<double>* w, const std::complex<double>* s,
         const double br = s[i].real();
         const double bi = s[i].imag();
         w[i] = {ar * br - ai * bi, ar * bi + ai * br};
+    }
+}
+
+// Dual pointwise product (the half-spectrum Hermitian product of the
+// packed real convolver): q = w·t first, then w *= s, so the shared
+// input is read once per element. Same explicit real arithmetic as
+// cmul_scalar.
+void cmul_pair_scalar(std::complex<double>* w, std::complex<double>* q,
+                      const std::complex<double>* s,
+                      const std::complex<double>* t, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const double ar = w[i].real();
+        const double ai = w[i].imag();
+        const double tr = t[i].real();
+        const double ti = t[i].imag();
+        q[i] = {ar * tr - ai * ti, ar * ti + ai * tr};
+        const double sr = s[i].real();
+        const double si = s[i].imag();
+        w[i] = {ar * sr - ai * si, ar * si + ai * sr};
     }
 }
 
@@ -159,10 +182,12 @@ constexpr simd_kernels scalar_table = {
     detail::axpy_scalar,
     detail::xpby_scalar,
     detail::accumulate_scalar,
+    detail::add_scalar_scalar,
     detail::scale_scalar,
     detail::dot_scalar,
     detail::dot_gather_scalar,
     detail::cmul_scalar,
+    detail::cmul_pair_scalar,
     detail::fft_radix2_scalar,
     detail::fft_radix4_scalar,
 };

@@ -60,6 +60,8 @@ struct simd_kernels {
     void (*xpby)(const double* z, double beta, double* p, std::size_t n);
     /// dst[i] += src[i]
     void (*accumulate)(const double* src, double* dst, std::size_t n);
+    /// dst[i] += c (the full-bin span add of the density row-run stamper)
+    void (*add_scalar)(double* dst, double c, std::size_t n);
     /// p[i] *= s
     void (*scale)(double* p, double s, std::size_t n);
     /// sum_i a[i] * b[i], fixed 4-lane reduction (see header comment)
@@ -70,6 +72,14 @@ struct simd_kernels {
     /// w[i] *= s[i] (complex pointwise product of the spectral convolver)
     void (*cmul)(std::complex<double>* w, const std::complex<double>* s,
                  std::size_t n);
+    /// Dual pointwise product against two cached spectra with one sweep
+    /// over the shared input: q[i] = w[i] * t[i], then w[i] *= s[i]. This
+    /// is the Hermitian (half-spectrum) product of the packed real
+    /// convolver: w holds the r2c data spectrum, s/t the two kernel
+    /// spectra, and both outputs stay on the half grid.
+    void (*cmul_pair)(std::complex<double>* w, std::complex<double>* q,
+                      const std::complex<double>* s, const std::complex<double>* t,
+                      std::size_t n);
     /// One radix-2 butterfly stage of size `len` over [a, a+n): for every
     /// block of len and k < len/2, (u, t) = (a[k], a[k+len/2] * w[k]) →
     /// a[k] = u + t, a[k+len/2] = u - t.

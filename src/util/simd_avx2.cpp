@@ -85,6 +85,15 @@ void accumulate_avx2(const double* src, double* dst, std::size_t n) {
     accumulate_scalar(src + m, dst + m, n - m);
 }
 
+void add_scalar_avx2(double* dst, double c, std::size_t n) {
+    const __m256d vc = _mm256_set1_pd(c);
+    const std::size_t m = n & ~std::size_t{3};
+    for (std::size_t i = 0; i < m; i += 4) {
+        _mm256_storeu_pd(dst + i, _mm256_add_pd(_mm256_loadu_pd(dst + i), vc));
+    }
+    add_scalar_scalar(dst + m, c, n - m);
+}
+
 void scale_avx2(double* p, double s, std::size_t n) {
     const __m256d vs = _mm256_set1_pd(s);
     const std::size_t m = n & ~std::size_t{3};
@@ -140,6 +149,22 @@ void cmul_avx2(std::complex<double>* w, const std::complex<double>* s,
         _mm256_storeu_pd(wp + 2 * i, cmul2(vw, vs));
     }
     cmul_scalar(w + m, s + m, n - m);
+}
+
+void cmul_pair_avx2(std::complex<double>* w, std::complex<double>* q,
+                    const std::complex<double>* s, const std::complex<double>* t,
+                    std::size_t n) {
+    double* wp = reinterpret_cast<double*>(w);
+    double* qp = reinterpret_cast<double*>(q);
+    const double* sp = reinterpret_cast<const double*>(s);
+    const double* tp = reinterpret_cast<const double*>(t);
+    const std::size_t m = n & ~std::size_t{1};
+    for (std::size_t i = 0; i < m; i += 2) {
+        const __m256d vw = _mm256_loadu_pd(wp + 2 * i);
+        _mm256_storeu_pd(qp + 2 * i, cmul2(vw, _mm256_loadu_pd(tp + 2 * i)));
+        _mm256_storeu_pd(wp + 2 * i, cmul2(vw, _mm256_loadu_pd(sp + 2 * i)));
+    }
+    cmul_pair_scalar(w + m, q + m, s + m, t + m, n - m);
 }
 
 // --- FFT butterfly passes -------------------------------------------------
@@ -283,10 +308,12 @@ constexpr simd_kernels avx2_table = {
     axpy_avx2,
     xpby_avx2,
     accumulate_avx2,
+    add_scalar_avx2,
     scale_avx2,
     dot_avx2,
     dot_gather_avx2,
     cmul_avx2,
+    cmul_pair_avx2,
     fft_radix2_avx2,
     fft_radix4_avx2,
 };

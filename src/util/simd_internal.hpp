@@ -27,12 +27,16 @@ const simd_kernels* simd_neon_table();
 void axpy_scalar(double alpha, const double* x, double* y, std::size_t n);
 void xpby_scalar(const double* z, double beta, double* p, std::size_t n);
 void accumulate_scalar(const double* src, double* dst, std::size_t n);
+void add_scalar_scalar(double* dst, double c, std::size_t n);
 void scale_scalar(double* p, double s, std::size_t n);
 double dot_scalar(const double* a, const double* b, std::size_t n);
 double dot_gather_scalar(const double* v, const std::size_t* idx,
                          const double* x, std::size_t n);
 void cmul_scalar(std::complex<double>* w, const std::complex<double>* s,
                  std::size_t n);
+void cmul_pair_scalar(std::complex<double>* w, std::complex<double>* q,
+                      const std::complex<double>* s,
+                      const std::complex<double>* t, std::size_t n);
 void fft_radix2_scalar(std::complex<double>* a, std::size_t n, std::size_t len,
                        const std::complex<double>* w);
 void fft_radix4_scalar(std::complex<double>* a, std::size_t n,

@@ -76,6 +76,16 @@ void accumulate_neon(const double* src, double* dst, std::size_t n) {
     accumulate_scalar(src + m, dst + m, n - m);
 }
 
+void add_scalar_neon(double* dst, double c, std::size_t n) {
+    const float64x2_t vc = vdupq_n_f64(c);
+    const std::size_t m = n & ~std::size_t{3};
+    for (std::size_t i = 0; i < m; i += 4) {
+        vst1q_f64(dst + i, vaddq_f64(vld1q_f64(dst + i), vc));
+        vst1q_f64(dst + i + 2, vaddq_f64(vld1q_f64(dst + i + 2), vc));
+    }
+    add_scalar_scalar(dst + m, c, n - m);
+}
+
 void scale_neon(double* p, double s, std::size_t n) {
     const float64x2_t vs = vdupq_n_f64(s);
     const std::size_t m = n & ~std::size_t{3};
@@ -106,6 +116,20 @@ void cmul_neon(std::complex<double>* w, const std::complex<double>* s,
     const double* sp = reinterpret_cast<const double*>(s);
     for (std::size_t i = 0; i < n; ++i) {
         vst1q_f64(wp + 2 * i, cmul1(vld1q_f64(wp + 2 * i), vld1q_f64(sp + 2 * i)));
+    }
+}
+
+void cmul_pair_neon(std::complex<double>* w, std::complex<double>* q,
+                    const std::complex<double>* s, const std::complex<double>* t,
+                    std::size_t n) {
+    double* wp = reinterpret_cast<double*>(w);
+    double* qp = reinterpret_cast<double*>(q);
+    const double* sp = reinterpret_cast<const double*>(s);
+    const double* tp = reinterpret_cast<const double*>(t);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float64x2_t vw = vld1q_f64(wp + 2 * i);
+        vst1q_f64(qp + 2 * i, cmul1(vw, vld1q_f64(tp + 2 * i)));
+        vst1q_f64(wp + 2 * i, cmul1(vw, vld1q_f64(sp + 2 * i)));
     }
 }
 
@@ -166,10 +190,12 @@ constexpr simd_kernels neon_table = {
     axpy_neon,
     xpby_neon,
     accumulate_neon,
+    add_scalar_neon,
     scale_neon,
     dot_neon,
     dot_gather_scalar, // scalar reference (see header comment)
     cmul_neon,
+    cmul_pair_neon,
     fft_radix2_neon,
     fft_radix4_neon,
 };

@@ -6,11 +6,14 @@
 #include <sstream>
 #include <string>
 
+#include <complex>
+
 #include "cluster/coarsen.hpp"
 #include "core/metrics.hpp"
 #include "core/placer.hpp"
 #include "density/density_map.hpp"
 #include "density/force_field.hpp"
+#include "linalg/fft.hpp"
 #include "model/quadratic_system.hpp"
 #include "netlist/generator.hpp"
 #include "util/fault.hpp"
@@ -271,6 +274,118 @@ verify_report check_fft_field_matches_direct(std::uint64_t seed,
     return report;
 }
 
+verify_report check_r2c_transform_roundtrip(std::uint64_t seed,
+                                            const property_options& opt) {
+    verify_report report;
+    prng rng(seed * 0x9e3779b97f4a7c15ULL + 8);
+    // Seed-varied power-of-two shapes, including strongly rectangular
+    // ones (the convolver's padded grids are 2n0 x 2n1, rarely square).
+    const std::size_t n0 = std::size_t{1} << (2 + rng.next_below(5));
+    const std::size_t n1 = std::size_t{1} << (2 + rng.next_below(5));
+    std::vector<double> data(n0 * n1);
+    double max_abs = 0.0;
+    for (double& v : data) {
+        v = rng.next_range(-10.0, 10.0);
+        max_abs = std::max(max_abs, std::abs(v));
+    }
+
+    std::vector<std::complex<double>> half = fft_2d_r2c(data, n0, n1);
+    const std::size_t hw = n1 / 2 + 1;
+    if (half.size() != n0 * hw) {
+        report.add("fft", "r2c half spectrum has size " +
+                              std::to_string(half.size()) + ", expected " +
+                              std::to_string(n0 * hw));
+        return report;
+    }
+    // DC and Nyquist columns of a real signal must be (conjugate-)
+    // self-mirrored: rows i and n0-i conjugate at j = 0 and j = n1/2.
+    for (const std::size_t j : {std::size_t{0}, n1 / 2}) {
+        for (std::size_t i = 1; i < n0; ++i) {
+            const std::complex<double> a = half[i * hw + j];
+            const std::complex<double> b = half[(n0 - i) * hw + j];
+            if (std::abs(a - std::conj(b)) >
+                1e-9 * std::max(1.0, std::abs(a))) {
+                report.add("fft", "half spectrum breaks Hermitian symmetry "
+                                  "at (" + std::to_string(i) + ", " +
+                                      std::to_string(j) + ")");
+                if (report.total() >= 4) return report;
+            }
+        }
+    }
+
+    const std::vector<double> back = fft_2d_c2r(half, n0, n1);
+    const double tol = opt.r2c_roundtrip_tol * std::max(1.0, max_abs);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        if (!(std::abs(back[i] - data[i]) <= tol)) {
+            report.add("fft", "r2c∘c2r roundtrip error " +
+                                  fmt(back[i] - data[i]) + " at index " +
+                                  std::to_string(i) + " (tolerance " + fmt(tol) +
+                                  ", " + std::to_string(n0) + "x" +
+                                  std::to_string(n1) + ")");
+            if (report.total() >= 4) return report;
+        }
+    }
+    return report;
+}
+
+verify_report check_r2c_convolution_matches_complex(std::uint64_t seed,
+                                                    const property_options& opt) {
+    verify_report report;
+    prng rng(seed * 0x9e3779b97f4a7c15ULL + 9);
+    // Arbitrary (non-power-of-two) shapes exercise the padding logic.
+    const std::size_t n0 = 3 + rng.next_below(14);
+    const std::size_t n1 = 3 + rng.next_below(14);
+    std::vector<double> data(n0 * n1);
+    for (double& v : data) v = rng.next_range(-1.0, 1.0);
+    std::vector<double> kernel((2 * n0 - 1) * (2 * n1 - 1));
+    for (double& v : kernel) v = rng.next_range(-1.0, 1.0);
+
+    const std::vector<double> via_r2c = convolve_2d(data, n0, n1, kernel);
+
+    // Full complex wrap-around reference: scatter both arrays onto the
+    // cyclic p0 x p1 grid, transform, multiply, invert — the PR-8 path
+    // the packed implementation replaced.
+    const std::size_t p0 = next_power_of_two(2 * n0 - 1);
+    const std::size_t p1 = next_power_of_two(2 * n1 - 1);
+    std::vector<std::complex<double>> da(p0 * p1), ka(p0 * p1);
+    for (std::size_t i = 0; i < n0; ++i) {
+        for (std::size_t j = 0; j < n1; ++j) {
+            da[i * p1 + j] = {data[i * n1 + j], 0.0};
+        }
+    }
+    // Tap (m, l) carries offset (m - (n0-1), l - (n1-1)); it lands at that
+    // offset mod P, exactly as convolve_2d scatters it.
+    for (std::size_t m = 0; m < 2 * n0 - 1; ++m) {
+        const std::size_t wi = (m + p0 - n0 + 1) % p0;
+        for (std::size_t l = 0; l < 2 * n1 - 1; ++l) {
+            const std::size_t wj = (l + p1 - n1 + 1) % p1;
+            ka[wi * p1 + wj] += kernel[m * (2 * n1 - 1) + l];
+        }
+    }
+    fft_2d(da, p0, p1, false);
+    fft_2d(ka, p0, p1, false);
+    for (std::size_t i = 0; i < da.size(); ++i) da[i] *= ka[i];
+    fft_2d(da, p0, p1, true);
+
+    double max_out = 0.0;
+    for (const double v : via_r2c) max_out = std::max(max_out, std::abs(v));
+    const double tol = opt.r2c_vs_complex_tol * std::max(1.0, max_out);
+    for (std::size_t i = 0; i < n0; ++i) {
+        for (std::size_t j = 0; j < n1; ++j) {
+            const double diff =
+                via_r2c[i * n1 + j] - da[i * p1 + j].real();
+            if (!(std::abs(diff) <= tol)) {
+                report.add("fft", "r2c vs complex convolution mismatch " +
+                                      fmt(diff) + " at (" + std::to_string(i) +
+                                      ", " + std::to_string(j) + "), tolerance " +
+                                      fmt(tol));
+                if (report.total() >= 4) return report;
+            }
+        }
+    }
+    return report;
+}
+
 verify_report check_net_model_equivalence(std::uint64_t seed,
                                           const property_options& opt) {
     verify_report report;
@@ -447,6 +562,9 @@ const std::vector<property_check>& property_catalogue() {
         {"force_field_antisymmetry", &check_force_field_antisymmetry},
         {"density_zero_integral", &check_density_zero_integral},
         {"fft_field_matches_direct", &check_fft_field_matches_direct},
+        {"r2c_transform_roundtrip", &check_r2c_transform_roundtrip},
+        {"r2c_convolution_matches_complex",
+         &check_r2c_convolution_matches_complex},
         {"net_model_equivalence", &check_net_model_equivalence},
         {"coarsening_conservation", &check_coarsening_conservation},
         {"stop_best_monotonic", &check_stop_best_monotonic},

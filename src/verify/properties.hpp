@@ -16,6 +16,10 @@
 //                          mix, including rects overhanging the region;
 //   * spectral == direct — the FFT evaluation of the Green's-function
 //                          convolution equals the literal O(m⁴) sum;
+//   * r2c soundness      — the packed real-to-complex transforms invert
+//                          exactly (r2c ∘ c2r == identity) and the
+//                          half-spectrum convolution equals the full
+//                          complex wrap-around evaluation;
 //   * model equivalence  — star decomposition with the center eliminated
 //                          is mathematically the 1/k clique, so all three
 //                          net models solve to the same placement within a
@@ -57,6 +61,13 @@ struct property_options {
     double zero_integral_tol = 1e-9;
     /// Spectral vs direct field: max abs difference relative to max |f|.
     double fft_vs_direct_tol = 1e-8;
+    /// Packed r2c ∘ c2r identity: max abs error relative to max |data|.
+    double r2c_roundtrip_tol = 1e-12;
+    /// r2c convolution vs the full complex wrap-around path, relative to
+    /// max |out|. Tolerance-based, not bitwise: the half-spectrum path
+    /// evaluates twiddles at different angles than the full-width path,
+    /// and libm does not guarantee cos(π − x) == -cos(x) to the last ulp.
+    double r2c_vs_complex_tol = 1e-10;
     /// Net-model equivalence: per-cell position difference as a fraction
     /// of (W + H). Derived from the CG contract: both solves stop at
     /// relative residual r ≤ cg_tolerance, so the position error is
@@ -84,6 +95,10 @@ verify_report check_density_zero_integral(std::uint64_t seed,
                                           const property_options& opt = {});
 verify_report check_fft_field_matches_direct(std::uint64_t seed,
                                              const property_options& opt = {});
+verify_report check_r2c_transform_roundtrip(std::uint64_t seed,
+                                            const property_options& opt = {});
+verify_report check_r2c_convolution_matches_complex(
+    std::uint64_t seed, const property_options& opt = {});
 verify_report check_net_model_equivalence(std::uint64_t seed,
                                           const property_options& opt = {});
 verify_report check_coarsening_conservation(std::uint64_t seed,

@@ -60,6 +60,65 @@ TEST(DensityMap, FinalizeMakesZeroMeanDensity) {
     EXPECT_LT(d.density_at(3, 3), 0.0);  // empty bin: negative
 }
 
+// Regression: a fully covered bin must receive EXACTLY the stamp weight.
+// The old per-bin path computed weight * ox * oy / bin_area, and for
+// non-dyadic bin sizes (here 3/5) the round trip area * (1/area) lands at
+// 1 ± ulp instead of 1 — ulp dirt that finalize() then spreads into every
+// density value.
+TEST(DensityMap, FullyCoveredBinsGetExactWeight) {
+    density_map d(rect(0, 0, 3, 3), 5, 5);
+    d.add_rect(rect(0, 0, 3, 3)); // covers every bin of the region exactly
+    for (std::size_t ix = 0; ix < 5; ++ix) {
+        for (std::size_t iy = 0; iy < 5; ++iy) {
+            EXPECT_EQ(d.demand_at(ix, iy), 1.0) << ix << "," << iy;
+        }
+    }
+}
+
+// Regression: a rect whose corners sit bitwise on interior bin edges (the
+// computed edges origin + k * bin_w) covers its bin exactly — weight 1 in
+// the covered bin, exactly 0 everywhere else, not ±ulp slivers.
+TEST(DensityMap, RectOnBinEdgesIsExact) {
+    density_map d(rect(0, 0, 3, 3), 5, 5);
+    const double e1 = 0.0 + 1.0 * d.bin_width();
+    const double e2 = 0.0 + 2.0 * d.bin_width();
+    d.add_rect(rect(e1, e1, e2, e2)); // exactly bin (1, 1)
+    for (std::size_t ix = 0; ix < 5; ++ix) {
+        for (std::size_t iy = 0; iy < 5; ++iy) {
+            const double expected = (ix == 1 && iy == 1) ? 1.0 : 0.0;
+            EXPECT_EQ(d.demand_at(ix, iy), expected) << ix << "," << iy;
+        }
+    }
+}
+
+// Degenerate rects (zero width and/or height) carry no area: nothing may
+// be deposited, including on bin boundaries.
+TEST(DensityMap, DegenerateRectsDepositNothing) {
+    density_map d(rect(0, 0, 4, 4), 4, 4);
+    d.add_rect(rect(1.0, 0.5, 1.0, 3.5));  // zero width on a bin edge
+    d.add_rect(rect(0.5, 2.0, 3.5, 2.0));  // zero height on a bin edge
+    d.add_rect(rect(2.5, 2.5, 2.5, 2.5));  // zero area point
+    d.add_rect(rect(4.0, 0.0, 4.0, 4.0));  // zero width on the region edge
+    for (std::size_t ix = 0; ix < 4; ++ix) {
+        for (std::size_t iy = 0; iy < 4; ++iy) {
+            EXPECT_EQ(d.demand_at(ix, iy), 0.0) << ix << "," << iy;
+        }
+    }
+}
+
+// A rect flush against the region boundary fills its edge bins exactly
+// (the last computed edge may differ from the region bound by rounding;
+// coverage fractions must still come out exactly 1).
+TEST(DensityMap, RegionEdgeBinsFillExactly) {
+    density_map d(rect(0.1, 0.2, 6.1, 9.2), 7, 9); // non-dyadic bins
+    d.add_rect(rect(0.1, 0.2, 6.1, 9.2));
+    for (std::size_t ix = 0; ix < 7; ++ix) {
+        for (std::size_t iy = 0; iy < 9; ++iy) {
+            EXPECT_EQ(d.demand_at(ix, iy), 1.0) << ix << "," << iy;
+        }
+    }
+}
+
 TEST(DensityMap, WeightScalesDeposit) {
     density_map d(rect(0, 0, 2, 2), 2, 2);
     d.add_rect(rect(0, 0, 1, 1), 3.0);

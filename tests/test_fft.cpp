@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <complex>
+#include <thread>
 
 #include "linalg/fft.hpp"
 #include "util/check.hpp"
@@ -123,6 +124,41 @@ TEST(Fft, PlanCacheStatsObserveLookups) {
     EXPECT_EQ(after_hit.bytes, after_build.bytes);
 }
 
+TEST(Fft, PlanCacheCountersConsistentUnderThreads) {
+    // Hammer two fresh sizes from racing threads: the cache must build
+    // each plan exactly once (misses == plans, race losers count hits)
+    // and stay bounded at one slot per size. Deltas only — the cache is
+    // process-wide and other tests populate it too.
+    const std::size_t sizes[] = {std::size_t{1} << 16, std::size_t{1} << 17};
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kReps = 3;
+
+    const fft_cache_stats before = fft_plan_cache_stats();
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&sizes] {
+            for (std::size_t rep = 0; rep < kReps; ++rep) {
+                for (const std::size_t n : sizes) {
+                    std::vector<std::complex<double>> a(n, {1.0, -0.5});
+                    fft(a, false);
+                }
+            }
+        });
+    }
+    for (std::thread& w : workers) w.join();
+    const fft_cache_stats after = fft_plan_cache_stats();
+
+    const std::size_t plans_delta = after.plans - before.plans;
+    const std::size_t misses_delta = after.misses - before.misses;
+    const std::size_t hits_delta = after.hits - before.hits;
+    EXPECT_LE(plans_delta, 2u); // bounded: one slot per distinct size
+    EXPECT_EQ(misses_delta, plans_delta);
+    // One plan lookup per 1-D transform issued, every one accounted for.
+    EXPECT_EQ(hits_delta + misses_delta, kThreads * kReps * 2);
+    EXPECT_GE(after.bytes, before.bytes);
+}
+
 TEST(Fft, DeltaTransformsToConstant) {
     std::vector<std::complex<double>> a(8, {0.0, 0.0});
     a[0] = {1.0, 0.0};
@@ -145,6 +181,60 @@ TEST(Fft2d, RoundTrip) {
     for (std::size_t i = 0; i < a.size(); ++i) {
         EXPECT_NEAR(a[i].real(), original[i].real(), 1e-10);
         EXPECT_NEAR(a[i].imag(), original[i].imag(), 1e-10);
+    }
+}
+
+TEST(FftR2c, RejectsNonPowerOfTwo) {
+    std::vector<double> data(6 * 5);
+    EXPECT_THROW(fft_2d_r2c(data, 6, 5), check_error);
+    std::vector<std::complex<double>> half(6 * 3);
+    EXPECT_THROW(fft_2d_c2r(half, 6, 5), check_error);
+}
+
+TEST(FftR2c, MatchesComplexTransformOnRetainedColumns) {
+    // The half spectrum must agree with the full complex 2-D FFT on
+    // columns 0..n1/2. Tolerance, not bitwise: the packed row transforms
+    // evaluate twiddles at different angles than the complex path, and
+    // libm does not pin cos(π − x) to -cos(x) at the last ulp.
+    prng rng(77);
+    constexpr std::size_t n0 = 16;
+    constexpr std::size_t n1 = 32;
+    constexpr std::size_t hw = n1 / 2 + 1;
+    std::vector<double> data(n0 * n1);
+    for (double& v : data) v = rng.next_range(-2.0, 2.0);
+
+    const auto half = fft_2d_r2c(data, n0, n1);
+    ASSERT_EQ(half.size(), n0 * hw);
+
+    std::vector<std::complex<double>> full(n0 * n1);
+    for (std::size_t i = 0; i < data.size(); ++i) full[i] = {data[i], 0.0};
+    fft_2d(full, n0, n1, false);
+    for (std::size_t i = 0; i < n0; ++i) {
+        for (std::size_t j = 0; j < hw; ++j) {
+            EXPECT_NEAR(half[i * hw + j].real(), full[i * n1 + j].real(), 1e-10)
+                << "at (" << i << ", " << j << ")";
+            EXPECT_NEAR(half[i * hw + j].imag(), full[i * n1 + j].imag(), 1e-10)
+                << "at (" << i << ", " << j << ")";
+        }
+    }
+}
+
+TEST(FftR2c, RoundTripRecoversInput) {
+    prng rng(78);
+    // Odd and even log2 in both dimensions.
+    for (const auto [n0, n1] : {std::pair<std::size_t, std::size_t>{8, 8},
+                                {16, 4},
+                                {4, 64},
+                                {32, 16}}) {
+        std::vector<double> data(n0 * n1);
+        for (double& v : data) v = rng.next_range(-5.0, 5.0);
+        auto half = fft_2d_r2c(data, n0, n1);
+        const std::vector<double> back = fft_2d_c2r(half, n0, n1);
+        ASSERT_EQ(back.size(), data.size());
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            EXPECT_NEAR(back[i], data[i], 1e-11)
+                << n0 << "x" << n1 << " index " << i;
+        }
     }
 }
 

@@ -58,16 +58,17 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // The catalogue is the contract between this harness and the nightly
-// sweep: it must expose at least the seven invariants of DESIGN.md §12
-// under stable names (reproducer logs reference them verbatim).
+// sweep: it must expose at least the invariants of DESIGN.md §12 under
+// stable names (reproducer logs reference them verbatim).
 TEST(PropertyCatalogue, ExposesAllInvariants) {
     const auto& catalogue = property_catalogue();
-    ASSERT_GE(catalogue.size(), 7u);
+    ASSERT_GE(catalogue.size(), 9u);
     std::vector<std::string> names;
     for (const auto& check : catalogue) names.emplace_back(check.name);
     for (const char* expected :
          {"force_field_conservative", "force_field_antisymmetry",
           "density_zero_integral", "fft_field_matches_direct",
+          "r2c_transform_roundtrip", "r2c_convolution_matches_complex",
           "net_model_equivalence", "coarsening_conservation",
           "stop_best_monotonic"}) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())

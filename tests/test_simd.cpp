@@ -37,7 +37,9 @@ TEST(Simd, ScalarTableAlwaysAvailableAndComplete) {
     EXPECT_NE(table->scale, nullptr);
     EXPECT_NE(table->dot, nullptr);
     EXPECT_NE(table->dot_gather, nullptr);
+    EXPECT_NE(table->add_scalar, nullptr);
     EXPECT_NE(table->cmul, nullptr);
+    EXPECT_NE(table->cmul_pair, nullptr);
     EXPECT_NE(table->fft_radix2, nullptr);
     EXPECT_NE(table->fft_radix4, nullptr);
 }
@@ -105,6 +107,11 @@ TEST(Simd, ElementwiseKernelsMatchLoops) {
     for (std::size_t i = 0; i < n; ++i) expected[i] = y[i] * -0.3;
     kern.scale(got.data(), -0.3, n);
     EXPECT_EQ(std::memcmp(got.data(), expected.data(), n * sizeof(double)), 0);
+
+    got = y;
+    for (std::size_t i = 0; i < n; ++i) expected[i] = y[i] + 2.25;
+    kern.add_scalar(got.data(), 2.25, n);
+    EXPECT_EQ(std::memcmp(got.data(), expected.data(), n * sizeof(double)), 0);
 }
 
 TEST(Simd, ReductionsUseFixedLaneOrder) {
@@ -158,6 +165,32 @@ TEST(Simd, ComplexMultiplyMatchesExplicitForm) {
     simd().cmul(w.data(), s.data(), n);
     EXPECT_EQ(
         std::memcmp(w.data(), expected.data(), n * sizeof(std::complex<double>)),
+        0);
+}
+
+TEST(Simd, DualComplexMultiplyMatchesExplicitForm) {
+    // cmul_pair shares one read of w between two products: q = w·t, then
+    // w = w·s — both bitwise equal to the explicit forms (the order
+    // matters: q must see the *original* w, not w·s).
+    prng rng(23);
+    const std::size_t n = 129; // odd: exercises vector tails
+    std::vector<std::complex<double>> w(n), s(n), t(n), q(n);
+    std::vector<std::complex<double>> want_w(n), want_q(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        w[i] = {rng.next_range(-1.0, 1.0), rng.next_range(-1.0, 1.0)};
+        s[i] = {rng.next_range(-1.0, 1.0), rng.next_range(-1.0, 1.0)};
+        t[i] = {rng.next_range(-1.0, 1.0), rng.next_range(-1.0, 1.0)};
+        want_q[i] = {w[i].real() * t[i].real() - w[i].imag() * t[i].imag(),
+                     w[i].real() * t[i].imag() + w[i].imag() * t[i].real()};
+        want_w[i] = {w[i].real() * s[i].real() - w[i].imag() * s[i].imag(),
+                     w[i].real() * s[i].imag() + w[i].imag() * s[i].real()};
+    }
+    simd().cmul_pair(w.data(), q.data(), s.data(), t.data(), n);
+    EXPECT_EQ(
+        std::memcmp(q.data(), want_q.data(), n * sizeof(std::complex<double>)),
+        0);
+    EXPECT_EQ(
+        std::memcmp(w.data(), want_w.data(), n * sizeof(std::complex<double>)),
         0);
 }
 

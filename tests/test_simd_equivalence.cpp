@@ -126,6 +126,45 @@ TEST_F(SimdEquivalence, Fft2dBitwiseAcrossIsaAndThreads) {
     }
 }
 
+TEST_F(SimdEquivalence, R2cTransformsBitwiseAcrossIsaAndThreads) {
+    const std::uint64_t seeds = seed_count();
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+        prng rng(seed * 733 + 5);
+        // 16 (even log2) x 128 (odd log2): both radix schedules, odd row
+        // count in the packed pairing is covered by n0/2 pair + remainder
+        // logic at any size.
+        const std::size_t n0 = 16, n1 = 128;
+        std::vector<double> input(n0 * n1);
+        for (double& v : input) v = rng.next_range(-3.0, 3.0);
+
+        std::vector<std::complex<double>> ref_half;
+        std::vector<double> ref_back;
+        {
+            scoped_config cfg(simd_isa::scalar, 1);
+            ref_half = fft_2d_r2c(input, n0, n1);
+            std::vector<std::complex<double>> scratch = ref_half;
+            ref_back = fft_2d_c2r(scratch, n0, n1);
+        }
+        for (const simd_isa isa : {simd_isa::scalar, simd_detected_isa()}) {
+            for (const std::size_t threads : kThreadSweep) {
+                scoped_config cfg(isa, threads);
+                const auto half = fft_2d_r2c(input, n0, n1);
+                std::vector<std::complex<double>> scratch = half;
+                const auto back = fft_2d_c2r(scratch, n0, n1);
+                if (!bitwise_equal(half, ref_half) ||
+                    !bitwise_equal(back, ref_back)) {
+                    log_failing_seed("simd_r2c_bitwise", seed);
+                }
+                ASSERT_TRUE(bitwise_equal(half, ref_half))
+                    << simd_isa_name(isa) << " threads=" << threads;
+                ASSERT_TRUE(bitwise_equal(back, ref_back))
+                    << simd_isa_name(isa) << " threads=" << threads;
+            }
+        }
+    }
+}
+
 TEST_F(SimdEquivalence, ConvolvePairBitwiseAcrossIsaAndThreads) {
     const std::uint64_t seeds = seed_count();
     for (std::uint64_t seed = 1; seed <= seeds; ++seed) {

@@ -176,6 +176,31 @@ TEST(Json, RejectsMalformedDocuments) {
     }
 }
 
+TEST(Json, DecodesUnicodeEscapes) {
+    // One escape per UTF-8 width class, plus a surrogate pair (U+1F600).
+    const json_ptr root = json_parse(
+        R"({"ascii": "\u0041\u007a", "two": "\u00e9", "three": "\u20ac",)"
+        R"( "pair": "\ud83d\ude00", "mixed": "a\u0042c"})");
+    EXPECT_EQ(root->get("ascii")->as_string(), "Az");
+    EXPECT_EQ(root->get("two")->as_string(), "\xc3\xa9");        // é
+    EXPECT_EQ(root->get("three")->as_string(), "\xe2\x82\xac");  // €
+    EXPECT_EQ(root->get("pair")->as_string(), "\xf0\x9f\x98\x80");
+    EXPECT_EQ(root->get("mixed")->as_string(), "aBc");
+}
+
+TEST(Json, RejectsInvalidUnicodeEscapes) {
+    for (const char* bad : {
+             R"("\u12")",         // truncated hex run
+             R"("\u12g4")",       // non-hex digit
+             R"("\ud800")",       // lone high surrogate
+             R"("\ud800x")",      // high surrogate, no following escape
+             R"("\ud800\u0041")", // high surrogate + non-surrogate escape
+             R"("\udc00")",       // lone low surrogate
+         }) {
+        EXPECT_THROW(json_parse(bad), io_error) << "accepted: " << bad;
+    }
+}
+
 TEST(Json, SyntaxErrorsCarryLineNumbers) {
     try {
         json_parse("{\n  \"a\": 1,\n  \"b\": oops\n}", "report.json");

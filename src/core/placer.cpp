@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <csignal>
+#include <cstdlib>
 #include <limits>
 #include <optional>
 #include <sstream>
@@ -12,6 +14,8 @@
 #include "density/empty_square.hpp"
 #include "density/force_field.hpp"
 #include "util/check.hpp"
+#include "util/checkpoint.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 #include "util/profiler.hpp"
 #include "util/stopwatch.hpp"
@@ -21,6 +25,9 @@
 namespace gpf {
 
 namespace {
+
+/// Normalization floor of the best-so-far score terms.
+constexpr double kTiny = 1e-12;
 
 std::string fmt_value(double v) {
     std::ostringstream os;
@@ -78,6 +85,10 @@ placer::placer(const netlist& nl, placer_options options)
     GPF_CHECK(options_.density_bins >= 16);
     force_x_.assign(system_.num_vars(), 0.0);
     force_y_.assign(system_.num_vars(), 0.0);
+    // Computed from the construction-time options: rollback rungs mutate
+    // force_scale_k mid-run, and that mutated value is checkpointed as
+    // *state*, not identity.
+    digest_ = compute_digest();
 }
 
 placer::~placer() = default;
@@ -481,6 +492,11 @@ placement placer::run_multilevel() {
         // to the finer levels.
         placer_options sub = options_;
         sub.coarsen_levels = 0;
+        // The flat loop is the resumable unit (DESIGN.md §14): a coarse
+        // sub-placer must never overwrite the caller's checkpoint with a
+        // level whose options digest differs. Heartbeats stay on — the
+        // V-cycle is alive the whole time.
+        sub.checkpoint_path.clear();
         // Ratio-scale the density grid only past coarse_full_bin_limit:
         // below it a full-resolution convolution is under the per-level
         // spectral budget (the r2c path, DESIGN.md §13), and coarse
@@ -622,6 +638,12 @@ placement placer::run_multilevel() {
     const std::size_t saved_plateau = options_.plateau_window;
     const std::size_t saved_relax = options_.wire_relax_interval;
     const std::size_t saved_max_it = options_.max_iterations;
+    // Checkpointing stays off through the final pass too: its options
+    // (plateau/relax/iteration caps below) differ from the caller's, so a
+    // checkpoint written here could not be resumed by a placer built with
+    // the caller's options.
+    const std::string saved_ckpt = std::move(options_.checkpoint_path);
+    options_.checkpoint_path.clear();
     if (!any_fallback) {
         if (options_.plateau_window > 0) {
             options_.plateau_window = std::max<std::size_t>(8, saved_plateau / 2);
@@ -636,6 +658,7 @@ placement placer::run_multilevel() {
     options_.plateau_window = saved_plateau;
     options_.wire_relax_interval = saved_relax;
     options_.max_iterations = saved_max_it;
+    options_.checkpoint_path = saved_ckpt;
     // run_from cleared the recovery state; fold the level events back in.
     const bool final_degraded = degraded_;
     recovery_log_.insert(recovery_log_.begin(), level_events.begin(),
@@ -689,6 +712,7 @@ std::string placer::health_check(const iteration_stats& stats, const placement& 
     return {};
 }
 
+
 placement placer::run_from(placement current, bool reset_forces) {
     GPF_CHECK(current.size() == nl_.num_cells());
     // Garbage in cannot be recovered from: reject non-finite starting
@@ -699,22 +723,10 @@ placement placer::run_from(placement current, bool reset_forces) {
                           << nl_.cell_at(i).name << "'");
     }
 
-    stopwatch run_clock;
     degraded_ = false;
     recovery_log_.clear();
+    run_state st;
 
-    // Events recorded while the ladder is engaged; attached to the next
-    // accepted iteration_stats entry (and always to recovery_log_).
-    std::vector<recovery_event> pending;
-    const auto record = [&](recovery_action action, const std::string& why) {
-        degraded_ = true;
-        recovery_event ev{action, history_.size(), why};
-        log(log_level::warning) << "recovery: " << recovery_action_name(action)
-                                << " at transformation " << ev.iteration << " — "
-                                << why;
-        recovery_log_.push_back(ev);
-        pending.push_back(std::move(ev));
-    };
     const auto movable_finite = [&](const placement& pl) {
         for (std::size_t v = 0; v < system_.num_movable(); ++v) {
             const point& p = pl[system_.cell_of_var(v)];
@@ -745,19 +757,20 @@ placement placer::run_from(placement current, bool reset_forces) {
                 // The initial solve failed; re-solve tightened, and as the
                 // last resort keep the caller's start placement — slower
                 // to spread, but finite.
-                record(recovery_action::retry_tightened,
-                       "initial wire-length solve unhealthy (residual " +
-                           fmt_value(worse_residual(init_x.residual, init_y.residual)) +
-                           ")");
+                record_recovery(
+                    st, recovery_action::retry_tightened,
+                    "initial wire-length solve unhealthy (residual " +
+                        fmt_value(worse_residual(init_x.residual, init_y.residual)) +
+                        ")");
                 cg_options tightened = options_.cg;
                 tightened.preconditioner = preconditioner_kind::jacobi;
                 solved = system_.solve(current, {}, {}, tightened, &init_x, &init_y);
                 if (movable_finite(solved) && solve_ok(init_x) && solve_ok(init_y)) {
                     current = std::move(solved);
                 } else {
-                    record(recovery_action::rollback,
-                           "tightened initial solve still unhealthy; keeping the "
-                           "start placement");
+                    record_recovery(st, recovery_action::rollback,
+                                    "tightened initial solve still unhealthy; "
+                                    "keeping the start placement");
                 }
             }
         }
@@ -768,21 +781,40 @@ placement placer::run_from(placement current, bool reset_forces) {
     // normalized by the first healthy iteration (overflow weighted 4:1 —
     // a global placement's job is to spread). Snapshots are the rollback
     // targets of ladder rung 2.
-    constexpr double kTiny = 1e-12;
-    struct snapshot {
-        placement pl;
-        double force_scale_k;
-        std::vector<double> force_x, force_y;
-    };
-    std::vector<snapshot> snapshots;
-    placement best = current;
-    double best_score = std::numeric_limits<double>::infinity();
-    bool have_best = false;
-    double norm_overflow = kTiny;
-    double norm_hpwl = kTiny;
-    double prev_overflow = std::numeric_limits<double>::quiet_NaN();
-    std::size_t rollbacks_used = 0;
-    bool stopped_best = false;
+    st.best = current;
+    st.current = std::move(current);
+    st.best_score = std::numeric_limits<double>::infinity();
+    st.have_best = false;
+    st.norm_overflow = kTiny;
+    st.norm_hpwl = kTiny;
+    st.prev_overflow = std::numeric_limits<double>::quiet_NaN();
+    st.plateau_overflow = std::numeric_limits<double>::infinity();
+    return run_loop(st);
+}
+
+void placer::record_recovery(run_state& st, recovery_action action,
+                             const std::string& why) {
+    degraded_ = true;
+    recovery_event ev{action, history_.size(), why};
+    log(log_level::warning) << "recovery: " << recovery_action_name(action)
+                            << " at transformation " << ev.iteration << " — "
+                            << why;
+    recovery_log_.push_back(ev);
+    st.pending.push_back(std::move(ev));
+}
+
+// The guarded transformation loop (DESIGN.md §9/§14), shared by run_from()
+// and resume(). Everything it carries between iterations lives in `st` or
+// in the iteration-carried placer members — exactly the payload of
+// serialize_state() — so a run restored from a checkpoint re-enters here
+// and is bitwise identical to the run that was never interrupted. The
+// checkpoint is written as the *last* statement of the loop body, after
+// every stop decision (each `break` path skips it): no checkpoint ever
+// captures a would-stop state, so resuming from the k-th write replays
+// the exact tail the original run executed after it, stop decisions
+// included.
+placement placer::run_loop(run_state& st) {
+    stopwatch run_clock;
 
     // One guarded transformation attempt: run transform(), health-check
     // the result, and on failure unwind every side effect (history entry,
@@ -791,6 +823,7 @@ placement placer::run_from(placement current, bool reset_forces) {
     std::string reason;
     const auto attempt = [&](const placement& input,
                              bool tightened) -> std::optional<placement> {
+        bump_heartbeat();
         const std::size_t h0 = history_.size();
         std::vector<double> saved_fx, saved_fy;
         const bool accumulate =
@@ -800,6 +833,7 @@ placement placer::run_from(placement current, bool reset_forces) {
             saved_fy = force_y_;
         }
         try {
+            stopwatch step_clock;
             placement out;
             if (tightened) {
                 tighten_guard guard(options_);
@@ -809,79 +843,20 @@ placement placer::run_from(placement current, bool reset_forces) {
             } else {
                 out = transform(input);
             }
-            reason = health_check(history_.back(), out, prev_overflow);
-            if (reason.empty()) return out;
-        } catch (const check_error& e) {
-            reason = std::string("transformation threw: ") + e.what();
-        }
-        while (history_.size() > h0) history_.pop_back();
-        if (accumulate) {
-            force_x_ = std::move(saved_fx);
-            force_y_ = std::move(saved_fy);
-        }
-        return std::nullopt;
-    };
-
-    double plateau_overflow = std::numeric_limits<double>::infinity();
-    std::size_t stalled = 0;
-    for (std::size_t it = 0; it < options_.max_iterations; ++it) {
-        // Resource guard: wall-clock budget ends the run through the same
-        // best-so-far path the ladder's final rung uses.
-        if (options_.time_budget > 0.0 &&
-            run_clock.elapsed_seconds() >= options_.time_budget) {
-            record(recovery_action::stop_best,
-                   "wall-clock budget of " + fmt_value(options_.time_budget) +
-                       " s exhausted after " + std::to_string(history_.size()) +
-                       " transformations");
-            stopped_best = true;
-            break;
-        }
-
-        const double step_start = run_clock.elapsed_seconds();
-        std::optional<placement> next = attempt(current, /*tightened=*/false);
-        if (!next.has_value()) {
-            // Rung 1: tightened retries from the same input.
-            for (std::size_t r = 0; r < options_.max_retries && !next.has_value();
-                 ++r) {
-                record(recovery_action::retry_tightened, reason);
-                next = attempt(current, /*tightened=*/true);
+            double took = step_clock.elapsed_seconds();
+            if (options_.max_transform_seconds > 0.0 &&
+                fault_fires(fault_site::transform_stall)) {
+                took = options_.max_transform_seconds * 64.0;
             }
-        }
-        if (!next.has_value()) {
-            // Rung 2: roll back to the most recent healthy snapshot with a
-            // halved force constant; the snapshot is consumed so repeated
-            // rollbacks walk further into the past.
-            if (rollbacks_used < options_.max_rollbacks && !snapshots.empty()) {
-                ++rollbacks_used;
-                record(recovery_action::rollback, reason);
-                snapshot snap = std::move(snapshots.back());
-                snapshots.pop_back();
-                current = std::move(snap.pl);
-                options_.force_scale_k = snap.force_scale_k * 0.5;
-                force_x_ = std::move(snap.force_x);
-                force_y_ = std::move(snap.force_y);
-                delta_x_.clear();
-                delta_y_.clear();
-                continue;
-            }
-            // Rung 3: stop; the best-so-far placement is returned below.
-            record(recovery_action::stop_best, reason);
-            stopped_best = true;
-            break;
-        }
-
-        current = std::move(*next);
-        iteration_stats& stats = history_.back();
-        if (!pending.empty()) {
-            stats.recovery = std::move(pending);
-            pending.clear();
-        }
-
-        // Per-transformation watchdog (observability for the recovery
-        // engine; GPF_PROFILE=1 yields the matching per-phase breakdown).
-        if (options_.max_transform_seconds > 0.0) {
-            const double took = run_clock.elapsed_seconds() - step_start;
-            if (took > options_.max_transform_seconds) {
+            reason = health_check(history_.back(), out, st.prev_overflow);
+            // Per-transformation watchdog (DESIGN.md §14): a blown budget
+            // is a recovery incident. Warn with the profiler tag
+            // (GPF_PROFILE=1 yields the per-phase breakdown), then fail
+            // the attempt so the ladder engages — tightened retry first,
+            // and best-so-far stop when the budget cannot be met at all.
+            if (reason.empty() && options_.max_transform_seconds > 0.0 &&
+                took > options_.max_transform_seconds) {
+                const iteration_stats& stats = history_.back();
                 const profiler& prof = profiler::instance();
                 std::ostringstream tag;
                 if (prof.enabled()) {
@@ -897,33 +872,125 @@ placement placer::run_from(placement current, bool reset_forces) {
                 log(log_level::warning)
                     << "[watchdog] transformation " << stats.iteration << " took "
                     << took << " s (budget " << options_.max_transform_seconds
-                    << " s, " << stats.cg_iterations << " cg iterations" << tag.str()
-                    << ")";
+                    << " s, " << stats.cg_iterations << " cg iterations"
+                    << tag.str() << ")";
+                reason = "transformation watchdog: " + fmt_value(took) +
+                         " s against a budget of " +
+                         fmt_value(options_.max_transform_seconds) + " s";
             }
+            if (reason.empty()) return out;
+        } catch (const check_error& e) {
+            reason = std::string("transformation threw: ") + e.what();
+        }
+        while (history_.size() > h0) history_.pop_back();
+        if (accumulate) {
+            force_x_ = std::move(saved_fx);
+            force_y_ = std::move(saved_fy);
+        }
+        return std::nullopt;
+    };
+
+    bool stopped_best = false;
+    for (std::size_t it = st.next_iteration; it < options_.max_iterations; ++it) {
+        // Crash drill (util/fault.hpp): die exactly as a SIGKILL'd worker
+        // would — no unwinding, no flushing — so the supervisor's
+        // restart-and-resume path is exercised against a true abrupt
+        // death, not a polite exception.
+        if (fault_fires(fault_site::process_abort)) {
+            log(log_level::warning) << "fault injection: raising SIGKILL before "
+                                    << "transformation " << history_.size();
+            std::raise(SIGKILL);
+        }
+
+        // Cooperative stop (SIGINT/SIGTERM in gpf_place): flush a final
+        // checkpoint so a later --resume continues exactly here, then end
+        // through the same best-so-far path as ladder rung 3.
+        if (options_.stop_flag != nullptr &&
+            options_.stop_flag->load(std::memory_order_relaxed)) {
+            st.next_iteration = it;
+            if (!options_.checkpoint_path.empty()) write_checkpoint(st);
+            record_recovery(st, recovery_action::stop_best,
+                            "stop requested after " +
+                                std::to_string(history_.size()) +
+                                " transformations");
+            stopped_best = true;
+            break;
+        }
+
+        // Resource guard: wall-clock budget ends the run through the same
+        // best-so-far path the ladder's final rung uses.
+        if (options_.time_budget > 0.0 &&
+            run_clock.elapsed_seconds() >= options_.time_budget) {
+            record_recovery(st, recovery_action::stop_best,
+                            "wall-clock budget of " + fmt_value(options_.time_budget) +
+                                " s exhausted after " +
+                                std::to_string(history_.size()) +
+                                " transformations");
+            stopped_best = true;
+            break;
+        }
+
+        std::optional<placement> next = attempt(st.current, /*tightened=*/false);
+        if (!next.has_value()) {
+            // Rung 1: tightened retries from the same input.
+            for (std::size_t r = 0; r < options_.max_retries && !next.has_value();
+                 ++r) {
+                record_recovery(st, recovery_action::retry_tightened, reason);
+                next = attempt(st.current, /*tightened=*/true);
+            }
+        }
+        if (!next.has_value()) {
+            // Rung 2: roll back to the most recent healthy snapshot with a
+            // halved force constant; the snapshot is consumed so repeated
+            // rollbacks walk further into the past.
+            if (st.rollbacks_used < options_.max_rollbacks && !st.snapshots.empty()) {
+                ++st.rollbacks_used;
+                record_recovery(st, recovery_action::rollback, reason);
+                snapshot_state snap = std::move(st.snapshots.back());
+                st.snapshots.pop_back();
+                st.current = std::move(snap.pl);
+                options_.force_scale_k = snap.force_scale_k * 0.5;
+                force_x_ = std::move(snap.force_x);
+                force_y_ = std::move(snap.force_y);
+                delta_x_.clear();
+                delta_y_.clear();
+                continue;
+            }
+            // Rung 3: stop; the best-so-far placement is returned below.
+            record_recovery(st, recovery_action::stop_best, reason);
+            stopped_best = true;
+            break;
+        }
+
+        st.current = std::move(*next);
+        iteration_stats& stats = history_.back();
+        if (!st.pending.empty()) {
+            stats.recovery = std::move(st.pending);
+            st.pending.clear();
         }
 
         // Healthy-iteration bookkeeping: trend reference, best-so-far,
         // rollback snapshot.
-        prev_overflow = stats.overflow_area;
-        if (!have_best) {
-            norm_overflow = std::max(stats.overflow_area, kTiny);
-            norm_hpwl = std::max(stats.hpwl, kTiny);
+        st.prev_overflow = stats.overflow_area;
+        if (!st.have_best) {
+            st.norm_overflow = std::max(stats.overflow_area, kTiny);
+            st.norm_hpwl = std::max(stats.hpwl, kTiny);
         }
-        const double score =
-            4.0 * stats.overflow_area / norm_overflow + stats.hpwl / norm_hpwl;
-        if (!have_best || score < best_score) {
-            best_score = score;
-            best = current;
-            have_best = true;
+        const double score = 4.0 * stats.overflow_area / st.norm_overflow +
+                             stats.hpwl / st.norm_hpwl;
+        if (!st.have_best || score < st.best_score) {
+            st.best_score = score;
+            st.best = st.current;
+            st.have_best = true;
         }
         if (options_.snapshot_depth > 0 &&
             (options_.snapshot_interval <= 1 ||
              stats.iteration % options_.snapshot_interval == 0)) {
-            if (snapshots.size() >= options_.snapshot_depth) {
-                snapshots.erase(snapshots.begin());
+            if (st.snapshots.size() >= options_.snapshot_depth) {
+                st.snapshots.erase(st.snapshots.begin());
             }
-            snapshots.push_back(
-                {current, options_.force_scale_k, force_x_, force_y_});
+            st.snapshots.push_back(
+                {st.current, options_.force_scale_k, force_x_, force_y_});
         }
 
         log(log_level::debug) << "iteration " << stats.iteration << " hpwl=" << stats.hpwl
@@ -936,19 +1003,30 @@ placement placer::run_from(placement current, bool reset_forces) {
         if (it + 1 >= options_.min_iterations && stats.spread) {
             converged_ = true;
         }
-        if (step_callback_ && !step_callback_(stats, current)) break;
+        if (step_callback_ && !step_callback_(stats, st.current)) break;
         if (converged_) break;
 
         // Secondary stop: overflow plateau.
         if (options_.plateau_window > 0) {
-            if (stats.overflow_area < plateau_overflow * (1.0 - options_.plateau_tolerance)) {
-                plateau_overflow = stats.overflow_area;
-                stalled = 0;
-            } else if (++stalled >= options_.plateau_window) {
+            if (stats.overflow_area < st.plateau_overflow * (1.0 - options_.plateau_tolerance)) {
+                st.plateau_overflow = stats.overflow_area;
+                st.stalled = 0;
+            } else if (++st.stalled >= options_.plateau_window) {
                 log(log_level::info) << "placer stopped on overflow plateau after "
                                      << history_.size() << " transformations";
                 break;
             }
+        }
+
+        // Durable checkpoint — kept the last statement of the body so
+        // that no checkpoint captures a state the loop was about to stop
+        // on. Pure observation: trajectories are bitwise identical with
+        // checkpointing on or off.
+        st.next_iteration = it + 1;
+        if (!options_.checkpoint_path.empty() &&
+            (options_.checkpoint_interval <= 1 ||
+             history_.size() % options_.checkpoint_interval == 0)) {
+            write_checkpoint(st);
         }
     }
 
@@ -956,16 +1034,17 @@ placement placer::run_from(placement current, bool reset_forces) {
         // Rung 3 / resource guard: hand back the best-so-far placement.
         // Events with no later iteration to live on attach to the last
         // accepted entry.
-        if (!history_.empty() && !pending.empty()) {
+        if (!history_.empty() && !st.pending.empty()) {
             iteration_stats& last = history_.back();
-            last.recovery.insert(last.recovery.end(), pending.begin(), pending.end());
+            last.recovery.insert(last.recovery.end(), st.pending.begin(),
+                                 st.pending.end());
         }
-        pending.clear();
-        if (have_best) current = best;
+        st.pending.clear();
+        if (st.have_best) st.current = st.best;
         log(log_level::warning)
             << "placer degraded stop after " << history_.size()
             << " transformations; returning best-so-far placement (hpwl="
-            << total_hpwl(nl_, current) << ")";
+            << total_hpwl(nl_, st.current) << ")";
     }
 
     log(log_level::info) << "placer finished after " << history_.size()
@@ -974,7 +1053,312 @@ placement placer::run_from(placement current, bool reset_forces) {
                          << (converged_ ? " (spread criterion met)"
                                         : stopped_best ? " (degraded stop)"
                                                        : " (iteration cap)");
-    return current;
+    return std::move(st.current);
+}
+
+// --- crash safety (DESIGN.md §14) -------------------------------------------
+
+namespace {
+
+void put_placement(byte_writer& w, const placement& pl) {
+    w.put_u64(pl.size());
+    for (const point& p : pl) {
+        w.put_f64(p.x);
+        w.put_f64(p.y);
+    }
+}
+
+placement get_placement(byte_reader& r, std::size_t expect) {
+    const std::uint64_t n = r.get_u64();
+    if (n != expect) {
+        throw checkpoint_error("checkpoint payload: placement of " +
+                               std::to_string(n) + " cells does not match the " +
+                               std::to_string(expect) + "-cell netlist");
+    }
+    placement pl(static_cast<std::size_t>(n));
+    for (point& p : pl) {
+        p.x = r.get_f64();
+        p.y = r.get_f64();
+    }
+    return pl;
+}
+
+void put_events(byte_writer& w, const std::vector<recovery_event>& events) {
+    w.put_u64(events.size());
+    for (const recovery_event& e : events) {
+        w.put_u8(static_cast<std::uint8_t>(e.action));
+        w.put_u64(e.iteration);
+        w.put_string(e.reason);
+    }
+}
+
+std::vector<recovery_event> get_events(byte_reader& r) {
+    const std::uint64_t n = r.get_u64();
+    std::vector<recovery_event> events;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        recovery_event e;
+        const std::uint8_t action = r.get_u8();
+        if (action > static_cast<std::uint8_t>(recovery_action::level_fallback)) {
+            throw checkpoint_error(
+                "checkpoint payload: unknown recovery action " +
+                std::to_string(action));
+        }
+        e.action = static_cast<recovery_action>(action);
+        e.iteration = static_cast<std::size_t>(r.get_u64());
+        e.reason = r.get_string();
+        events.push_back(std::move(e));
+    }
+    return events;
+}
+
+std::vector<double> get_force_vector(byte_reader& r, std::size_t expect,
+                                     const char* what) {
+    std::vector<double> v = r.get_f64_vector();
+    if (v.size() != expect) {
+        throw checkpoint_error("checkpoint payload: " + std::string(what) +
+                               " has " + std::to_string(v.size()) +
+                               " entries, expected " + std::to_string(expect));
+    }
+    return v;
+}
+
+} // namespace
+
+std::string placer::serialize_state(const run_state& st) const {
+    byte_writer w;
+    put_placement(w, st.current);
+    w.put_u64(st.next_iteration);
+    put_placement(w, st.best);
+    w.put_f64(st.best_score);
+    w.put_u8(st.have_best ? 1 : 0);
+    w.put_f64(st.norm_overflow);
+    w.put_f64(st.norm_hpwl);
+    w.put_f64(st.prev_overflow);
+    w.put_u64(st.rollbacks_used);
+    w.put_f64(st.plateau_overflow);
+    w.put_u64(st.stalled);
+    w.put_u64(st.snapshots.size());
+    for (const snapshot_state& s : st.snapshots) {
+        put_placement(w, s.pl);
+        w.put_f64(s.force_scale_k);
+        w.put_f64_vector(s.force_x);
+        w.put_f64_vector(s.force_y);
+    }
+    put_events(w, st.pending);
+    // Iteration-carried placer members. force_scale_k is serialized as
+    // state because rollback rungs halve it mid-run; the construction-time
+    // value is what the digest binds. delta_x_/delta_y_ are the CG
+    // warm-start displacements (state only under warm_start_cg).
+    w.put_f64(options_.force_scale_k);
+    w.put_f64(force_constant_);
+    w.put_f64_vector(force_x_);
+    w.put_f64_vector(force_y_);
+    w.put_f64_vector(delta_x_);
+    w.put_f64_vector(delta_y_);
+    w.put_u8(converged_ ? 1 : 0);
+    w.put_u8(degraded_ ? 1 : 0);
+    w.put_u64(history_.size());
+    for (const iteration_stats& s : history_) {
+        w.put_u64(s.iteration);
+        w.put_f64(s.hpwl);
+        w.put_f64(s.overflow_area);
+        w.put_f64(s.largest_empty_square);
+        w.put_f64(s.max_force);
+        w.put_f64(s.cg_residual);
+        w.put_u64(s.cg_iterations);
+        w.put_u8(s.cg_converged ? 1 : 0);
+        w.put_u8(s.spread ? 1 : 0);
+        put_events(w, s.recovery);
+    }
+    put_events(w, recovery_log_);
+    return w.take();
+}
+
+void placer::restore_state(const std::string& payload, run_state& st) {
+    byte_reader r(payload);
+    st.current = get_placement(r, nl_.num_cells());
+    st.next_iteration = static_cast<std::size_t>(r.get_u64());
+    st.best = get_placement(r, nl_.num_cells());
+    st.best_score = r.get_f64();
+    st.have_best = r.get_u8() != 0;
+    st.norm_overflow = r.get_f64();
+    st.norm_hpwl = r.get_f64();
+    st.prev_overflow = r.get_f64();
+    st.rollbacks_used = static_cast<std::size_t>(r.get_u64());
+    st.plateau_overflow = r.get_f64();
+    st.stalled = static_cast<std::size_t>(r.get_u64());
+    const std::uint64_t num_snapshots = r.get_u64();
+    st.snapshots.clear();
+    for (std::uint64_t i = 0; i < num_snapshots; ++i) {
+        snapshot_state s;
+        s.pl = get_placement(r, nl_.num_cells());
+        s.force_scale_k = r.get_f64();
+        s.force_x = get_force_vector(r, system_.num_vars(), "snapshot force_x");
+        s.force_y = get_force_vector(r, system_.num_vars(), "snapshot force_y");
+        st.snapshots.push_back(std::move(s));
+    }
+    st.pending = get_events(r);
+    options_.force_scale_k = r.get_f64();
+    force_constant_ = r.get_f64();
+    force_x_ = get_force_vector(r, system_.num_vars(), "force_x");
+    force_y_ = get_force_vector(r, system_.num_vars(), "force_y");
+    delta_x_ = r.get_f64_vector();
+    delta_y_ = r.get_f64_vector();
+    if (!delta_x_.empty() && delta_x_.size() != system_.num_vars()) {
+        throw checkpoint_error("checkpoint payload: warm-start delta_x has " +
+                               std::to_string(delta_x_.size()) + " entries");
+    }
+    if (!delta_y_.empty() && delta_y_.size() != system_.num_vars()) {
+        throw checkpoint_error("checkpoint payload: warm-start delta_y has " +
+                               std::to_string(delta_y_.size()) + " entries");
+    }
+    converged_ = r.get_u8() != 0;
+    degraded_ = r.get_u8() != 0;
+    const std::uint64_t num_history = r.get_u64();
+    history_.clear();
+    for (std::uint64_t i = 0; i < num_history; ++i) {
+        iteration_stats s;
+        s.iteration = static_cast<std::size_t>(r.get_u64());
+        s.hpwl = r.get_f64();
+        s.overflow_area = r.get_f64();
+        s.largest_empty_square = r.get_f64();
+        s.max_force = r.get_f64();
+        s.cg_residual = r.get_f64();
+        s.cg_iterations = static_cast<std::size_t>(r.get_u64());
+        s.cg_converged = r.get_u8() != 0;
+        s.spread = r.get_u8() != 0;
+        s.recovery = get_events(r);
+        history_.push_back(std::move(s));
+    }
+    recovery_log_ = get_events(r);
+    if (!r.exhausted()) {
+        throw checkpoint_error("checkpoint payload: " +
+                               std::to_string(r.remaining()) +
+                               " trailing bytes after the state");
+    }
+    // Resumption starts with cold caches. iteration_cache is documented
+    // bitwise-equivalent to fresh computation (tests/test_transform_cache
+    // .cpp), so rebuilding them does not perturb the trajectory.
+    field_calc_.reset();
+    next_density_.reset();
+    last_output_.clear();
+}
+
+void placer::write_checkpoint(const run_state& st) {
+    try {
+        write_checkpoint_file(options_.checkpoint_path, digest_,
+                              serialize_state(st));
+    } catch (const io_error& e) {
+        // A full disk must never kill a run that is making progress; the
+        // run continues and the previous generation stays authoritative.
+        log(log_level::warning) << "checkpoint write failed (run continues): "
+                                << e.what();
+    }
+}
+
+void placer::bump_heartbeat() {
+    if (options_.heartbeat_path.empty()) return;
+    write_heartbeat(options_.heartbeat_path, ++heartbeat_counter_);
+}
+
+std::uint64_t placer::compute_digest() const {
+    state_digest d;
+    d.mix_string("gpf-placer-state-v1");
+    // Every option that steers the trajectory. Deliberately excluded:
+    // time_budget and max_transform_seconds (wall-clock guards that may
+    // legitimately differ between the original and the resuming process),
+    // checkpoint/heartbeat paths and checkpoint_interval (observation
+    // only), and stop_flag (supervision plumbing).
+    d.mix_f64(options_.force_scale_k);
+    d.mix_u64(static_cast<std::uint64_t>(options_.scaling));
+    d.mix_u64(static_cast<std::uint64_t>(options_.mode));
+    d.mix_f64(options_.max_step_fraction);
+    d.mix_u64(options_.wire_relax_interval);
+    d.mix_f64(options_.wire_relax_weight);
+    d.mix_u64(options_.max_iterations);
+    d.mix_u64(options_.density_bins);
+    d.mix_u64(options_.coarse_full_bin_limit);
+    d.mix_f64(options_.spread_factor);
+    d.mix_f64(options_.empty_threshold);
+    d.mix_u64(options_.min_iterations);
+    d.mix_u64(options_.plateau_window);
+    d.mix_f64(options_.plateau_tolerance);
+    d.mix_u64(options_.clamp_to_region ? 1 : 0);
+    d.mix_u64(options_.iteration_cache ? 1 : 0);
+    d.mix_u64(options_.warm_start_cg ? 1 : 0);
+    d.mix_u64(options_.coarsen_levels);
+    d.mix_f64(options_.cluster_max_area_ratio);
+    d.mix_u64(options_.min_coarse_cells);
+    d.mix_u64(options_.max_retries);
+    d.mix_u64(options_.max_rollbacks);
+    d.mix_u64(options_.snapshot_interval);
+    d.mix_u64(options_.snapshot_depth);
+    d.mix_f64(options_.overflow_spike_factor);
+    d.mix_f64(options_.cg_stall_residual);
+    d.mix_u64(static_cast<std::uint64_t>(options_.net_model.kind));
+    d.mix_u64(options_.net_model.star_threshold);
+    d.mix_u64(options_.net_model.linearize ? 1 : 0);
+    d.mix_f64(options_.net_model.min_length_fraction);
+    d.mix_f64(options_.cg.tolerance);
+    d.mix_u64(options_.cg.max_iterations);
+    d.mix_u64(static_cast<std::uint64_t>(options_.cg.preconditioner));
+    d.mix_f64(options_.cg.ssor_omega);
+    // Netlist identity: region, geometry and connectivity. Names are
+    // omitted — they appear in diagnostics, never in the trajectory.
+    const rect region = nl_.region();
+    d.mix_f64(region.xlo);
+    d.mix_f64(region.ylo);
+    d.mix_f64(region.xhi);
+    d.mix_f64(region.yhi);
+    d.mix_f64(nl_.row_height());
+    d.mix_u64(nl_.num_cells());
+    for (cell_id i = 0; i < nl_.num_cells(); ++i) {
+        const cell& c = nl_.cell_at(i);
+        d.mix_f64(c.width);
+        d.mix_f64(c.height);
+        d.mix_u64(static_cast<std::uint64_t>(c.kind));
+        d.mix_u64(c.fixed ? 1 : 0);
+        if (c.fixed || c.kind == cell_kind::pad) {
+            d.mix_f64(c.position.x);
+            d.mix_f64(c.position.y);
+        }
+    }
+    d.mix_u64(nl_.num_nets());
+    for (const net& n : nl_.nets()) {
+        d.mix_f64(n.weight);
+        d.mix_u64(n.pins.size());
+        d.mix_u64(n.driver == no_driver ? UINT64_MAX : n.driver);
+        for (const pin& p : n.pins) {
+            d.mix_u64(p.cell);
+            d.mix_f64(p.offset.x);
+            d.mix_f64(p.offset.y);
+        }
+    }
+    return d.hash;
+}
+
+placement placer::resume(const std::string& checkpoint_path) {
+    GPF_CHECK_MSG(options_.coarsen_levels == 0,
+                  "resume: the flat transformation loop is the resumable unit "
+                  "(options.coarsen_levels must be 0)");
+    std::string loaded_from;
+    checkpoint_blob blob = read_checkpoint_with_fallback(checkpoint_path,
+                                                         &loaded_from);
+    if (blob.digest != digest_) {
+        std::ostringstream os;
+        os << "checkpoint '" << loaded_from
+           << "' was written under a different configuration or netlist "
+              "(state digest 0x"
+           << std::hex << blob.digest << " != 0x" << digest_ << ")";
+        throw checkpoint_error(os.str());
+    }
+    run_state st;
+    restore_state(blob.payload, st);
+    level_log_.clear();
+    log(log_level::info) << "resuming from checkpoint '" << loaded_from
+                         << "' at transformation " << st.next_iteration << " ("
+                         << history_.size() << " accepted so far)";
+    return run_loop(st);
 }
 
 } // namespace gpf

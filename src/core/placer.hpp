@@ -20,10 +20,13 @@
 // force field is computed.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "density/density_map.hpp"
@@ -155,9 +158,34 @@ struct placer_options {
     /// Wall-clock budget for run()/run_from() in seconds; when exceeded
     /// the run ends through the best-so-far path. 0 = unlimited.
     double time_budget = 0.0;
-    /// Per-transformation watchdog: log a profiler-tagged warning when one
-    /// transformation takes longer than this many seconds. 0 = off.
+    /// Per-transformation watchdog: a transformation that takes longer
+    /// than this many seconds is treated as a recovery incident — a
+    /// profiler-tagged warning is logged and the ladder engages, tightened
+    /// retry first (DESIGN.md §14). 0 = off.
     double max_transform_seconds = 0.0;
+
+    // --- Crash safety (DESIGN.md §14) -------------------------------------
+    /// Durable checkpoint file. When non-empty, the flat transformation
+    /// loop atomically persists its full resumable state (placement, force
+    /// state, recovery-ladder state, history, best-so-far bookkeeping)
+    /// every `checkpoint_interval` accepted transformations; the previous
+    /// generation is rotated to `<path>.prev`. A run resumed with
+    /// placer::resume() is bitwise identical to the uninterrupted run at
+    /// every GPF_THREADS/GPF_SIMD setting. Checkpointing is pure
+    /// observation — trajectories are identical with it on or off — and
+    /// is not supported inside the multilevel V-cycle (silently disabled
+    /// there; the flat loop is the resumable unit).
+    std::string checkpoint_path;
+    /// Accepted transformations between checkpoint writes (1 = every).
+    std::size_t checkpoint_interval = 1;
+    /// Liveness file for the supervisor (util/supervisor.hpp): a counter
+    /// bumped before every transformation attempt. "" = no heartbeat.
+    std::string heartbeat_path;
+    /// Cooperative stop request (SIGINT/SIGTERM in gpf_place): when the
+    /// pointed-to flag becomes true, the run flushes a final checkpoint,
+    /// records a stop_best recovery event and returns the best-so-far
+    /// placement (degraded, exit code 2) instead of dying mid-write.
+    const std::atomic<bool>* stop_flag = nullptr;
 
     net_model_options net_model;
     cg_options cg;
@@ -232,6 +260,20 @@ public:
     /// flows want.
     placement run_from(placement current, bool reset_forces = true);
 
+    /// Continue a run from a checkpoint written by a placer constructed
+    /// with identical options over the identical netlist (enforced by a
+    /// state digest stored in the file). Falls back to
+    /// `<checkpoint_path>.prev` when the newest generation is torn. The
+    /// resumed run is bitwise identical to the uninterrupted run at every
+    /// thread count. Throws checkpoint_error on a missing/torn/foreign
+    /// checkpoint; flat loop only (options.coarsen_levels must be 0).
+    placement resume(const std::string& checkpoint_path);
+
+    /// Digest binding checkpoints to this placer's options + netlist
+    /// identity (time-based guards and file paths excluded — those may
+    /// legitimately differ between the original and the resumed process).
+    std::uint64_t checkpoint_digest() const { return digest_; }
+
     /// One placement transformation.
     placement transform(const placement& current);
 
@@ -282,8 +324,47 @@ public:
     double average_cell_area() const;
 
 private:
+    /// One rollback target of recovery rung 2.
+    struct snapshot_state {
+        placement pl;
+        double force_scale_k = 0.0;
+        std::vector<double> force_x, force_y;
+    };
+    /// Everything the transformation loop carries between iterations that
+    /// is not already a placer member — exactly the state a checkpoint
+    /// must persist for a resumed run to be bitwise identical.
+    struct run_state {
+        placement current;
+        std::size_t next_iteration = 0; ///< loop index of the next transformation
+        placement best;
+        double best_score = 0.0;
+        bool have_best = false;
+        double norm_overflow = 0.0;
+        double norm_hpwl = 0.0;
+        double prev_overflow = 0.0;
+        std::size_t rollbacks_used = 0;
+        double plateau_overflow = 0.0;
+        std::size_t stalled = 0;
+        std::vector<snapshot_state> snapshots;
+        std::vector<recovery_event> pending;
+    };
+
     /// The cluster V-cycle behind run() when coarsen_levels > 0.
     placement run_multilevel();
+    /// The guarded transformation loop shared by run_from() and resume().
+    placement run_loop(run_state& st);
+    void record_recovery(run_state& st, recovery_action action,
+                         const std::string& why);
+    /// Serialize / restore the full resumable state (run_state + the
+    /// iteration-carried placer members). The payload format is versioned
+    /// by the checkpoint envelope (util/checkpoint.hpp).
+    std::string serialize_state(const run_state& st) const;
+    void restore_state(const std::string& payload, run_state& st);
+    /// Atomic checkpoint write; an I/O failure degrades to a warning (a
+    /// full disk must never kill a run that is making progress).
+    void write_checkpoint(const run_state& st);
+    void bump_heartbeat();
+    std::uint64_t compute_digest() const;
     std::pair<std::size_t, std::size_t> density_dims() const;
     /// Returns the (x, y) CG results of the relaxation solves.
     std::pair<cg_result, cg_result> wire_relax(placement& pl);
@@ -309,6 +390,8 @@ private:
     bool degraded_ = false;
     std::vector<recovery_event> recovery_log_;
     std::vector<level_summary> level_log_;
+    std::uint64_t digest_ = 0;          ///< checkpoint binding digest
+    std::uint64_t heartbeat_counter_ = 0;
 
     // Iteration-persistent caches (placer_options::iteration_cache) and
     // solver workspaces. The caches never change results: the calculator

@@ -45,12 +45,14 @@
 #include "timing/timing_driven.hpp"
 #include "timing/timing_graph.hpp"
 #include "util/check.hpp"
+#include "util/checkpoint.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
 #include "util/prng.hpp"
 #include "util/profiler.hpp"
 #include "util/simd.hpp"
 #include "util/stopwatch.hpp"
+#include "util/supervisor.hpp"
 #include "util/thread_pool.hpp"
 #include "verify/fuzz.hpp"
 #include "verify/verify.hpp"

@@ -8,19 +8,12 @@
 #include <unordered_map>
 
 #include "util/check.hpp"
+#include "util/checkpoint.hpp"
 #include "util/fault.hpp"
 
 namespace gpf {
 
 namespace {
-
-std::ofstream open_out(const std::string& path) {
-    std::ofstream out(path);
-    if (!out) throw io_error("cannot open '" + path + "' for writing");
-    // Full round-trip precision for coordinates and dimensions.
-    out << std::setprecision(17);
-    return out;
-}
 
 std::ifstream open_in(const std::string& path) {
     std::ifstream in(path);
@@ -136,8 +129,11 @@ void write_bookshelf(const netlist& nl, const placement& pl,
     // A placement with non-finite coordinates must never round-trip as a
     // valid Bookshelf file (the reader rejects non-finite numbers, but a
     // "NaN"-free textual rendering of garbage could still slip through
-    // other tools). Refuse before any file is created, so a failed export
-    // cannot leave a partial, plausible-looking design behind.
+    // other tools). Refuse before any file is created. Each file below is
+    // written to a sibling temp file and atomically renamed into place
+    // (util/checkpoint.hpp), so an export interrupted mid-write — crash,
+    // SIGKILL, full disk — leaves the previous generation intact, never a
+    // torn file under the final name.
     for (cell_id i = 0; i < nl.num_cells(); ++i) {
         if (!std::isfinite(pl[i].x) || !std::isfinite(pl[i].y)) {
             throw io_error("write_bookshelf: refusing to serialize non-finite "
@@ -149,7 +145,9 @@ void write_bookshelf(const netlist& nl, const placement& pl,
 
     // --- .nodes -------------------------------------------------------------
     {
-        auto out = open_out(base_path + ".nodes");
+        atomic_writer writer(base_path + ".nodes");
+        std::ofstream& out = writer.stream();
+        out << std::setprecision(17);
         out << "UCLA nodes 1.0\n";
         out << "NumNodes : " << nl.num_cells() << "\n";
         out << "NumTerminals : " << nl.num_fixed() << "\n";
@@ -158,11 +156,14 @@ void write_bookshelf(const netlist& nl, const placement& pl,
             if (c.fixed) out << " terminal";
             out << '\n';
         }
+        writer.commit();
     }
 
     // --- .nets --------------------------------------------------------------
     {
-        auto out = open_out(base_path + ".nets");
+        atomic_writer writer(base_path + ".nets");
+        std::ofstream& out = writer.stream();
+        out << std::setprecision(17);
         out << "UCLA nets 1.0\n";
         out << "NumNets : " << nl.num_nets() << "\n";
         out << "NumPins : " << nl.num_pins() << "\n";
@@ -175,11 +176,14 @@ void write_bookshelf(const netlist& nl, const placement& pl,
                     << p.offset.x << ' ' << p.offset.y << '\n';
             }
         }
+        writer.commit();
     }
 
     // --- .pl ----------------------------------------------------------------
     {
-        auto out = open_out(base_path + ".pl");
+        atomic_writer writer(base_path + ".pl");
+        std::ofstream& out = writer.stream();
+        out << std::setprecision(17);
         out << "UCLA pl 1.0\n";
         for (cell_id i = 0; i < nl.num_cells(); ++i) {
             const cell& c = nl.cell_at(i);
@@ -190,11 +194,14 @@ void write_bookshelf(const netlist& nl, const placement& pl,
             if (c.fixed) out << " /FIXED";
             out << '\n';
         }
+        writer.commit();
     }
 
     // --- .scl ---------------------------------------------------------------
     {
-        auto out = open_out(base_path + ".scl");
+        atomic_writer writer(base_path + ".scl");
+        std::ofstream& out = writer.stream();
+        out << std::setprecision(17);
         const rect r = nl.region();
         out << "UCLA scl 1.0\n";
         out << "NumRows : " << nl.num_rows() << "\n";
@@ -207,6 +214,7 @@ void write_bookshelf(const netlist& nl, const placement& pl,
                 << static_cast<std::size_t>(r.width()) << "\n";
             out << "End\n";
         }
+        writer.commit();
     }
 }
 

@@ -1,0 +1,431 @@
+#include "util/checkpoint.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/fault.hpp"
+
+namespace gpf {
+
+namespace {
+
+/// "GPFCKPT1" — 8 bytes, version-suffixed so even the magic catches a
+/// future incompatible rework of the envelope itself.
+constexpr std::array<char, 8> kMagic = {'G', 'P', 'F', 'C', 'K', 'P', 'T', '1'};
+
+// Envelope layout (all integers little-endian):
+//   magic[8] | version u32 | digest u64 | payload_size u64 | payload | crc u32
+// The CRC covers everything before the trailer.
+constexpr std::size_t kHeaderSize = kMagic.size() + 4 + 8 + 8;
+
+std::string errno_text() { return std::strerror(errno); }
+
+void append_u32(std::string& buf, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void append_u64(std::string& buf, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t load_u32(const unsigned char* p) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t load_u64(const unsigned char* p) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/// Write `bytes` to `path` via open/write/fsync/close; throws
+/// checkpoint_error on any failure.
+void write_raw_synced(const std::string& path, const char* data, std::size_t size) {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        throw checkpoint_error("checkpoint: cannot open '" + path +
+                               "' for writing: " + errno_text());
+    }
+    std::size_t written = 0;
+    while (written < size) {
+        const ssize_t n = ::write(fd, data + written, size - written);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            const std::string why = errno_text();
+            ::close(fd);
+            ::unlink(path.c_str());
+            throw checkpoint_error("checkpoint: short write to '" + path +
+                                   "': " + why);
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        const std::string why = errno_text();
+        ::close(fd);
+        ::unlink(path.c_str());
+        throw checkpoint_error("checkpoint: fsync of '" + path + "' failed: " + why);
+    }
+    if (::close(fd) != 0) {
+        const std::string why = errno_text();
+        ::unlink(path.c_str());
+        throw checkpoint_error("checkpoint: close of '" + path + "' failed: " + why);
+    }
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// itself is durable. Failure is ignored: not every filesystem supports
+/// directory fsync, and the data-file fsync already happened.
+void sync_parent_dir(const std::string& path) {
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+    const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+    if (fd < 0) return;
+    ::fsync(fd);
+    ::close(fd);
+}
+
+} // namespace
+
+// --- crc32 ------------------------------------------------------------------
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k) {
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            }
+            t[i] = c;
+        }
+        return t;
+    }();
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i) {
+        c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    }
+    return c ^ 0xFFFFFFFFu;
+}
+
+// --- state digest -----------------------------------------------------------
+
+void state_digest::mix_bytes(const void* data, std::size_t size) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= p[i];
+        hash *= 1099511628211ULL; // FNV-1a prime
+    }
+}
+
+void state_digest::mix_u64(std::uint64_t v) {
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+    mix_bytes(bytes, sizeof(bytes));
+}
+
+void state_digest::mix_f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix_u64(bits);
+}
+
+void state_digest::mix_string(const std::string& s) {
+    mix_u64(s.size());
+    mix_bytes(s.data(), s.size());
+}
+
+// --- byte_writer / byte_reader ----------------------------------------------
+
+void byte_writer::put_u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+void byte_writer::put_u32(std::uint32_t v) { append_u32(buf_, v); }
+void byte_writer::put_u64(std::uint64_t v) { append_u64(buf_, v); }
+
+void byte_writer::put_f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    append_u64(buf_, bits);
+}
+
+void byte_writer::put_string(const std::string& s) {
+    append_u64(buf_, s.size());
+    buf_.append(s);
+}
+
+void byte_writer::put_f64_vector(const std::vector<double>& v) {
+    append_u64(buf_, v.size());
+    for (const double d : v) put_f64(d);
+}
+
+void byte_reader::need(std::size_t n) const {
+    if (buf_.size() - pos_ < n) {
+        throw checkpoint_error("checkpoint: truncated payload (need " +
+                               std::to_string(n) + " bytes, " +
+                               std::to_string(buf_.size() - pos_) + " left)");
+    }
+}
+
+std::uint8_t byte_reader::get_u8() {
+    need(1);
+    return static_cast<std::uint8_t>(buf_[pos_++]);
+}
+
+std::uint32_t byte_reader::get_u32() {
+    need(4);
+    const std::uint32_t v =
+        load_u32(reinterpret_cast<const unsigned char*>(buf_.data() + pos_));
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t byte_reader::get_u64() {
+    need(8);
+    const std::uint64_t v =
+        load_u64(reinterpret_cast<const unsigned char*>(buf_.data() + pos_));
+    pos_ += 8;
+    return v;
+}
+
+double byte_reader::get_f64() {
+    const std::uint64_t bits = get_u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string byte_reader::get_string() {
+    const std::uint64_t n = get_u64();
+    need(static_cast<std::size_t>(n));
+    std::string s(buf_.data() + pos_, static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+}
+
+std::vector<double> byte_reader::get_f64_vector() {
+    const std::uint64_t n = get_u64();
+    need(static_cast<std::size_t>(n) * 8);
+    std::vector<double> v(static_cast<std::size_t>(n));
+    for (auto& d : v) d = get_f64();
+    return v;
+}
+
+// --- atomic_writer ----------------------------------------------------------
+
+atomic_writer::atomic_writer(std::string target)
+    : target_(std::move(target)), temp_(target_ + ".tmp"), out_(temp_) {
+    if (!out_) {
+        throw io_error("cannot open '" + temp_ + "' for writing");
+    }
+}
+
+atomic_writer::~atomic_writer() {
+    if (!committed_) {
+        out_.close();
+        ::unlink(temp_.c_str());
+    }
+}
+
+void atomic_writer::commit() {
+    out_.flush();
+    if (!out_) {
+        out_.close();
+        ::unlink(temp_.c_str());
+        throw io_error("write to '" + temp_ + "' failed");
+    }
+    out_.close();
+    commit_file(temp_, target_);
+    committed_ = true;
+}
+
+void commit_file(const std::string& temp, const std::string& target,
+                 bool fsync_file) {
+    if (fsync_file) {
+        const int fd = ::open(temp.c_str(), O_RDONLY);
+        if (fd < 0) {
+            throw io_error("cannot reopen '" + temp + "' for fsync: " + errno_text());
+        }
+        const int rc = ::fsync(fd);
+        ::close(fd);
+        if (rc != 0) {
+            ::unlink(temp.c_str());
+            throw io_error("fsync of '" + temp + "' failed: " + errno_text());
+        }
+    }
+    if (std::rename(temp.c_str(), target.c_str()) != 0) {
+        const std::string why = errno_text();
+        ::unlink(temp.c_str());
+        throw io_error("cannot rename '" + temp + "' to '" + target + "': " + why);
+    }
+    sync_parent_dir(target);
+}
+
+// --- checkpoint envelope ----------------------------------------------------
+
+void write_checkpoint_file(const std::string& path, std::uint64_t digest,
+                           const std::string& payload) {
+    std::string envelope;
+    envelope.reserve(kHeaderSize + payload.size() + 4);
+    envelope.append(kMagic.data(), kMagic.size());
+    append_u32(envelope, checkpoint_format_version);
+    append_u64(envelope, digest);
+    append_u64(envelope, payload.size());
+    envelope.append(payload);
+    append_u32(envelope, crc32(envelope.data(), envelope.size()));
+
+    // Injection site (util/fault.hpp): a torn write — the file ends
+    // mid-payload, exactly as a power loss during the write would leave
+    // it — that still gets renamed into place. The CRC/length validation
+    // in read_checkpoint_file must reject it and resume must fall back
+    // to the rotated previous generation.
+    std::size_t persist = envelope.size();
+    if (fault_fires(fault_site::checkpoint_torn_write)) {
+        persist = kHeaderSize + payload.size() / 2;
+    }
+
+    const std::string temp = path + ".tmp";
+    write_raw_synced(temp, envelope.data(), persist);
+
+    // Rotate the previous generation aside before the final rename: a
+    // crash between the two renames leaves only `<path>.prev`, which the
+    // fallback loader accepts. (rename(2) is atomic; a crash can tear
+    // the *sequence*, never an individual name.)
+    if (::access(path.c_str(), F_OK) == 0) {
+        const std::string prev = path + ".prev";
+        if (std::rename(path.c_str(), prev.c_str()) != 0) {
+            const std::string why = errno_text();
+            ::unlink(temp.c_str());
+            throw checkpoint_error("checkpoint: cannot rotate '" + path +
+                                   "' to '" + prev + "': " + why);
+        }
+    }
+    if (std::rename(temp.c_str(), path.c_str()) != 0) {
+        const std::string why = errno_text();
+        ::unlink(temp.c_str());
+        throw checkpoint_error("checkpoint: cannot rename '" + temp + "' to '" +
+                               path + "': " + why);
+    }
+    sync_parent_dir(path);
+}
+
+checkpoint_blob read_checkpoint_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw checkpoint_error("checkpoint: cannot open '" + path + "' for reading");
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof()) {
+        throw checkpoint_error("checkpoint: read of '" + path + "' failed");
+    }
+    if (bytes.size() < kHeaderSize + 4) {
+        throw checkpoint_error("checkpoint: '" + path + "' is truncated (" +
+                               std::to_string(bytes.size()) + " bytes, header is " +
+                               std::to_string(kHeaderSize + 4) + ")");
+    }
+    const unsigned char* p = reinterpret_cast<const unsigned char*>(bytes.data());
+    if (std::memcmp(p, kMagic.data(), kMagic.size()) != 0) {
+        throw checkpoint_error("checkpoint: '" + path +
+                               "' has no GPF checkpoint magic");
+    }
+    const std::uint32_t version = load_u32(p + kMagic.size());
+    if (version != checkpoint_format_version) {
+        throw checkpoint_error(
+            "checkpoint: '" + path + "' has format version " +
+            std::to_string(version) + ", this build reads version " +
+            std::to_string(checkpoint_format_version));
+    }
+    checkpoint_blob blob;
+    blob.digest = load_u64(p + kMagic.size() + 4);
+    const std::uint64_t payload_size = load_u64(p + kMagic.size() + 12);
+    if (bytes.size() != kHeaderSize + payload_size + 4) {
+        throw checkpoint_error(
+            "checkpoint: '" + path + "' is torn (payload declares " +
+            std::to_string(payload_size) + " bytes, file holds " +
+            std::to_string(bytes.size() > kHeaderSize + 4
+                               ? bytes.size() - kHeaderSize - 4
+                               : 0) +
+            ")");
+    }
+    const std::uint32_t stored =
+        load_u32(p + kHeaderSize + static_cast<std::size_t>(payload_size));
+    const std::uint32_t computed =
+        crc32(bytes.data(), kHeaderSize + static_cast<std::size_t>(payload_size));
+    if (stored != computed) {
+        throw checkpoint_error("checkpoint: '" + path + "' fails its CRC (stored " +
+                               std::to_string(stored) + ", computed " +
+                               std::to_string(computed) + ")");
+    }
+    blob.payload = bytes.substr(kHeaderSize, static_cast<std::size_t>(payload_size));
+    return blob;
+}
+
+checkpoint_blob read_checkpoint_with_fallback(const std::string& path,
+                                              std::string* loaded_from) {
+    std::string first_error;
+    try {
+        checkpoint_blob blob = read_checkpoint_file(path);
+        if (loaded_from != nullptr) *loaded_from = path;
+        return blob;
+    } catch (const checkpoint_error& e) {
+        first_error = e.what();
+    }
+    const std::string prev = path + ".prev";
+    try {
+        checkpoint_blob blob = read_checkpoint_file(prev);
+        if (loaded_from != nullptr) *loaded_from = prev;
+        return blob;
+    } catch (const checkpoint_error& e) {
+        throw checkpoint_error(first_error + "; fallback failed too: " + e.what());
+    }
+}
+
+checkpoint_presence probe_checkpoint(const std::string& path,
+                                     std::string* diagnostic) {
+    try {
+        read_checkpoint_file(path);
+        return checkpoint_presence::latest;
+    } catch (const checkpoint_error& e) {
+        if (diagnostic != nullptr) *diagnostic = e.what();
+    }
+    try {
+        read_checkpoint_file(path + ".prev");
+        return checkpoint_presence::previous;
+    } catch (const checkpoint_error& e) {
+        if (diagnostic != nullptr) {
+            *diagnostic += std::string("; ") + e.what();
+        }
+    }
+    return checkpoint_presence::none;
+}
+
+// --- heartbeat --------------------------------------------------------------
+
+void write_heartbeat(const std::string& path, std::uint64_t counter) noexcept {
+    // Plain overwrite, no fsync: liveness only. A partially written
+    // counter parses as a *different* value (or not at all), either of
+    // which the supervisor reads as "still moving" — fail-safe.
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "%llu\n", static_cast<unsigned long long>(counter));
+    std::fclose(f);
+}
+
+std::optional<std::uint64_t> read_heartbeat(const std::string& path) noexcept {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) return std::nullopt;
+    unsigned long long v = 0;
+    const int n = std::fscanf(f, "%llu", &v);
+    std::fclose(f);
+    if (n != 1) return std::nullopt;
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace gpf

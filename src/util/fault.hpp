@@ -5,8 +5,11 @@
 // This module plants named *injection sites* in the numerically fragile
 // substrates — the CG solver (forced stagnation, NaN residual), the
 // spectral convolution and force field (non-finite samples), the density
-// map (overflow spike) and Bookshelf I/O (short read) — and arms exactly
-// one of them, either from the environment
+// map (overflow spike) and Bookshelf I/O (short read) — plus the
+// process-level failure modes of DESIGN.md §14: a torn checkpoint write,
+// an abrupt SIGKILL death of the placement loop, and a stalled
+// transformation watchdog. It arms exactly one of them, either from the
+// environment
 //
 //     GPF_FAULT=<site>:<iter>[:<seed>[:<count>]]
 //
@@ -38,6 +41,9 @@ enum class fault_site : std::size_t {
     force_nonfinite, ///< force field emits a non-finite kernel sample
     density_spike,   ///< density finalize adds a massive demand spike
     io_short_read,   ///< Bookshelf reader sees a premature end of file
+    checkpoint_torn_write, ///< checkpoint writer persists a truncated envelope
+    process_abort,   ///< placer loop dies by SIGKILL (supervisor restart drill)
+    transform_stall, ///< watchdog sees a transformation exceed its budget
     count_,
 };
 

@@ -1,0 +1,227 @@
+#include "util/supervisor.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/checkpoint.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+
+namespace gpf {
+
+namespace {
+
+void sleep_seconds(double seconds) {
+    if (seconds <= 0.0) return;
+    timespec ts;
+    ts.tv_sec = static_cast<time_t>(seconds);
+    ts.tv_nsec = static_cast<long>((seconds - static_cast<double>(ts.tv_sec)) * 1e9);
+    while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+    }
+}
+
+child_outcome classify_exit(int code) {
+    switch (code) {
+        case 0: return child_outcome::clean;
+        case 2: return child_outcome::degraded;
+        case 3: return child_outcome::io_failure;
+        case 4: return child_outcome::invariant_failure;
+        case 64: return child_outcome::usage_failure;
+        default: return child_outcome::internal_failure;
+    }
+}
+
+/// Fork/exec one attempt and watch it to completion. `argv` must be
+/// non-empty; PATH resolution applies when argv[0] has no slash.
+supervise_attempt run_attempt(const std::vector<std::string>& argv,
+                              const supervisor_options& opt) {
+    supervise_attempt attempt;
+    stopwatch clock;
+
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        log(log_level::error) << "supervisor: fork failed: " << std::strerror(errno);
+        attempt.outcome = child_outcome::spawn_failure;
+        return attempt;
+    }
+    if (pid == 0) {
+        ::execvp(cargv[0], cargv.data());
+        // Only reached when exec failed; _exit keeps the child from
+        // running the parent's atexit handlers twice.
+        std::fprintf(stderr, "supervisor: exec of '%s' failed: %s\n", cargv[0],
+                     std::strerror(errno));
+        ::_exit(127);
+    }
+
+    // Stall detection: the heartbeat counter must move within
+    // stall_seconds. The timer starts at launch, so process startup
+    // (netlist load, first transformation) consumes the same grace
+    // window as any later transformation.
+    std::uint64_t last_beat = read_heartbeat(opt.heartbeat_path).value_or(0);
+    stopwatch beat_clock;
+    bool stalled = false;
+
+    int status = 0;
+    while (true) {
+        const pid_t r = ::waitpid(pid, &status, WNOHANG);
+        if (r == pid) break;
+        if (r < 0 && errno != EINTR) {
+            log(log_level::error) << "supervisor: waitpid failed: "
+                                  << std::strerror(errno);
+            ::kill(pid, SIGKILL);
+            ::waitpid(pid, &status, 0);
+            break;
+        }
+        if (!opt.heartbeat_path.empty() && opt.stall_seconds > 0.0) {
+            const std::uint64_t beat =
+                read_heartbeat(opt.heartbeat_path).value_or(last_beat);
+            if (beat != last_beat) {
+                last_beat = beat;
+                beat_clock = stopwatch();
+            } else if (beat_clock.elapsed_seconds() > opt.stall_seconds) {
+                log(log_level::warning)
+                    << "supervisor: heartbeat stalled at " << last_beat << " for "
+                    << beat_clock.elapsed_seconds() << " s (budget "
+                    << opt.stall_seconds << " s); killing pid " << pid;
+                stalled = true;
+                ::kill(pid, SIGKILL);
+                ::waitpid(pid, &status, 0);
+                break;
+            }
+        }
+        sleep_seconds(opt.poll_seconds);
+    }
+
+    attempt.seconds = clock.elapsed_seconds();
+    if (stalled) {
+        attempt.outcome = child_outcome::heartbeat_stall;
+        attempt.term_signal = SIGKILL;
+    } else if (WIFEXITED(status)) {
+        attempt.exit_code = WEXITSTATUS(status);
+        attempt.outcome = attempt.exit_code == 127 ? child_outcome::spawn_failure
+                                                   : classify_exit(attempt.exit_code);
+    } else if (WIFSIGNALED(status)) {
+        // The OOM killer delivers SIGKILL; crashes deliver SIGSEGV/SIGABRT.
+        // All of them land here and are retryable.
+        attempt.outcome = child_outcome::signal_death;
+        attempt.term_signal = WTERMSIG(status);
+    } else {
+        attempt.outcome = child_outcome::internal_failure;
+    }
+    return attempt;
+}
+
+} // namespace
+
+const char* child_outcome_name(child_outcome outcome) {
+    switch (outcome) {
+        case child_outcome::clean: return "clean";
+        case child_outcome::degraded: return "degraded";
+        case child_outcome::io_failure: return "io_failure";
+        case child_outcome::invariant_failure: return "invariant_failure";
+        case child_outcome::usage_failure: return "usage_failure";
+        case child_outcome::internal_failure: return "internal_failure";
+        case child_outcome::signal_death: return "signal_death";
+        case child_outcome::heartbeat_stall: return "heartbeat_stall";
+        case child_outcome::spawn_failure: return "spawn_failure";
+    }
+    return "unknown";
+}
+
+bool outcome_retryable(child_outcome outcome) {
+    switch (outcome) {
+        case child_outcome::internal_failure:
+        case child_outcome::signal_death:
+        case child_outcome::heartbeat_stall:
+            return true;
+        default:
+            return false;
+    }
+}
+
+supervise_result supervise(const supervisor_options& opt) {
+    supervise_result result;
+    if (opt.argv.empty()) {
+        log(log_level::error) << "supervisor: empty child command line";
+        result.exit_code = 64;
+        return result;
+    }
+
+    double backoff = opt.backoff_initial_seconds;
+    for (std::size_t attempt_no = 0; attempt_no <= opt.max_restarts; ++attempt_no) {
+        // Restarts resume only from a checkpoint generation that actually
+        // validates — a torn newest generation silently falls back to
+        // `.prev` inside the placer, but when *neither* validates the
+        // resume flags must stay off or the child would die on a typed
+        // checkpoint_error (exit 3, non-retryable) instead of rerunning.
+        bool resume = false;
+        if (attempt_no > 0 && !opt.checkpoint_path.empty() &&
+            !opt.resume_argv.empty()) {
+            std::string diag;
+            const checkpoint_presence presence =
+                probe_checkpoint(opt.checkpoint_path, &diag);
+            resume = presence != checkpoint_presence::none;
+            if (presence == checkpoint_presence::previous) {
+                log(log_level::warning)
+                    << "supervisor: newest checkpoint is torn, the child will "
+                    << "fall back to the previous generation (" << diag << ")";
+            } else if (presence == checkpoint_presence::none) {
+                log(log_level::warning)
+                    << "supervisor: no valid checkpoint, restarting from "
+                    << "scratch (" << diag << ")";
+            }
+        }
+        const std::vector<std::string>& argv =
+            resume ? opt.resume_argv : opt.argv;
+
+        log(log_level::info) << "supervisor: attempt " << attempt_no + 1 << "/"
+                             << opt.max_restarts + 1 << " ("
+                             << (resume ? "resuming from checkpoint" : "fresh run")
+                             << "): " << argv[0];
+        supervise_attempt attempt = run_attempt(argv, opt);
+        attempt.resumed = resume;
+        log(log_level::info) << "supervisor: attempt " << attempt_no + 1
+                             << " ended: " << child_outcome_name(attempt.outcome)
+                             << (attempt.exit_code >= 0
+                                     ? " (exit " + std::to_string(attempt.exit_code) + ")"
+                                     : " (signal " + std::to_string(attempt.term_signal) + ")")
+                             << " after " << attempt.seconds << " s";
+        result.attempts.push_back(attempt);
+
+        if (attempt.outcome == child_outcome::clean ||
+            attempt.outcome == child_outcome::degraded) {
+            // A run that needed a restart is degraded by definition, the
+            // same contract as the in-process recovery ladder.
+            result.exit_code = attempt_no == 0 ? attempt.exit_code : 2;
+            return result;
+        }
+        if (!outcome_retryable(attempt.outcome)) {
+            result.exit_code = attempt.exit_code >= 0 ? attempt.exit_code : 5;
+            return result;
+        }
+        if (attempt_no < opt.max_restarts) {
+            log(log_level::warning) << "supervisor: restarting in " << backoff
+                                    << " s";
+            sleep_seconds(backoff);
+            backoff = std::min(backoff * 2.0, opt.backoff_max_seconds);
+        }
+    }
+    log(log_level::error) << "supervisor: restart budget exhausted after "
+                          << result.attempts.size() << " attempts";
+    result.exit_code = 5;
+    return result;
+}
+
+} // namespace gpf

@@ -1,0 +1,97 @@
+// Supervised out-of-process placement (DESIGN.md §14).
+//
+// A placement run that can crash — OOM kill, SIGSEGV in an experimental
+// kernel, a wedged transformation — must not take the caller down with
+// it. The supervisor forks the run into a child process and watches two
+// signals of life: the process itself (waitpid) and the heartbeat counter
+// file the placer bumps before every transformation attempt
+// (placer_options::heartbeat_path). Each completed attempt is classified:
+//
+//   * a clean exit code (0/2) ends supervision — the run worked;
+//   * a typed failure (3 I/O, 4 invariant, 64 usage) is deterministic —
+//     retrying cannot help, the child's code is surfaced as-is;
+//   * death by signal (SIGKILL from the OOM killer, SIGSEGV, ...), a
+//     heartbeat stall (the supervisor SIGKILLs the wedged child) and
+//     internal errors (5) are the crash class: the child is relaunched
+//     with exponential backoff, resuming from the latest checkpoint that
+//     validates (util/checkpoint.hpp rotates two generations, so a crash
+//     that tears the newest still leaves `<path>.prev` to fall back to).
+//
+// The final exit code keeps the gpf_place contract: 0 only when the
+// first attempt was clean, 2 when the run succeeded but supervision had
+// to engage (a restarted run is degraded by definition — same contract
+// as the in-process recovery ladder), the child's own typed code for
+// deterministic failures, and 5 when every restart was exhausted.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gpf {
+
+struct supervisor_options {
+    /// Child command line; argv[0] is the executable (resolved via PATH
+    /// when it contains no '/').
+    std::vector<std::string> argv;
+    /// Command line for restart attempts (typically argv plus --resume);
+    /// empty = reuse argv.
+    std::vector<std::string> resume_argv;
+    /// Heartbeat counter file the child bumps (placer heartbeat_path);
+    /// "" disables stall detection.
+    std::string heartbeat_path;
+    /// Checkpoint the child writes; restarts use resume_argv only when
+    /// one of its generations validates. "" = restarts begin from scratch.
+    std::string checkpoint_path;
+    /// A live child whose heartbeat has not moved for this long is
+    /// declared wedged and SIGKILLed. Only meaningful with a heartbeat.
+    double stall_seconds = 60.0;
+    /// waitpid/heartbeat polling cadence.
+    double poll_seconds = 0.1;
+    /// Restarts after the first attempt (0 = run once, never restart).
+    std::size_t max_restarts = 3;
+    /// Exponential backoff between restarts: initial delay, doubling per
+    /// restart, capped.
+    double backoff_initial_seconds = 0.5;
+    double backoff_max_seconds = 8.0;
+};
+
+/// How one child attempt ended.
+enum class child_outcome {
+    clean,             ///< exit 0
+    degraded,          ///< exit 2 (valid outputs, recovery engaged)
+    io_failure,        ///< exit 3 — deterministic, not retried
+    invariant_failure, ///< exit 4 — deterministic, not retried
+    usage_failure,     ///< exit 64 — deterministic, not retried
+    internal_failure,  ///< exit 5 or any unrecognized code — retried
+    signal_death,      ///< killed by a signal (OOM killer, SIGSEGV, ...)
+    heartbeat_stall,   ///< supervisor SIGKILLed a wedged child
+    spawn_failure,     ///< fork/exec itself failed — not retried
+};
+
+const char* child_outcome_name(child_outcome outcome);
+
+/// True for the crash class — outcomes a restart may fix.
+bool outcome_retryable(child_outcome outcome);
+
+struct supervise_attempt {
+    child_outcome outcome = child_outcome::spawn_failure;
+    int exit_code = -1;    ///< valid when the child exited
+    int term_signal = 0;   ///< valid for signal_death / heartbeat_stall
+    double seconds = 0.0;  ///< wall clock of the attempt
+    bool resumed = false;  ///< launched from a validated checkpoint
+};
+
+struct supervise_result {
+    std::vector<supervise_attempt> attempts;
+    /// Final code under the gpf_place contract (see file header).
+    int exit_code = 5;
+    /// The run produced valid outputs (final attempt ended 0 or 2).
+    bool succeeded() const { return exit_code == 0 || exit_code == 2; }
+};
+
+/// Run opt.argv under supervision; blocks until the run succeeds, fails
+/// deterministically, or exhausts its restarts.
+supervise_result supervise(const supervisor_options& opt);
+
+} // namespace gpf

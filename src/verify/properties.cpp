@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -16,6 +17,7 @@
 #include "linalg/fft.hpp"
 #include "model/quadratic_system.hpp"
 #include "netlist/generator.hpp"
+#include "util/checkpoint.hpp"
 #include "util/fault.hpp"
 #include "util/prng.hpp"
 
@@ -556,6 +558,102 @@ verify_report check_stop_best_monotonic(std::uint64_t seed,
     return report;
 }
 
+verify_report check_checkpoint_resume_equivalence(std::uint64_t seed,
+                                                  const property_options& opt) {
+    (void)opt;
+    verify_report report;
+    prng rng(seed * 0x9e3779b97f4a7c15ULL + 11);
+    const netlist nl = random_circuit(rng, 90, 140);
+
+    placer_options popt;
+    popt.max_iterations = 12;
+    popt.plateau_window = 0;
+    popt.density_bins = 1024;
+
+    // Reference: the uninterrupted run.
+    placer reference(nl, popt);
+    const placement uninterrupted = reference.run();
+    const std::size_t total = reference.history().size();
+    if (total == 0) {
+        report.add("reference", "run recorded no transformations");
+        return report;
+    }
+
+    // Interrupted run: checkpoint every accepted transformation, cut the
+    // loop at a seed-varied point (the in-process stand-in for a SIGKILL
+    // there — the checkpoint file is all a restarted process would have).
+    const std::size_t kill_at = 1 + rng.next_below(total);
+    const std::string ckpt =
+        (std::filesystem::temp_directory_path() /
+         ("gpf_resume_property_" + std::to_string(seed) + ".ckpt"))
+            .string();
+    struct cleanup_guard {
+        std::string path;
+        ~cleanup_guard() {
+            std::error_code ec;
+            std::filesystem::remove(path, ec);
+            std::filesystem::remove(path + ".prev", ec);
+            std::filesystem::remove(path + ".tmp", ec);
+        }
+    } guard{ckpt};
+
+    popt.checkpoint_path = ckpt;
+    placer interrupted(nl, popt);
+    interrupted.set_step_callback(
+        [kill_at](const iteration_stats& stats, const placement&) {
+            return stats.iteration < kill_at;
+        });
+    (void)interrupted.run();
+
+    placer resumed(nl, popt);
+    placement out;
+    try {
+        out = resumed.resume(ckpt);
+    } catch (const checkpoint_error& e) {
+        report.add("resume", std::string("kill_at=") + std::to_string(kill_at) +
+                                 "/" + std::to_string(total) + ": " + e.what());
+        return report;
+    }
+
+    if (out.size() != uninterrupted.size()) {
+        report.add("resume", "placement size mismatch");
+        return report;
+    }
+    for (cell_id i = 0; i < out.size(); ++i) {
+        if (out[i].x != uninterrupted[i].x || out[i].y != uninterrupted[i].y) {
+            report.add("resume",
+                       "cell " + std::to_string(i) +
+                           " diverged after resume at transformation " +
+                           std::to_string(kill_at) + "/" + std::to_string(total) +
+                           ": (" + fmt(out[i].x) + ", " + fmt(out[i].y) +
+                           ") != (" + fmt(uninterrupted[i].x) + ", " +
+                           fmt(uninterrupted[i].y) + ")");
+            return report;
+        }
+    }
+    if (resumed.history().size() != total) {
+        report.add("resume", "history length " +
+                                 std::to_string(resumed.history().size()) +
+                                 " != uninterrupted " + std::to_string(total));
+        return report;
+    }
+    for (std::size_t k = 0; k < total; ++k) {
+        const iteration_stats& a = resumed.history()[k];
+        const iteration_stats& b = reference.history()[k];
+        if (a.hpwl != b.hpwl || a.overflow_area != b.overflow_area) {
+            report.add("resume", "history diverged at transformation " +
+                                     std::to_string(k) + " (kill_at=" +
+                                     std::to_string(kill_at) + ")");
+            return report;
+        }
+    }
+    if (resumed.converged() != reference.converged() ||
+        resumed.degraded() != reference.degraded()) {
+        report.add("resume", "converged/degraded flags diverged");
+    }
+    return report;
+}
+
 const std::vector<property_check>& property_catalogue() {
     static const std::vector<property_check> catalogue = {
         {"force_field_conservative", &check_force_field_conservative},
@@ -568,6 +666,7 @@ const std::vector<property_check>& property_catalogue() {
         {"net_model_equivalence", &check_net_model_equivalence},
         {"coarsening_conservation", &check_coarsening_conservation},
         {"stop_best_monotonic", &check_stop_best_monotonic},
+        {"checkpoint_resume_equivalence", &check_checkpoint_resume_equivalence},
     };
     return catalogue;
 }

@@ -29,7 +29,11 @@
 //                          fine/coarse pair alone (verify_coarsening);
 //   * stop-best monotone — when the recovery ladder (or a resource guard)
 //                          ends a run, the returned placement is never
-//                          worse than the best-scoring healthy iteration.
+//                          worse than the best-scoring healthy iteration;
+//   * resume == run      — a run checkpointed every transformation, cut at
+//                          a seed-varied iteration and resumed from the
+//                          checkpoint file (DESIGN.md §14) finishes with a
+//                          bitwise-identical placement and history.
 //
 // Every check is a pure function of its seed: check(seed) builds its own
 // instance from seeded distributions and returns a verify_report, so a CI
@@ -105,6 +109,8 @@ verify_report check_coarsening_conservation(std::uint64_t seed,
                                             const property_options& opt = {});
 verify_report check_stop_best_monotonic(std::uint64_t seed,
                                         const property_options& opt = {});
+verify_report check_checkpoint_resume_equivalence(
+    std::uint64_t seed, const property_options& opt = {});
 
 struct property_check {
     const char* name; ///< stable id, used in failure-reproducer logs

@@ -280,19 +280,54 @@ TEST(ResourceGuards, TimeBudgetStopsWithBestSoFar) {
     EXPECT_NE(p.recovery_log().back().reason.find("budget"), std::string::npos);
 }
 
-TEST(ResourceGuards, TransformWatchdogWarnsButDoesNotDegrade) {
+TEST(ResourceGuards, TransformWatchdogEscalatesIntoRecoveryLadder) {
+    // Every transformation overruns an absurd budget, so the ladder must
+    // climb all the way: tightened retry (also over budget), no snapshot
+    // to roll back to, best-so-far stop — and the run still ends finite.
     fault_injector::instance().disarm();
     const netlist nl = test_circuit(200, 17);
     placer_options opt;
     opt.max_iterations = 3;
-    opt.max_transform_seconds = 1e-9; // every transformation overruns
+    opt.max_transform_seconds = 1e-9;
     scoped_log_capture capture;
     placer p(nl, opt);
     const placement out = p.run();
 
     expect_finite(nl, out, "watchdog");
-    EXPECT_FALSE(p.degraded());
+    EXPECT_TRUE(p.degraded());
     EXPECT_TRUE(capture.contains("[watchdog]"));
+    bool saw_retry = false;
+    bool saw_stop = false;
+    for (const recovery_event& ev : p.recovery_log()) {
+        if (ev.action == recovery_action::retry_tightened) saw_retry = true;
+        if (ev.action == recovery_action::stop_best) saw_stop = true;
+        EXPECT_NE(ev.reason.find("watchdog"), std::string::npos) << ev.reason;
+    }
+    EXPECT_TRUE(saw_retry);
+    EXPECT_TRUE(saw_stop);
+}
+
+TEST(ResourceGuards, TransformStallFaultTriggersOneRetryThenRecovers) {
+    // The injected stall (fault_site::transform_stall) blows the budget on
+    // exactly one attempt; the tightened retry runs under it, so the run
+    // completes with a single retry_tightened event — the deterministic
+    // regression test for the watchdog's escalation path.
+    const netlist nl = test_circuit(200, 19);
+    placer_options opt;
+    opt.max_iterations = 6;
+    opt.max_transform_seconds = 3600.0; // only the injected stall overruns
+    scoped_log_capture capture;
+    scoped_fault fault(fault_site::transform_stall, 2);
+    placer p(nl, opt);
+    const placement out = p.run();
+
+    expect_finite(nl, out, "transform_stall");
+    EXPECT_TRUE(p.degraded());
+    EXPECT_TRUE(capture.contains("[watchdog]"));
+    ASSERT_EQ(p.recovery_log().size(), 1u);
+    EXPECT_EQ(p.recovery_log()[0].action, recovery_action::retry_tightened);
+    EXPECT_NE(p.recovery_log()[0].reason.find("watchdog"), std::string::npos);
+    EXPECT_EQ(fault_injector::instance().fired(fault_site::transform_stall), 1u);
 }
 
 // ----------------------------------------------------------- I/O hardening

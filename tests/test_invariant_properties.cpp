@@ -62,7 +62,7 @@ INSTANTIATE_TEST_SUITE_P(
 // stable names (reproducer logs reference them verbatim).
 TEST(PropertyCatalogue, ExposesAllInvariants) {
     const auto& catalogue = property_catalogue();
-    ASSERT_GE(catalogue.size(), 9u);
+    ASSERT_GE(catalogue.size(), 10u);
     std::vector<std::string> names;
     for (const auto& check : catalogue) names.emplace_back(check.name);
     for (const char* expected :
@@ -70,7 +70,7 @@ TEST(PropertyCatalogue, ExposesAllInvariants) {
           "density_zero_integral", "fft_field_matches_direct",
           "r2c_transform_roundtrip", "r2c_convolution_matches_complex",
           "net_model_equivalence", "coarsening_conservation",
-          "stop_best_monotonic"}) {
+          "stop_best_monotonic", "checkpoint_resume_equivalence"}) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
             << "catalogue is missing " << expected;
     }

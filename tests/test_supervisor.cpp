@@ -1,0 +1,207 @@
+// The supervised out-of-process runner (util/supervisor.hpp, DESIGN.md
+// §14). Children here are tiny /bin/sh scripts that die in controlled
+// ways — clean exits, typed failures, SIGKILL suicide, a wedged sleep —
+// so every branch of the classify/retry/resume state machine is
+// exercised in well under a second, without running a real placement.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "test_paths.hpp"
+#include "gpf.hpp"
+
+namespace gpf {
+namespace {
+
+class Supervisor : public ::testing::Test {
+protected:
+    void SetUp() override {
+        base_ = testing::unique_temp_base("gpf_supervisor");
+        script_ = base_ + ".sh";
+        marker_ = base_ + ".marker";
+        heartbeat_ = base_ + ".heartbeat";
+        checkpoint_ = base_ + ".ckpt";
+    }
+    void TearDown() override {
+        for (const std::string& p :
+             {script_, marker_, heartbeat_, checkpoint_, checkpoint_ + ".prev"}) {
+            std::filesystem::remove(p);
+        }
+    }
+
+    /// Writes a shell script and returns the argv that runs it.
+    std::vector<std::string> shell(const std::string& body) {
+        std::ofstream out(script_);
+        out << "#!/bin/sh\n" << body << "\n";
+        out.close();
+        return {"/bin/sh", script_};
+    }
+
+    /// Fast-retry options so crash drills finish in milliseconds.
+    supervisor_options fast_options(std::vector<std::string> argv) {
+        supervisor_options opt;
+        opt.argv = std::move(argv);
+        opt.poll_seconds = 0.01;
+        opt.backoff_initial_seconds = 0.01;
+        opt.backoff_max_seconds = 0.05;
+        return opt;
+    }
+
+    std::string base_, script_, marker_, heartbeat_, checkpoint_;
+};
+
+TEST_F(Supervisor, OutcomeTaxonomy) {
+    EXPECT_FALSE(outcome_retryable(child_outcome::clean));
+    EXPECT_FALSE(outcome_retryable(child_outcome::degraded));
+    EXPECT_FALSE(outcome_retryable(child_outcome::io_failure));
+    EXPECT_FALSE(outcome_retryable(child_outcome::invariant_failure));
+    EXPECT_FALSE(outcome_retryable(child_outcome::usage_failure));
+    EXPECT_FALSE(outcome_retryable(child_outcome::spawn_failure));
+    EXPECT_TRUE(outcome_retryable(child_outcome::internal_failure));
+    EXPECT_TRUE(outcome_retryable(child_outcome::signal_death));
+    EXPECT_TRUE(outcome_retryable(child_outcome::heartbeat_stall));
+    EXPECT_STREQ(child_outcome_name(child_outcome::signal_death), "signal_death");
+    EXPECT_STREQ(child_outcome_name(child_outcome::heartbeat_stall),
+                 "heartbeat_stall");
+}
+
+TEST_F(Supervisor, EmptyCommandLineIsAUsageError) {
+    const supervise_result res = supervise(supervisor_options{});
+    EXPECT_EQ(res.exit_code, 64);
+    EXPECT_TRUE(res.attempts.empty());
+    EXPECT_FALSE(res.succeeded());
+}
+
+TEST_F(Supervisor, CleanFirstAttemptExitsZero) {
+    const supervise_result res = supervise(fast_options(shell("exit 0")));
+    EXPECT_EQ(res.exit_code, 0);
+    ASSERT_EQ(res.attempts.size(), 1u);
+    EXPECT_EQ(res.attempts[0].outcome, child_outcome::clean);
+    EXPECT_EQ(res.attempts[0].exit_code, 0);
+    EXPECT_FALSE(res.attempts[0].resumed);
+    EXPECT_TRUE(res.succeeded());
+}
+
+TEST_F(Supervisor, DegradedFirstAttemptKeepsExitTwo) {
+    const supervise_result res = supervise(fast_options(shell("exit 2")));
+    EXPECT_EQ(res.exit_code, 2);
+    ASSERT_EQ(res.attempts.size(), 1u);
+    EXPECT_EQ(res.attempts[0].outcome, child_outcome::degraded);
+    EXPECT_TRUE(res.succeeded());
+}
+
+TEST_F(Supervisor, TypedFailuresAreNeverRetried) {
+    // Deterministic failures (I/O 3, invariant 4, usage 64) pass through
+    // unchanged: rerunning a malformed input cannot fix it.
+    for (const int code : {3, 4, 64}) {
+        SCOPED_TRACE(code);
+        const supervise_result res =
+            supervise(fast_options(shell("exit " + std::to_string(code))));
+        EXPECT_EQ(res.exit_code, code);
+        ASSERT_EQ(res.attempts.size(), 1u);
+        EXPECT_FALSE(res.succeeded());
+    }
+}
+
+TEST_F(Supervisor, SignalDeathIsRestartedAndSuccessIsDegraded) {
+    // First run leaves a marker and SIGKILLs itself (the OOM-killer
+    // shape); the restarted run sees the marker and succeeds. Success
+    // after a restart is exit 2, never 0 — the run needed supervision.
+    const supervise_result res = supervise(fast_options(shell(
+        "if [ -f '" + marker_ + "' ]; then exit 0; fi\n"
+        "touch '" + marker_ + "'\n"
+        "kill -9 $$")));
+    EXPECT_EQ(res.exit_code, 2);
+    ASSERT_EQ(res.attempts.size(), 2u);
+    EXPECT_EQ(res.attempts[0].outcome, child_outcome::signal_death);
+    EXPECT_EQ(res.attempts[0].term_signal, SIGKILL);
+    EXPECT_EQ(res.attempts[1].outcome, child_outcome::clean);
+    EXPECT_TRUE(res.succeeded());
+}
+
+TEST_F(Supervisor, RestartBudgetExhaustionIsAnInternalFailure) {
+    supervisor_options opt = fast_options(shell("kill -9 $$"));
+    opt.max_restarts = 2;
+    const supervise_result res = supervise(opt);
+    EXPECT_EQ(res.exit_code, 5);
+    ASSERT_EQ(res.attempts.size(), 3u); // first run + 2 restarts
+    for (const supervise_attempt& a : res.attempts) {
+        EXPECT_EQ(a.outcome, child_outcome::signal_death);
+    }
+    EXPECT_FALSE(res.succeeded());
+}
+
+TEST_F(Supervisor, ExecFailureIsASpawnFailureNotARetryLoop) {
+    supervisor_options opt = fast_options({base_ + ".does_not_exist"});
+    const supervise_result res = supervise(opt);
+    ASSERT_EQ(res.attempts.size(), 1u);
+    EXPECT_EQ(res.attempts[0].outcome, child_outcome::spawn_failure);
+    EXPECT_EQ(res.exit_code, 127);
+    EXPECT_FALSE(res.succeeded());
+}
+
+TEST_F(Supervisor, WedgedChildIsKilledOnHeartbeatStall) {
+    // The child beats once, then sleeps far past the stall budget: the
+    // supervisor must SIGKILL it instead of waiting out the sleep. With
+    // restarts disabled, the stall surfaces as the internal-failure exit.
+    supervisor_options opt = fast_options(shell(
+        "echo 1 > '" + heartbeat_ + "'\n"
+        "sleep 30"));
+    opt.heartbeat_path = heartbeat_;
+    opt.stall_seconds = 0.2;
+    opt.max_restarts = 0;
+    const supervise_result res = supervise(opt);
+    ASSERT_EQ(res.attempts.size(), 1u);
+    EXPECT_EQ(res.attempts[0].outcome, child_outcome::heartbeat_stall);
+    EXPECT_EQ(res.attempts[0].term_signal, SIGKILL);
+    EXPECT_LT(res.attempts[0].seconds, 10.0); // killed, not slept out
+    EXPECT_EQ(res.exit_code, 5);
+}
+
+TEST_F(Supervisor, RestartResumesOnlyFromAValidatedCheckpoint) {
+    // The child crashes unless launched with --resume. A valid checkpoint
+    // exists, so the restart must switch to resume_argv and mark the
+    // attempt as resumed.
+    const std::vector<std::string> argv = shell(
+        "if [ \"$1\" = \"--resume\" ]; then exit 0; fi\n"
+        "kill -9 $$");
+    write_checkpoint_file(checkpoint_, 1, "resumable state");
+    supervisor_options opt = fast_options(argv);
+    opt.resume_argv = argv;
+    opt.resume_argv.push_back("--resume");
+    opt.checkpoint_path = checkpoint_;
+    const supervise_result res = supervise(opt);
+    EXPECT_EQ(res.exit_code, 2);
+    ASSERT_EQ(res.attempts.size(), 2u);
+    EXPECT_FALSE(res.attempts[0].resumed); // first attempt is always fresh
+    EXPECT_TRUE(res.attempts[1].resumed);
+    EXPECT_EQ(res.attempts[1].outcome, child_outcome::clean);
+}
+
+TEST_F(Supervisor, TornCheckpointRestartsFromScratchInsteadOfDying) {
+    // No checkpoint generation validates: passing --resume would kill the
+    // child with a typed exit 3 (non-retryable), so the supervisor must
+    // relaunch the fresh argv instead.
+    std::ofstream(checkpoint_) << "to";
+    const std::vector<std::string> argv = shell(
+        "if [ \"$1\" = \"--resume\" ]; then exit 3; fi\n"
+        "if [ -f '" + marker_ + "' ]; then exit 0; fi\n"
+        "touch '" + marker_ + "'\n"
+        "kill -9 $$");
+    supervisor_options opt = fast_options(argv);
+    opt.resume_argv = argv;
+    opt.resume_argv.push_back("--resume");
+    opt.checkpoint_path = checkpoint_;
+    const supervise_result res = supervise(opt);
+    EXPECT_EQ(res.exit_code, 2);
+    ASSERT_EQ(res.attempts.size(), 2u);
+    EXPECT_FALSE(res.attempts[1].resumed);
+    EXPECT_EQ(res.attempts[1].outcome, child_outcome::clean);
+}
+
+} // namespace
+} // namespace gpf

@@ -19,24 +19,50 @@
 //                          pipeline invariant checkpoints (like GPF_VERIFY=1)
 //   --time-budget S        wall-clock budget for global placement; on expiry
 //                          the placer returns its best-so-far placement
-//   --max-iter-seconds S   per-transformation watchdog (warning when exceeded)
+//   --max-iter-seconds S   per-transformation watchdog; a blown budget is a
+//                          recovery incident (tightened retry, then the rest
+//                          of the ladder)
 //   --seed N, --iterations N, --quiet
+//
+// Crash safety (DESIGN.md §14):
+//   --checkpoint PATH      atomically persist the resumable loop state
+//   --checkpoint-interval N  every N accepted transformations (default 1)
+//   --resume               continue from --checkpoint (falls back to
+//                          PATH.prev when the newest generation is torn)
+//   --heartbeat PATH       liveness counter file for the supervisor
+//   --supervise            run the placement in a supervised child process:
+//                          crashes and heartbeat stalls restart it (with
+//                          exponential backoff) from the latest valid
+//                          checkpoint; deterministic failures (3/4/64) are
+//                          surfaced as-is
+//   --max-restarts N       supervised restarts after the first attempt
+//   --stall-seconds S      heartbeat silence that counts as a wedged child
+//
+// SIGINT/SIGTERM request a graceful stop: the loop flushes a final
+// checkpoint, returns the best-so-far placement, the outputs are written
+// and the process exits 2 (degraded-but-valid).
 //
 // Exit codes (stable interface — scripts and the CI fault matrix rely on it):
 //   0   clean run
-//   2   degraded-but-valid: the recovery ladder or a resource guard engaged;
-//       the outputs were still written and pass the pipeline invariants
-//   3   I/O or parse failure (error[io]: on stderr)
+//   2   degraded-but-valid: the recovery ladder or a resource guard engaged,
+//       a stop was requested, or supervision had to restart the run; the
+//       outputs were still written and pass the pipeline invariants
+//   3   I/O or parse failure (error[io]: on stderr) — includes a missing,
+//       torn or foreign checkpoint under --resume
 //   4   invariant/precondition violation (error[invariant]: on stderr)
-//   5   any other failure (error[internal]: on stderr)
+//   5   any other failure (error[internal]: on stderr); also the supervisor's
+//       verdict when every restart was exhausted
 //   64  command-line usage error
+#include <atomic>
 #include <cerrno>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "gpf.hpp"
 #include "report/svg.hpp"
@@ -70,7 +96,20 @@ struct cli_options {
     double max_iter_seconds = 0.0;  // 0 = no watchdog
     std::string legalizer = "abacus";
     std::string out = "gpf_out";
+    std::string checkpoint;         // "" = no checkpointing
+    std::size_t checkpoint_interval = 1;
+    bool resume = false;
+    std::string heartbeat;          // "" = no heartbeat
+    bool supervise = false;
+    std::size_t max_restarts = 3;
+    double stall_seconds = 120.0;
 };
+
+/// Set by the SIGINT/SIGTERM handler; the placer polls it between
+/// transformations and ends through the best-so-far path.
+std::atomic<bool> g_stop_requested{false};
+
+extern "C" void request_stop(int) { g_stop_requested.store(true); }
 
 void usage(const char* argv0, std::FILE* to) {
     std::fprintf(to,
@@ -81,6 +120,9 @@ void usage(const char* argv0, std::FILE* to) {
                  "          [--legalizer tetris|abacus]\n"
                  "          [--iterations N] [--time-budget S]\n"
                  "          [--max-iter-seconds S] [--out PREFIX] [--svg]\n"
+                 "          [--checkpoint PATH] [--checkpoint-interval N]\n"
+                 "          [--resume] [--heartbeat PATH] [--supervise]\n"
+                 "          [--max-restarts N] [--stall-seconds S]\n"
                  "          [--verify] [--quiet]\n"
                  "exit codes: 0 clean, 2 degraded-but-valid, 3 I/O failure,\n"
                  "            4 invariant violation, 5 internal error, 64 usage\n",
@@ -199,6 +241,37 @@ parse_status parse(int argc, char** argv, cli_options& opt) {
             const char* v = next();
             if (!v) break;
             opt.legalizer = v;
+        } else if (arg == "--checkpoint") {
+            const char* v = next();
+            if (!v) break;
+            opt.checkpoint = v;
+        } else if (arg == "--checkpoint-interval") {
+            const char* v = next();
+            if (!v) break;
+            if (!parse_count(v, opt.checkpoint_interval) ||
+                opt.checkpoint_interval == 0) {
+                reject("a positive interval", v);
+            }
+        } else if (arg == "--heartbeat") {
+            const char* v = next();
+            if (!v) break;
+            opt.heartbeat = v;
+        } else if (arg == "--max-restarts") {
+            const char* v = next();
+            if (!v) break;
+            if (!parse_count(v, opt.max_restarts)) {
+                reject("a non-negative integer", v);
+            }
+        } else if (arg == "--stall-seconds") {
+            const char* v = next();
+            if (!v) break;
+            if (!parse_number(v, opt.stall_seconds) || !(opt.stall_seconds > 0.0)) {
+                reject("a positive number of seconds", v);
+            }
+        } else if (arg == "--resume") {
+            opt.resume = true;
+        } else if (arg == "--supervise") {
+            opt.supervise = true;
         } else if (arg == "--out") {
             const char* v = next();
             if (!v) break;
@@ -223,11 +296,53 @@ parse_status parse(int argc, char** argv, cli_options& opt) {
             bad = true;
         }
     }
+    // Cross-flag validation: a bad combination is a usage error here, not
+    // a typed failure deep in the run.
+    if (opt.resume && opt.checkpoint.empty()) {
+        std::fprintf(stderr, "--resume needs --checkpoint PATH\n");
+        bad = true;
+    }
+    if (opt.resume && opt.levels > 0) {
+        std::fprintf(stderr,
+                     "--resume works on the flat loop only (--levels 0); the "
+                     "multilevel V-cycle is not a resumable unit\n");
+        bad = true;
+    }
+    if (opt.timing && (opt.resume || !opt.checkpoint.empty())) {
+        std::fprintf(stderr, "--timing does not support checkpoint/resume\n");
+        bad = true;
+    }
     if (bad) {
         usage(argv[0], stderr);
         return parse_status::error;
     }
     return parse_status::run;
+}
+
+/// Child command line for --supervise: this process's own arguments minus
+/// the supervision flags, plus the checkpoint/heartbeat plumbing the
+/// supervisor watches. `resume` additionally appends --resume.
+std::vector<std::string> child_argv(int argc, char** argv,
+                                    const std::string& checkpoint,
+                                    const std::string& heartbeat, bool resume) {
+    std::vector<std::string> child;
+    child.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--supervise" || arg == "--resume") continue;
+        if (arg == "--max-restarts" || arg == "--stall-seconds" ||
+            arg == "--checkpoint" || arg == "--heartbeat") {
+            ++i; // drop the flag and its value; re-added canonically below
+            continue;
+        }
+        child.push_back(arg);
+    }
+    child.push_back("--checkpoint");
+    child.push_back(checkpoint);
+    child.push_back("--heartbeat");
+    child.push_back(heartbeat);
+    if (resume) child.push_back("--resume");
+    return child;
 }
 
 gpf::netlist load_circuit(const cli_options& opt) {
@@ -259,6 +374,38 @@ int main(int argc, char** argv) {
     }
     gpf::set_log_level(cli.quiet ? gpf::log_level::warning : gpf::log_level::info);
 
+    if (cli.supervise) {
+        // Out-of-process mode: this process becomes the supervisor and the
+        // actual placement runs in a child built from our own argv (minus
+        // the supervision flags). Checkpoint and heartbeat default to
+        // sibling files of the output prefix.
+        const std::string checkpoint =
+            cli.checkpoint.empty() ? cli.out + ".ckpt" : cli.checkpoint;
+        const std::string heartbeat =
+            cli.heartbeat.empty() ? cli.out + ".heartbeat" : cli.heartbeat;
+        gpf::supervisor_options sopt;
+        sopt.argv = child_argv(argc, argv, checkpoint, heartbeat, cli.resume);
+        sopt.resume_argv = child_argv(argc, argv, checkpoint, heartbeat, true);
+        sopt.checkpoint_path = checkpoint;
+        sopt.heartbeat_path = heartbeat;
+        sopt.max_restarts = cli.max_restarts;
+        sopt.stall_seconds = cli.stall_seconds;
+        const gpf::supervise_result res = gpf::supervise(sopt);
+        if (res.succeeded() && res.attempts.size() > 1) {
+            std::fprintf(stderr,
+                         "degraded: supervision restarted the run %zu time(s); "
+                         "outputs are valid\n",
+                         res.attempts.size() - 1);
+        }
+        return res.exit_code;
+    }
+
+    // Graceful stop: the placer polls the flag between transformations,
+    // flushes a final checkpoint and returns its best-so-far placement;
+    // outputs are still written and the process exits 2.
+    std::signal(SIGINT, request_stop);
+    std::signal(SIGTERM, request_stop);
+
     try {
         if (cli.verify) gpf::force_verify_checkpoints(true);
         gpf::netlist nl = load_circuit(cli);
@@ -283,6 +430,10 @@ int main(int argc, char** argv) {
         if (cli.star_threshold > 0) popt.net_model.star_threshold = cli.star_threshold;
         popt.time_budget = cli.time_budget;
         popt.max_transform_seconds = cli.max_iter_seconds;
+        popt.checkpoint_path = cli.checkpoint;
+        popt.checkpoint_interval = cli.checkpoint_interval;
+        popt.heartbeat_path = cli.heartbeat;
+        popt.stop_flag = &g_stop_requested;
 
         gpf::stopwatch sw;
         gpf::placement global;
@@ -299,7 +450,7 @@ int main(int argc, char** argv) {
         } else {
             gpf::placer p(nl, popt);
             if (cli.congestion) p.set_density_hook(gpf::make_congestion_hook(nl));
-            global = p.run();
+            global = cli.resume ? p.resume(cli.checkpoint) : p.run();
             std::printf("global placement: %zu transformations, HPWL %.1f\n",
                         p.history().size(), gpf::total_hpwl(nl, global));
             for (const gpf::level_summary& lvl : p.level_log()) {

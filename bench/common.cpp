@@ -115,6 +115,10 @@ phase_capture::phase_capture() {
     for (std::size_t i = 0; i < num_profile_phases; ++i) {
         start_seconds_[i] = prof.total_seconds(static_cast<profile_phase>(i));
     }
+    for (std::size_t i = 0; i < num_profile_kernels; ++i) {
+        kernel_start_seconds_[i] =
+            prof.kernel_seconds(static_cast<profile_kernel>(i));
+    }
 }
 
 void phase_capture::finish(method_result& result) const {
@@ -123,6 +127,11 @@ void phase_capture::finish(method_result& result) const {
         result.phase_ms[i] =
             (prof.total_seconds(static_cast<profile_phase>(i)) - start_seconds_[i]) *
             1e3;
+    }
+    for (std::size_t i = 0; i < num_profile_kernels; ++i) {
+        result.kernel_ms[i] = (prof.kernel_seconds(static_cast<profile_kernel>(i)) -
+                               kernel_start_seconds_[i]) *
+                              1e3;
     }
 }
 
@@ -215,6 +224,14 @@ std::string json_report::write() {
             first = false;
             out << '"' << profile_phase_name(static_cast<profile_phase>(ph))
                 << "\": " << json_number(r.result.phase_ms[ph]);
+        }
+        // Kernel sub-phases share the map; the name sets are disjoint.
+        for (std::size_t k = 0; k < num_profile_kernels; ++k) {
+            if (r.result.kernel_ms[k] <= 0.0) continue;
+            if (!first) out << ", ";
+            first = false;
+            out << '"' << profile_kernel_name(static_cast<profile_kernel>(k))
+                << "\": " << json_number(r.result.kernel_ms[k]);
         }
         out << "}}";
     }

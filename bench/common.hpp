@@ -33,6 +33,11 @@ struct method_result {
     /// Wall-clock milliseconds per transformation-loop phase, indexed by
     /// profile_phase; filled by phase_capture when the profiler collects.
     std::array<double, num_profile_phases> phase_ms{};
+    /// Wall-clock milliseconds per density→force kernel (stamp, fft_fwd,
+    /// fft_mul, fft_inv, readback), indexed by profile_kernel; filled by
+    /// phase_capture alongside phase_ms and merged into the same
+    /// "phase_ms" JSON object (names never collide with phase names).
+    std::array<double, num_profile_kernels> kernel_ms{};
     bool ok = false;
     /// The run completed but through the recovery ladder or a resource
     /// guard (placer::degraded()); its numbers describe the best-so-far
@@ -52,6 +57,7 @@ public:
 
 private:
     std::array<double, num_profile_phases> start_seconds_{};
+    std::array<double, num_profile_kernels> kernel_start_seconds_{};
 };
 
 /// Machine-readable companion to the ascii table + CSV: accumulates one

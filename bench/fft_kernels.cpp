@@ -119,9 +119,24 @@ fft_timing time_r2c_2d(std::size_t n) {
     return t;
 }
 
+/// Per-rep kernel milliseconds (stamp / fft_fwd / fft_mul / fft_inv /
+/// readback) accumulated by a phase_capture around a reps loop.
+using kernel_split = std::array<double, num_profile_kernels>;
+
+/// Divides the captured kernel totals by the rep count so the JSON
+/// phase_ms entries describe one operation, matching "seconds".
+kernel_split per_rep(const bench::method_result& captured, std::size_t reps) {
+    kernel_split split{};
+    for (std::size_t i = 0; i < num_profile_kernels; ++i) {
+        split[i] = captured.kernel_ms[i] / static_cast<double>(reps);
+    }
+    return split;
+}
+
 struct convolve_timing {
     double seconds = 0.0;
     std::size_t reps = 0;
+    kernel_split kernel_ms{};
 };
 
 convolve_timing time_convolve_pair(std::size_t n) {
@@ -142,18 +157,22 @@ convolve_timing time_convolve_pair(std::size_t n) {
 
     convolve_timing t;
     t.reps = reps_for(estimate);
+    bench::phase_capture capture;
     stopwatch w;
     for (std::size_t r = 0; r < t.reps; ++r) {
         conv.convolve_pair(data, out_x, out_y);
     }
     t.seconds = w.elapsed_seconds() / static_cast<double>(t.reps);
+    bench::method_result captured;
+    capture.finish(captured);
+    t.kernel_ms = per_rep(captured, t.reps);
     return t;
 }
 
 /// Density stamping alone on the acceptance circuit: 8000 cell rects
 /// row-run decomposed onto a 256×256 grid (isolates the vectorized stamp
 /// inner loop from the spectral solve).
-double time_stamp_256_ms() {
+double time_stamp_256_ms(kernel_split& kernel_ms) {
     generator_options opt;
     opt.num_cells = 8000;
     opt.num_nets = 9000;
@@ -166,16 +185,21 @@ double time_stamp_256_ms() {
     compute_density_grid(nl, pl, 256, 256); // warm-up
 
     constexpr std::size_t kReps = 40;
+    bench::phase_capture capture;
     stopwatch w;
     for (std::size_t r = 0; r < kReps; ++r) {
         compute_density_grid(nl, pl, 256, 256);
     }
-    return w.elapsed_seconds() / static_cast<double>(kReps) * 1e3;
+    const double ms = w.elapsed_seconds() / static_cast<double>(kReps) * 1e3;
+    bench::method_result captured;
+    capture.finish(captured);
+    kernel_ms = per_rep(captured, kReps);
+    return ms;
 }
 
 /// The acceptance pipeline of micro_components, hand-timed: density
 /// stamping + cached spectral force field on a 256×256 grid, one thread.
-double time_pipeline_256_ms() {
+double time_pipeline_256_ms(kernel_split& kernel_ms) {
     generator_options opt;
     opt.num_cells = 8000;
     opt.num_nets = 9000;
@@ -193,19 +217,26 @@ double time_pipeline_256_ms() {
     }
 
     constexpr std::size_t kReps = 20;
+    bench::phase_capture capture;
     stopwatch w;
     for (std::size_t r = 0; r < kReps; ++r) {
         const density_map d = compute_density_grid(nl, pl, 256, 256);
         calc.compute(d);
     }
-    return w.elapsed_seconds() / static_cast<double>(kReps) * 1e3;
+    const double ms = w.elapsed_seconds() / static_cast<double>(kReps) * 1e3;
+    bench::method_result captured;
+    capture.finish(captured);
+    kernel_ms = per_rep(captured, kReps);
+    return ms;
 }
 
-bench::method_result make_record(double seconds, std::size_t reps) {
+bench::method_result make_record(double seconds, std::size_t reps,
+                                 const kernel_split* kernel_ms = nullptr) {
     bench::method_result r;
     r.hpwl = kPlaceholderHpwl;
     r.seconds = seconds;
     r.iterations = reps;
+    if (kernel_ms != nullptr) r.kernel_ms = *kernel_ms;
     r.ok = true;
     return r;
 }
@@ -248,7 +279,8 @@ int main() {
         report.add(grid, "fft2d_inverse", make_record(t.inverse_seconds, t.reps));
         report.add(grid, "fft2d_r2c", make_record(tr.forward_seconds, tr.reps));
         report.add(grid, "fft2d_c2r", make_record(tr.inverse_seconds, tr.reps));
-        report.add(grid, "convolve_pair", make_record(c.seconds, c.reps));
+        report.add(grid, "convolve_pair",
+                   make_record(c.seconds, c.reps, &c.kernel_ms));
         report.set_metric("fft2d_forward_" + std::to_string(n) + "_gflops",
                           fwd_gfs);
         report.set_metric("fft2d_inverse_" + std::to_string(n) + "_gflops",
@@ -261,20 +293,24 @@ int main() {
                           c.seconds * 1e3);
     }
 
-    const double stamp_ms = time_stamp_256_ms();
+    kernel_split stamp_kernels{};
+    const double stamp_ms = time_stamp_256_ms(stamp_kernels);
     std::printf("\ndensity stamping (8000 cells onto 256x256, 1 thread): "
                 "%.2f ms\n",
                 stamp_ms);
-    report.add("grid_256", "density_stamping", make_record(stamp_ms * 1e-3, 40));
+    report.add("grid_256", "density_stamping",
+               make_record(stamp_ms * 1e-3, 40, &stamp_kernels));
     report.set_metric("stamp_256_ms", stamp_ms);
 
-    const double pipeline_ms = time_pipeline_256_ms();
+    kernel_split pipeline_kernels{};
+    const double pipeline_ms = time_pipeline_256_ms(pipeline_kernels);
     const double speedup = kPipelineBaselineMs / pipeline_ms;
     std::printf("density+force pipeline (256x256, cached kernels, 1 thread): "
                 "%.2f ms  (%.2fx vs %.0f ms PR-2, %.2fx vs %.1f ms PR-8)\n",
                 pipeline_ms, speedup, kPipelineBaselineMs,
                 kPipelinePr8Ms / pipeline_ms, kPipelinePr8Ms);
-    bench::method_result pipeline = make_record(pipeline_ms * 1e-3, 20);
+    bench::method_result pipeline =
+        make_record(pipeline_ms * 1e-3, 20, &pipeline_kernels);
     report.add("grid_256", "density_force_pipeline", pipeline);
     report.set_metric("pipeline_256_ms", pipeline_ms);
     report.set_metric("pipeline_256_speedup_vs_pr2", speedup);

@@ -5,6 +5,7 @@
 
 #include "util/check.hpp"
 #include "util/fault.hpp"
+#include "util/profiler.hpp"
 #include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
@@ -107,7 +108,8 @@ axis_run decompose_axis(double seg_lo, double seg_hi, double origin, double bin,
 
 } // namespace
 
-void density_map::stamp(const rect& r, double weight, std::vector<double>& out) const {
+void density_map::stamp_rows(const rect& r, double weight, std::vector<double>& out,
+                             std::size_t row_begin, std::size_t row_end) const {
     const rect clipped = intersect(r, region_);
     // Degenerate (zero-area) rects carry nothing; strict comparisons also
     // reject the empty intersection.
@@ -122,7 +124,9 @@ void density_map::stamp(const rect& r, double weight, std::vector<double>& out) 
     // Rows are contiguous in iy (index = ix * ny + iy): each covered ix
     // deposits a partial head bin, a constant full-coverage span through
     // the SIMD add_scalar kernel, and a partial tail bin. Full × full
-    // bins receive exactly `weight`.
+    // bins receive exactly `weight`. Only rows in [row_begin, row_end)
+    // deposit — the per-row arithmetic never depends on the restriction,
+    // so a rect split across row chunks deposits each row identically.
     const simd_kernels& kern = simd();
     const std::size_t full_len =
         ys.full_hi >= ys.full_lo ? ys.full_hi - ys.full_lo + 1 : 0;
@@ -132,53 +136,71 @@ void density_map::stamp(const rect& r, double weight, std::vector<double>& out) 
         if (full_len != 0) kern.add_scalar(row + ys.full_lo, wx, full_len);
         if (ys.hi_partial) row[ys.hi] += wx * ys.frac_hi;
     };
-    if (xs.lo_partial) stamp_row(xs.lo, weight * xs.frac_lo);
-    if (xs.full_hi >= xs.full_lo) {
-        for (std::size_t ix = xs.full_lo; ix <= xs.full_hi; ++ix) {
-            stamp_row(ix, weight);
-        }
+    const auto owned = [&](std::size_t ix) {
+        return ix >= row_begin && ix < row_end;
+    };
+    if (xs.lo_partial && owned(xs.lo)) stamp_row(xs.lo, weight * xs.frac_lo);
+    if (xs.full_hi >= xs.full_lo && row_end > 0) {
+        const std::size_t lo = std::max(xs.full_lo, row_begin);
+        const std::size_t hi = std::min(xs.full_hi, row_end - 1);
+        for (std::size_t ix = lo; ix <= hi; ++ix) stamp_row(ix, weight);
     }
-    if (xs.hi_partial) stamp_row(xs.hi, weight * xs.frac_hi);
+    if (xs.hi_partial && owned(xs.hi)) stamp_row(xs.hi, weight * xs.frac_hi);
+}
+
+void density_map::stamp(const rect& r, double weight, std::vector<double>& out) const {
+    stamp_rows(r, weight, out, 0, nx_);
 }
 
 void density_map::add_rects(const std::vector<rect>& rects, double weight) {
     const std::size_t n = rects.size();
     if (n == 0) return;
     finalized_ = false;
+    // Bulk stamping is the pipeline's "stamp" kernel (timed from the
+    // driving thread; the chunks below run inside the scope).
+    kernel_timer timer(profile_kernel::stamp);
 
-    // Slab decomposition fixed by n alone (never by the thread count):
-    // each slab accumulates its rects, in index order, into a private
-    // scratch grid; the scratch grids then merge into the demand grid in
-    // slab order. The reduction tree is therefore identical whether the
-    // slabs run inline or on any number of workers — placements stay
-    // bitwise reproducible across GPF_THREADS settings.
-    // 1024 rects amortize one scratch-grid allocation + merge; fewer,
-    // larger slabs keep the serial merge cost (slabs × grid sweeps) small
-    // now that the stamping inner loop itself is vectorized. Still a pure
-    // function of n, never of the thread count.
-    constexpr std::size_t kMinRectsPerSlab = 1024;
-    constexpr std::size_t kMaxSlabs = 32;
-    const std::size_t slabs =
-        std::clamp<std::size_t>(n / kMinRectsPerSlab, 1, kMaxSlabs);
-    if (slabs == 1) {
+    // Row-ownership decomposition: the grid's ix rows split into
+    // contiguous chunks, and every chunk walks ALL rects in index order,
+    // depositing only into the rows it owns. Each bin is written by
+    // exactly one chunk and accumulates its contributions in rect index
+    // order — the same order the serial loop uses — so the result is
+    // bitwise identical to repeated add_rect for every chunk count.
+    // Unlike a scratch-grid reduction (whose merge tree must be pinned
+    // to stay reproducible), the chunk count may therefore follow the
+    // thread count freely, and there are no scratch grids to allocate,
+    // zero, or merge: single-threaded bulk stamping is exactly the
+    // plain serial loop.
+    const std::size_t chunks =
+        std::clamp<std::size_t>(thread_pool::instance().num_threads(), 1, nx_);
+    if (chunks == 1) {
         for (const rect& r : rects) stamp(r, weight, demand_);
         return;
     }
 
-    std::vector<std::vector<double>> scratch(slabs);
-    parallel_for(slabs, [&](std::size_t s) {
-        std::vector<double> grid(demand_.size(), 0.0);
-        const std::size_t begin = n * s / slabs;
-        const std::size_t end = n * (s + 1) / slabs;
-        for (std::size_t i = begin; i < end; ++i) stamp(rects[i], weight, grid);
-        scratch[s] = std::move(grid);
-    });
-    // Serial slab-order merge; the elementwise accumulate kernel is
-    // bitwise identical on every ISA (util/simd.hpp).
-    const simd_kernels& kern = simd();
-    for (std::size_t s = 0; s < slabs; ++s) {
-        kern.accumulate(scratch[s].data(), demand_.data(), demand_.size());
+    // Precompute each rect's covered ix range once (the same x
+    // decomposition stamp_rows runs), so chunks skip non-overlapping
+    // rects with two comparisons instead of a full decompose.
+    std::vector<std::uint32_t> xlo(n), xhi(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        xlo[i] = 1;
+        xhi[i] = 0; // sentinel: no coverage
+        const rect clipped = intersect(rects[i], region_);
+        if (!(clipped.xlo < clipped.xhi) || !(clipped.ylo < clipped.yhi)) continue;
+        const axis_run xs =
+            decompose_axis(clipped.xlo, clipped.xhi, region_.xlo, bin_w_, nx_);
+        if (xs.empty) continue;
+        xlo[i] = static_cast<std::uint32_t>(xs.lo);
+        xhi[i] = static_cast<std::uint32_t>(xs.hi);
     }
+    parallel_for(chunks, [&](std::size_t c) {
+        const std::size_t r0 = nx_ * c / chunks;
+        const std::size_t r1 = nx_ * (c + 1) / chunks;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (xlo[i] > xhi[i] || xhi[i] < r0 || xlo[i] >= r1) continue;
+            stamp_rows(rects[i], weight, demand_, r0, r1);
+        }
+    });
 }
 
 void density_map::add_point(const point& p, double area) {

@@ -39,11 +39,13 @@ public:
     /// clipped to the region). `weight` scales the deposited area.
     void add_rect(const rect& r, double weight = 1.0);
 
-    /// Stamp many rectangles at once, in parallel. Rects are split into
-    /// slabs whose count depends only on rects.size(); each slab
-    /// accumulates into a private scratch grid and the grids merge in slab
-    /// order, so the result is bitwise identical for any thread count
-    /// (though the summation grouping differs from repeated add_rect).
+    /// Stamp many rectangles at once, in parallel. The grid's ix rows are
+    /// split into contiguous chunks and every chunk deposits, in rect
+    /// index order, exactly the rows it owns — each bin accumulates its
+    /// contributions in rect index order no matter how the rows are
+    /// chunked, so the result is bitwise identical to repeated add_rect
+    /// for EVERY chunk and thread count (no scratch grids, no merge
+    /// pass, and the chunk count may follow the thread count freely).
     void add_rects(const std::vector<rect>& rects, double weight = 1.0);
 
     /// Deposit `area` into the single bin containing p (point model).
@@ -81,7 +83,12 @@ private:
     std::size_t index(std::size_t ix, std::size_t iy) const { return ix * ny_ + iy; }
 
     /// Exact-overlap stamping of one rect into an arbitrary grid (the
-    /// shared core of add_rect and the parallel add_rects scratch path).
+    /// shared core of add_rect and the row-chunked add_rects path).
+    /// Deposits are restricted to grid rows ix in [row_begin, row_end).
+    void stamp_rows(const rect& r, double weight, std::vector<double>& out,
+                    std::size_t row_begin, std::size_t row_end) const;
+
+    /// stamp_rows over the whole grid.
     void stamp(const rect& r, double weight, std::vector<double>& out) const;
 
     rect region_;

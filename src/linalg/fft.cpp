@@ -1,7 +1,9 @@
 #include "linalg/fft.hpp"
 
+#include <array>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <mutex>
 
@@ -9,6 +11,7 @@
 #include "util/fault.hpp"
 #include "util/profiler.hpp"
 #include "util/simd.hpp"
+#include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gpf {
@@ -37,6 +40,11 @@ struct fft_plan {
     std::vector<std::complex<double>> forward;
     std::vector<std::complex<double>> inverse;
 };
+
+// Fused-forward toggle: -1 = unresolved, else 0/1. Resolved once from
+// GPF_FUSED on first query (any value but "0" enables); set_spectral_fused
+// overrides it at any point between convolutions.
+std::atomic<int> g_fused{-1};
 
 // Plan cache counters (see fft_plan_cache_stats in the header). Relaxed:
 // the totals are exact, ordering between counters is not promised.
@@ -153,6 +161,39 @@ void fft_with_plan(std::complex<double>* a, std::size_t n, bool inverse,
     }
 }
 
+/// Butterfly stages of `batch` interleaved length-n transforms in lockstep
+/// (element (row i, lane c) at b[i * batch + c]); the caller applies the
+/// bit-reversal row permutation (the forward gather scatters through it,
+/// the inverse swaps lane groups in place). Each logical stage of size
+/// `len` is exactly a stock stage of size batch*len over the interleaved
+/// array when fed the lane-replicated twiddle table `tw` (entry t of the
+/// plan table repeated batch times at offset batch*t): block offsets and
+/// butterfly partners scale by `batch`, and lane c walks the identical
+/// per-column expression chain — so each lane's result is bitwise the
+/// per-column transform's, on every ISA, while every pass runs on the
+/// kernels' wide vector paths (no small-block or shuffle fallbacks).
+void fft_batched_passes(std::complex<double>* b, std::size_t n,
+                        std::size_t batch, bool inverse, const fft_plan& plan,
+                        const std::complex<double>* tw) {
+    const simd_kernels& kern = simd();
+    std::size_t stage = 2;
+    if ((plan.log2 & 1U) != 0) {
+        kern.fft_radix2(b, batch * n, batch * 2, tw);
+        stage = 4;
+    }
+    while (2 * stage <= n) {
+        const std::size_t block = 2 * stage;
+        kern.fft_radix4(b, batch * n, batch * block,
+                        tw + batch * (block / 4 - 1),
+                        tw + batch * (block / 2 - 1), inverse);
+        stage = 4 * stage;
+    }
+    if (inverse) {
+        kern.scale(reinterpret_cast<double*>(b),
+                   1.0 / static_cast<double>(n), 2 * batch * n);
+    }
+}
+
 /// Row pass of the 2-D transform: each row is contiguous and transforms in
 /// place on its own slice.
 void fft_rows(std::complex<double>* a, std::size_t n0, std::size_t n1,
@@ -176,21 +217,31 @@ constexpr std::size_t kColBatch = 4;
 /// chunk schedule depends only on the column count, and every 1-D
 /// transform owns its scratch, so results are bitwise identical for any
 /// thread count.
+///
+/// Rows >= src_rows are promised all +0.0 in src (the zero padding band
+/// below the data rows); the gather stops at src_rows and writes the +0.0
+/// fill directly — the same bits the strided loads would fetch, minus the
+/// memory traffic of sweeping the padding half of the grid.
 void fft_cols_strided(const std::complex<double>* src, std::complex<double>* dst,
                       std::size_t rows, std::size_t stride, std::size_t col_begin,
-                      std::size_t col_end, bool inverse, const fft_plan& plan) {
+                      std::size_t col_end, bool inverse, const fft_plan& plan,
+                      std::size_t src_rows = static_cast<std::size_t>(-1)) {
     const std::size_t cols = col_end - col_begin;
     const std::size_t batches = (cols + kColBatch - 1) / kColBatch;
+    const std::size_t nread = std::min(rows, src_rows);
     parallel_for_chunks(batches, [&](std::size_t begin, std::size_t end) {
         std::vector<std::complex<double>> scratch(kColBatch * rows);
         for (std::size_t b = begin; b < end; ++b) {
             const std::size_t j0 = col_begin + b * kColBatch;
             const std::size_t jn = std::min(col_end - j0, kColBatch);
-            for (std::size_t i = 0; i < rows; ++i) {
+            for (std::size_t i = 0; i < nread; ++i) {
                 const std::complex<double>* row = src + i * stride + j0;
                 for (std::size_t c = 0; c < jn; ++c) scratch[c * rows + i] = row[c];
             }
             for (std::size_t c = 0; c < jn; ++c) {
+                std::fill(scratch.begin() + static_cast<std::ptrdiff_t>(c * rows + nread),
+                          scratch.begin() + static_cast<std::ptrdiff_t>((c + 1) * rows),
+                          std::complex<double>{0.0, 0.0});
                 fft_with_plan(scratch.data() + c * rows, rows, inverse, plan);
             }
             for (std::size_t i = 0; i < rows; ++i) {
@@ -217,8 +268,24 @@ void fft_cols(std::complex<double>* a, std::size_t n0, std::size_t n1,
 ///   FFT(r1)[k] = (Z[k] - conj(Z[-k])) / 2i .
 /// The schedule depends only on (rows, p1), so the pass is bitwise
 /// reproducible at any thread count.
-void r2c_rows(const double* data, std::size_t rows, std::size_t width,
-              std::size_t p1, std::complex<double>* out, const fft_plan& plan) {
+///
+/// `load(i, j)` supplies sample j of row i — either a plain array read or
+/// the affine density pack of convolve_pair_affine, applied here so the
+/// source grid never materializes.
+///
+/// Rows in [zero_begin, zero_end) are promised all +0.0 by the caller
+/// (the wrap-around padding band of a scattered kernel). A pair — or odd
+/// tail row — entirely inside the band skips its transform: the FFT of an
+/// all-+0 input is all +0 bitwise (every butterfly computes ±0-signed
+/// products, and +0 plus-or-minus any signed zero rounds back to +0
+/// under round-to-nearest), so the unpack below reduces to the constants
+/// out0[k] = (+0, +0) and out1[k] = (+0, -0) — exactly what transforming
+/// the zeros would store. Mixed pairs transform normally.
+template <class Load>
+void r2c_rows_load(Load&& load, std::size_t rows, std::size_t width,
+                   std::size_t p1, std::complex<double>* out,
+                   const fft_plan& plan, std::size_t zero_begin,
+                   std::size_t zero_end) {
     const std::size_t hw = p1 / 2 + 1;
     const std::size_t pairs = (rows + 1) / 2;
     parallel_for_chunks(pairs, [&](std::size_t begin, std::size_t end) {
@@ -227,14 +294,21 @@ void r2c_rows(const double* data, std::size_t rows, std::size_t width,
             const std::size_t i0 = 2 * r;
             const std::size_t i1 = i0 + 1;
             if (i1 < rows) {
+                std::complex<double>* out0 = out + i0 * hw;
+                std::complex<double>* out1 = out + i1 * hw;
+                if (i0 >= zero_begin && i1 < zero_end) {
+                    for (std::size_t k = 0; k < hw; ++k) {
+                        out0[k] = {0.0, 0.0};
+                        out1[k] = {0.0, -0.0};
+                    }
+                    continue;
+                }
                 for (std::size_t j = 0; j < width; ++j) {
-                    row[j] = {data[i0 * width + j], data[i1 * width + j]};
+                    row[j] = {load(i0, j), load(i1, j)};
                 }
                 std::fill(row.begin() + static_cast<std::ptrdiff_t>(width),
                           row.end(), std::complex<double>{0.0, 0.0});
                 fft_with_plan(row.data(), p1, false, plan);
-                std::complex<double>* out0 = out + i0 * hw;
-                std::complex<double>* out1 = out + i1 * hw;
                 for (std::size_t k = 0; k < hw; ++k) {
                     const std::size_t km = (p1 - k) & (p1 - 1);
                     const double ar = row[k].real();
@@ -246,17 +320,29 @@ void r2c_rows(const double* data, std::size_t rows, std::size_t width,
                 }
             } else {
                 // Odd tail: a single real row transforms directly.
+                std::complex<double>* out0 = out + i0 * hw;
+                if (i0 >= zero_begin && i0 < zero_end) {
+                    for (std::size_t k = 0; k < hw; ++k) out0[k] = {0.0, 0.0};
+                    continue;
+                }
                 for (std::size_t j = 0; j < width; ++j) {
-                    row[j] = {data[i0 * width + j], 0.0};
+                    row[j] = {load(i0, j), 0.0};
                 }
                 std::fill(row.begin() + static_cast<std::ptrdiff_t>(width),
                           row.end(), std::complex<double>{0.0, 0.0});
                 fft_with_plan(row.data(), p1, false, plan);
-                std::complex<double>* out0 = out + i0 * hw;
                 for (std::size_t k = 0; k < hw; ++k) out0[k] = row[k];
             }
         }
     });
+}
+
+void r2c_rows(const double* data, std::size_t rows, std::size_t width,
+              std::size_t p1, std::complex<double>* out, const fft_plan& plan,
+              std::size_t zero_begin = 0, std::size_t zero_end = 0) {
+    r2c_rows_load(
+        [data, width](std::size_t i, std::size_t j) { return data[i * width + j]; },
+        rows, width, p1, out, plan, zero_begin, zero_end);
 }
 
 /// Packed-pair c2r row pass, the inverse of r2c_rows: rebuilds each full
@@ -316,6 +402,20 @@ double fft_flops(std::size_t n, std::size_t count = 1) {
 }
 
 } // namespace
+
+bool spectral_fused_enabled() {
+    int v = g_fused.load(std::memory_order_relaxed);
+    if (v < 0) {
+        const char* env = std::getenv("GPF_FUSED");
+        v = (env != nullptr && env[0] == '0' && env[1] == '\0') ? 0 : 1;
+        g_fused.store(v, std::memory_order_relaxed);
+    }
+    return v != 0;
+}
+
+void set_spectral_fused(bool on) {
+    g_fused.store(on ? 1 : 0, std::memory_order_relaxed);
+}
 
 fft_cache_stats fft_plan_cache_stats() {
     fft_cache_stats s;
@@ -397,10 +497,14 @@ std::vector<double> convolve_2d(const std::vector<double>& data, std::size_t n0,
     // materializes the n0 output rows.
     std::vector<std::complex<double>> da(p0 * hw);
     r2c_rows(data.data(), n0, n1, p1, da.data(), row_plan);
-    fft_cols_strided(da.data(), da.data(), p0, hw, 0, hw, false, col_plan);
+    // Data rows occupy [0, n0); the column pass gathers only those and
+    // +0-fills the padding band (bitwise what the stored zeros hold).
+    fft_cols_strided(da.data(), da.data(), p0, hw, 0, hw, false, col_plan, n0);
 
     // Scatter kernel tap (i, j) — offset (i - (n0-1), j - (n1-1)) — to its
     // wrap-around position (offset mod P), then transform it the same way.
+    // Wrapped taps land in rows [0, n0) and [p0-n0+1, p0), so the band
+    // [n0, p0-n0+1) is all zero — its row FFTs are pruned (see r2c_rows).
     std::vector<double> kb(p0 * p1, 0.0);
     for (std::size_t i = 0; i < k0; ++i) {
         const std::size_t wi = (i + p0 - n0 + 1) & (p0 - 1);
@@ -410,7 +514,7 @@ std::vector<double> convolve_2d(const std::vector<double>& data, std::size_t n0,
         }
     }
     std::vector<std::complex<double>> hb(p0 * hw);
-    r2c_rows(kb.data(), p0, p1, p1, hb.data(), row_plan);
+    r2c_rows(kb.data(), p0, p1, p1, hb.data(), row_plan, n0, p0 - n0 + 1);
     fft_cols_strided(hb.data(), hb.data(), p0, hw, 0, hw, false, col_plan);
 
     std::complex<double>* const pa = da.data();
@@ -480,6 +584,44 @@ spectral_convolver::spectral_convolver(std::size_t n0, std::size_t n1,
         }
     }
 
+    // Batch-interleaved copies of the kernel spectra for the fused sweep:
+    // batch b covers columns [b*kColBatch, b*kColBatch + kColBatch), and
+    // element (row i, lane c) lives at ((b * p0 + i) * kColBatch + c) —
+    // the lockstep layout the batched column transform works in. Lanes
+    // past the half-spectrum width stay zero (their products are
+    // discarded). Same values as the row-major spec_x_/spec_y_ the staged
+    // path keeps using; the per-element product is bitwise identical.
+    const std::size_t nbatch = (hw_ + kColBatch - 1) / kColBatch;
+    spec_xb_.assign(nbatch * kColBatch * p0_, {0.0, 0.0});
+    spec_yb_.assign(nbatch * kColBatch * p0_, {0.0, 0.0});
+    for (std::size_t b = 0; b < nbatch; ++b) {
+        const std::size_t j0 = b * kColBatch;
+        const std::size_t jn = std::min(hw_ - j0, kColBatch);
+        for (std::size_t i = 0; i < p0_; ++i) {
+            for (std::size_t c = 0; c < jn; ++c) {
+                spec_xb_[(b * p0_ + i) * kColBatch + c] = spec_x_[i * hw_ + j0 + c];
+                spec_yb_[(b * p0_ + i) * kColBatch + c] = spec_y_[i * hw_ + j0 + c];
+            }
+        }
+    }
+
+    // Lane-replicated column twiddle tables: every stage of the batched
+    // column transform applies the same per-k twiddle to all kColBatch
+    // lanes, so the plan's stage tables are stored with each entry
+    // repeated kColBatch times (stage `len` at offset
+    // kColBatch * (len/2 - 1)). A vector load of the repeated run is an
+    // effective broadcast — the stock radix kernels then run the batched
+    // stages unmodified, with every pass on their wide code paths.
+    const fft_plan& col_plan = plan_for(p0_);
+    col_tw4_fwd_.resize(kColBatch * (p0_ - 1));
+    col_tw4_inv_.resize(kColBatch * (p0_ - 1));
+    for (std::size_t t = 0; t + 1 < p0_; ++t) {
+        for (std::size_t c = 0; c < kColBatch; ++c) {
+            col_tw4_fwd_[t * kColBatch + c] = col_plan.forward[t];
+            col_tw4_inv_[t * kColBatch + c] = col_plan.inverse[t];
+        }
+    }
+
     // Row-spectrum scratch: the r2c row pass rewrites rows 0..n0-1 every
     // call, while the p0 - n0 padding rows stay zero forever — no
     // full-grid refill per convolution.
@@ -492,56 +634,54 @@ void spectral_convolver::convolve_pair(const std::vector<double>& data,
                                        std::vector<double>& out_x,
                                        std::vector<double>& out_y) {
     GPF_CHECK(data.size() == n0_ * n1_);
+    run(data.data(), /*affine=*/false, 0.0, 1.0, out_x, out_y);
+}
+
+void spectral_convolver::convolve_pair_affine(const std::vector<double>& data,
+                                              double shift, double scale,
+                                              std::vector<double>& out_x,
+                                              std::vector<double>& out_y) {
+    GPF_CHECK(data.size() == n0_ * n1_);
+    run(data.data(), /*affine=*/true, shift, scale, out_x, out_y);
+}
+
+void spectral_convolver::run(const double* data, bool affine, double shift,
+                             double scale, std::vector<double>& out_x,
+                             std::vector<double>& out_y) {
     const fft_plan& row_plan = plan_for(p1_);
     const fft_plan& col_plan = plan_for(p0_);
     const double half_area = static_cast<double>(p0_ * hw_);
-
-    // Forward r2c: packed-pair row transforms of the n0 data rows into
-    // the persistent row-spectrum scratch (padding rows are already
-    // zero), then one column pass over the hw retained columns, gathered
-    // from row_spec_ and scattered into spec_d_.
-    {
-        kernel_timer timer(profile_kernel::fft_forward,
-                           fft_flops(p1_, (n0_ + 1) / 2) + fft_flops(p0_, hw_));
-        r2c_rows(data.data(), n0_, n1_, p1_, row_spec_.data(), row_plan);
-        fft_cols_strided(row_spec_.data(), spec_d_.data(), p0_, hw_, 0, hw_,
-                         false, col_plan);
-    }
-
-    // Hermitian pointwise products on the half grid, one sweep over the
-    // shared data spectrum: spec_d_ becomes D·Kx, spec_q_ becomes D·Ky.
-    {
-        kernel_timer timer(profile_kernel::fft_pointwise, 12.0 * half_area);
-        std::complex<double>* const w = spec_d_.data();
-        std::complex<double>* const q = spec_q_.data();
-        const std::complex<double>* const sx = spec_x_.data();
-        const std::complex<double>* const sy = spec_y_.data();
-        const simd_kernels& kern = simd();
-        parallel_for_chunks(
-            spec_d_.size(),
-            [&](std::size_t begin, std::size_t end) {
-                kern.cmul_pair(w + begin, q + begin, sx + begin, sy + begin,
-                               end - begin);
-            },
-            /*grain=*/4096);
-    }
-
-    // Inverse: both product spectra are Hermitian (real ⊛ real), so each
-    // gets a half-width column pass, and the row pass rides both results
-    // through one packed complex inverse per output row — conj-mirrored
-    // to full width as z = X + i·Y, so Re = data ⊛ kx, Im = data ⊛ ky.
-    // Only the n0 rows the output reads are assembled (the cyclic grid
-    // puts output (i, j) at padded position (i, j), no offset).
+    const double fwd_flops = fft_flops(p1_, (n0_ + 1) / 2) + fft_flops(p0_, hw_);
+    const double mul_flops = 12.0 * half_area;
+    const double inv_flops =
+        fft_flops(p0_, 2 * hw_) + fft_flops(p1_, n0_) + 2.0 * half_area;
     out_x.resize(n0_ * n1_);
     out_y.resize(n0_ * n1_);
-    {
-        kernel_timer timer(profile_kernel::fft_inverse,
-                           fft_flops(p0_, 2 * hw_) + fft_flops(p1_, n0_) +
-                               2.0 * half_area);
-        fft_cols_strided(spec_d_.data(), spec_d_.data(), p0_, hw_, 0, hw_, true,
-                         col_plan);
-        fft_cols_strided(spec_q_.data(), spec_q_.data(), p0_, hw_, 0, hw_, true,
-                         col_plan);
+
+    // Forward r2c row pass: packed-pair transforms of the n0 data rows
+    // into the persistent row-spectrum scratch (padding rows are already
+    // zero). The affine pack — (d + shift) * scale, the density map's
+    // (demand - supply) * bin_area source term — rides the gather, so the
+    // source grid is never materialized.
+    const auto row_pass = [&](std::complex<double>* out) {
+        if (affine) {
+            r2c_rows_load(
+                [data, shift, scale, w = n1_](std::size_t i, std::size_t j) {
+                    return (data[i * w + j] + shift) * scale;
+                },
+                n0_, n1_, p1_, out, row_plan, 0, 0);
+        } else {
+            r2c_rows(data, n0_, n1_, p1_, out, row_plan);
+        }
+    };
+
+    // Inverse row pass: both product spectra are Hermitian (real ⊛ real),
+    // so the row pass rides both results through one packed complex
+    // inverse per output row — conj-mirrored to full width as z = X + i·Y,
+    // so Re = data ⊛ kx, Im = data ⊛ ky. Only the n0 rows the output
+    // reads are assembled (the cyclic grid puts output (i, j) at padded
+    // position (i, j), no offset).
+    const auto inverse_rows = [&] {
         parallel_for_chunks(n0_, [&](std::size_t begin, std::size_t end) {
             std::vector<std::complex<double>> row(p1_);
             for (std::size_t i = begin; i < end; ++i) {
@@ -565,6 +705,155 @@ void spectral_convolver::convolve_pair(const std::vector<double>& data,
                 }
             }
         });
+    };
+
+    if (!spectral_fused_enabled()) {
+        // Staged path (PR-9 arithmetic, kept verbatim behind the option):
+        // forward column pass over the hw retained columns, one cmul_pair
+        // sweep over the whole half grid, two inverse column passes.
+        {
+            kernel_timer timer(profile_kernel::fft_forward, fwd_flops);
+            row_pass(row_spec_.data());
+            fft_cols_strided(row_spec_.data(), spec_d_.data(), p0_, hw_, 0, hw_,
+                             false, col_plan, n0_);
+        }
+        {
+            kernel_timer timer(profile_kernel::fft_pointwise, mul_flops);
+            std::complex<double>* const w = spec_d_.data();
+            std::complex<double>* const q = spec_q_.data();
+            const std::complex<double>* const sx = spec_x_.data();
+            const std::complex<double>* const sy = spec_y_.data();
+            const simd_kernels& kern = simd();
+            parallel_for_chunks(
+                spec_d_.size(),
+                [&](std::size_t begin, std::size_t end) {
+                    kern.cmul_pair(w + begin, q + begin, sx + begin, sy + begin,
+                                   end - begin);
+                },
+                /*grain=*/4096);
+        }
+        {
+            kernel_timer timer(profile_kernel::fft_inverse, inv_flops);
+            fft_cols_strided(spec_d_.data(), spec_d_.data(), p0_, hw_, 0, hw_,
+                             true, col_plan);
+            fft_cols_strided(spec_q_.data(), spec_q_.data(), p0_, hw_, 0, hw_,
+                             true, col_plan);
+            inverse_rows();
+        }
+    } else {
+        // Fused path: the forward column transform, the pointwise kernel
+        // product and both inverse column transforms run as ONE sweep per
+        // kColBatch-column batch, entirely in L2-resident scratch. The
+        // batch is held in lockstep-interleaved layout (row i of all
+        // kColBatch columns adjacent) and transformed by
+        // fft_batched_passes, so each column undergoes exactly the staged
+        // path's arithmetic sequence — gather the n0 spectrum rows (+0.0
+        // for the padding band, bitwise the stored zeros), length-p0
+        // forward FFT, the elementwise cmul_pair expression, two
+        // length-p0 inverse FFTs — and columns are independent, so
+        // results are bitwise identical to the staged path at any thread
+        // count and on every ISA. Rows >= n0 of the product spectra are
+        // never read by the inverse row pass, so only the n0 output rows
+        // scatter back.
+        //
+        // Sub-phase attribution: batches time their forward/pointwise/
+        // inverse sections into per-batch slots (no contention) which the
+        // driving thread folds into the profiler after the join — the
+        // profiler itself is never touched from a worker. The folded
+        // seconds are summed across workers, i.e. CPU seconds; on the
+        // single-threaded perf legs they equal wall clock.
+        profiler& prof = profiler::instance();
+        const bool profiling = prof.enabled();
+        double t_rows_fwd = 0.0, t_rows_inv = 0.0;
+        {
+            stopwatch sw;
+            row_pass(row_spec_.data());
+            if (profiling) t_rows_fwd = sw.elapsed_seconds();
+        }
+        const std::size_t batches = (hw_ + kColBatch - 1) / kColBatch;
+        std::vector<std::array<double, 3>> batch_s(profiling ? batches : 0);
+        const std::uint32_t* const brev = col_plan.bitrev.data();
+        parallel_for_chunks(batches, [&](std::size_t begin, std::size_t end) {
+            std::vector<std::complex<double>> sd(kColBatch * p0_);
+            std::vector<std::complex<double>> sq(kColBatch * p0_);
+            const simd_kernels& kern = simd();
+            for (std::size_t b = begin; b < end; ++b) {
+                const std::size_t j0 = b * kColBatch;
+                const std::size_t jn = std::min(hw_ - j0, kColBatch);
+                stopwatch sw;
+                double t_fwd = 0.0, t_mul = 0.0;
+                // Gather through the bit-reversal permutation (the
+                // batched passes take pre-permuted input); tail-batch
+                // lanes >= jn and the zero padding band write +0.0.
+                for (std::size_t i = 0; i < n0_; ++i) {
+                    const std::complex<double>* row = row_spec_.data() + i * hw_ + j0;
+                    std::complex<double>* g = sd.data() + kColBatch * brev[i];
+                    std::size_t c = 0;
+                    for (; c < jn; ++c) g[c] = row[c];
+                    for (; c < kColBatch; ++c) g[c] = {0.0, 0.0};
+                }
+                for (std::size_t i = n0_; i < p0_; ++i) {
+                    std::complex<double>* g = sd.data() + kColBatch * brev[i];
+                    for (std::size_t c = 0; c < kColBatch; ++c) g[c] = {0.0, 0.0};
+                }
+                fft_batched_passes(sd.data(), p0_, kColBatch, false, col_plan,
+                                   col_tw4_fwd_.data());
+                if (profiling) t_fwd = sw.elapsed_seconds();
+                kern.cmul_pair(sd.data(), sq.data(),
+                               spec_xb_.data() + b * kColBatch * p0_,
+                               spec_yb_.data() + b * kColBatch * p0_,
+                               kColBatch * p0_);
+                if (profiling) t_mul = sw.elapsed_seconds();
+                // Inverse: bit-reverse the rows in place (lane-group
+                // swaps), then the batched stages + 1/p0 scale.
+                for (std::size_t i = 1; i < p0_; ++i) {
+                    const std::size_t j = brev[i];
+                    if (i < j) {
+                        for (std::size_t c = 0; c < kColBatch; ++c) {
+                            std::swap(sd[kColBatch * i + c], sd[kColBatch * j + c]);
+                            std::swap(sq[kColBatch * i + c], sq[kColBatch * j + c]);
+                        }
+                    }
+                }
+                fft_batched_passes(sd.data(), p0_, kColBatch, true, col_plan,
+                                   col_tw4_inv_.data());
+                fft_batched_passes(sq.data(), p0_, kColBatch, true, col_plan,
+                                   col_tw4_inv_.data());
+                for (std::size_t i = 0; i < n0_; ++i) {
+                    std::complex<double>* xr = spec_d_.data() + i * hw_ + j0;
+                    std::complex<double>* yr = spec_q_.data() + i * hw_ + j0;
+                    const std::complex<double>* gd = sd.data() + kColBatch * i;
+                    const std::complex<double>* gq = sq.data() + kColBatch * i;
+                    for (std::size_t c = 0; c < jn; ++c) {
+                        xr[c] = gd[c];
+                        yr[c] = gq[c];
+                    }
+                }
+                if (profiling) {
+                    batch_s[b] = {t_fwd, t_mul - t_fwd,
+                                  sw.elapsed_seconds() - t_mul};
+                }
+            }
+        });
+        {
+            stopwatch sw;
+            inverse_rows();
+            if (profiling) t_rows_inv = sw.elapsed_seconds();
+        }
+        if (profiling) {
+            double s_fwd = 0.0, s_mul = 0.0, s_inv = 0.0;
+            for (const auto& b : batch_s) {
+                s_fwd += b[0];
+                s_mul += b[1];
+                s_inv += b[2];
+            }
+            prof.add_kernel_sample(profile_kernel::fft_forward,
+                                   t_rows_fwd + s_fwd, fwd_flops);
+            prof.add_kernel_sample(profile_kernel::fft_pointwise, s_mul,
+                                   mul_flops);
+            prof.add_kernel_sample(profile_kernel::fft_inverse,
+                                   s_inv + t_rows_inv, inv_flops);
+        }
     }
 
     // Injection site (util/fault.hpp): a corrupted frequency-domain

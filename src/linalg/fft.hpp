@@ -79,6 +79,19 @@ struct fft_cache_stats {
 /// Snapshot of the plan-cache counters since process start.
 fft_cache_stats fft_plan_cache_stats();
 
+/// True when spectral_convolver runs its fused forward path (the default):
+/// the forward column transform, the pointwise kernel product and both
+/// inverse column transforms run as one cache-resident sweep per column
+/// batch, and the affine density pack happens inside the r2c row gather.
+/// The staged (PR-9) path remains available — GPF_FUSED=0 or
+/// set_spectral_fused(false) — and produces bitwise identical results;
+/// the equivalence property suite locks that in.
+bool spectral_fused_enabled();
+
+/// Override the fused-forward toggle (tests/tools). Must not race a
+/// running convolution, same contract as simd_set_isa().
+void set_spectral_fused(bool on);
+
 /// Packed real-to-complex 2-D FFT of a row-major n0 x n1 real array (both
 /// powers of two). Returns the half spectrum: n0 x (n1/2 + 1) complex
 /// values, row-major with row stride n1/2 + 1. The dropped columns are
@@ -160,12 +173,30 @@ public:
     void convolve_pair(const std::vector<double>& data, std::vector<double>& out_x,
                        std::vector<double>& out_y);
 
+    /// Convolves the affinely transformed grid (data[i] + shift) * scale
+    /// without materializing it: the transform is applied inside the r2c
+    /// row gather, so the density map feeds the forward transform directly
+    /// (no intermediate real grid, no read-back sweep). Because IEEE
+    /// a - b == a + (-b) bit for bit, convolve_pair_affine(demand,
+    /// -supply, area) is bitwise identical to convolve_pair of the
+    /// explicitly assembled (demand - supply) * area grid.
+    void convolve_pair_affine(const std::vector<double>& data, double shift,
+                              double scale, std::vector<double>& out_x,
+                              std::vector<double>& out_y);
+
 private:
+    void run(const double* data, bool affine, double shift, double scale,
+             std::vector<double>& out_x, std::vector<double>& out_y);
+
     std::size_t n0_, n1_; ///< data shape
     std::size_t p0_, p1_; ///< cyclic transform shape (powers of two)
     std::size_t hw_;      ///< half-spectrum width, p1/2 + 1
     std::vector<std::complex<double>> spec_x_;   ///< Kx half spectrum, cached
     std::vector<std::complex<double>> spec_y_;   ///< Ky half spectrum, cached
+    std::vector<std::complex<double>> spec_xb_;  ///< Kx, batch-interleaved (fused)
+    std::vector<std::complex<double>> spec_yb_;  ///< Ky, batch-interleaved (fused)
+    std::vector<std::complex<double>> col_tw4_fwd_; ///< column twiddles ×4 lanes
+    std::vector<std::complex<double>> col_tw4_inv_; ///< column twiddles ×4 lanes
     std::vector<std::complex<double>> row_spec_; ///< r2c row spectra scratch
     std::vector<std::complex<double>> spec_d_;   ///< data spectrum → D·Kx
     std::vector<std::complex<double>> spec_q_;   ///< D·Ky product spectrum

@@ -196,41 +196,61 @@ std::atomic<const simd_kernels*> g_active{nullptr};
 
 const simd_kernels* resolve_from_environment() {
     const char* env = std::getenv("GPF_SIMD");
-    if (env != nullptr && *env != '\0' && std::strcmp(env, "native") != 0) {
-        simd_isa requested;
-        if (std::strcmp(env, "scalar") == 0) {
-            requested = simd_isa::scalar;
-        } else if (std::strcmp(env, "avx2") == 0) {
-            requested = simd_isa::avx2;
-        } else if (std::strcmp(env, "neon") == 0) {
-            requested = simd_isa::neon;
-        } else {
-            log(log_level::warning)
-                << "GPF_SIMD='" << env
-                << "' is not scalar|avx2|neon|native; using scalar kernels";
-            return &scalar_table;
-        }
-        if (const simd_kernels* table = simd_kernels_for(requested)) return table;
+    const simd_env_request req = simd_parse_env(env);
+    if (req.native) return simd_kernels_for(simd_detected_isa());
+    if (!req.known) {
         log(log_level::warning)
-            << "GPF_SIMD=" << env
-            << " is not supported on this host; using scalar kernels";
+            << "GPF_SIMD='" << env
+            << "' is not scalar|avx2|avx512|neon|native; using scalar kernels";
         return &scalar_table;
     }
-    return simd_kernels_for(simd_detected_isa());
+    if (const simd_kernels* table = simd_kernels_for(req.isa)) return table;
+    log(log_level::warning)
+        << "GPF_SIMD=" << env
+        << " is not supported on this host; using scalar kernels";
+    return &scalar_table;
 }
 
 } // namespace
+
+simd_env_request simd_parse_env(const char* value) {
+    simd_env_request req;
+    if (value == nullptr || *value == '\0' || std::strcmp(value, "native") == 0) {
+        req.native = true;
+        req.known = true;
+        return req;
+    }
+    const struct {
+        const char* name;
+        simd_isa isa;
+    } table[] = {
+        {"scalar", simd_isa::scalar},
+        {"avx2", simd_isa::avx2},
+        {"avx512", simd_isa::avx512},
+        {"neon", simd_isa::neon},
+    };
+    for (const auto& entry : table) {
+        if (std::strcmp(value, entry.name) == 0) {
+            req.known = true;
+            req.isa = entry.isa;
+            return req;
+        }
+    }
+    return req; // unknown: known == false, dispatcher warns and runs scalar
+}
 
 const simd_kernels* simd_kernels_for(simd_isa isa) {
     switch (isa) {
         case simd_isa::scalar: return &scalar_table;
         case simd_isa::avx2: return detail::simd_avx2_table();
         case simd_isa::neon: return detail::simd_neon_table();
+        case simd_isa::avx512: return detail::simd_avx512_table();
     }
     return nullptr;
 }
 
 simd_isa simd_detected_isa() {
+    if (detail::simd_avx512_table() != nullptr) return simd_isa::avx512;
     if (detail::simd_avx2_table() != nullptr) return simd_isa::avx2;
     if (detail::simd_neon_table() != nullptr) return simd_isa::neon;
     return simd_isa::scalar;
@@ -260,6 +280,7 @@ const char* simd_isa_name(simd_isa isa) {
         case simd_isa::scalar: return "scalar";
         case simd_isa::avx2: return "avx2";
         case simd_isa::neon: return "neon";
+        case simd_isa::avx512: return "avx512";
     }
     return "?";
 }

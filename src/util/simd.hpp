@@ -3,12 +3,13 @@
 // CG axpy/dot/SpMV row products, and the bulk density-grid accumulation.
 //
 // Dispatch model: one kernel table per instruction set (scalar always;
-// AVX2 when the translation unit was compiled for x86 and the CPU
-// reports support; NEON on aarch64). The active table is selected once,
-// at first use, from the best supported ISA — overridable with the
-// GPF_SIMD environment variable (scalar | avx2 | neon | native). An
-// unsupported request logs a warning and falls back to scalar rather
-// than aborting, so a pinned CI value stays safe on any runner.
+// AVX2/AVX-512 when the translation units were compiled for x86 and the
+// CPU reports support; NEON on aarch64). The active table is selected
+// once, at first use, from the best supported ISA — overridable with the
+// GPF_SIMD environment variable (scalar | avx2 | avx512 | neon |
+// native). An unknown or unsupported request logs a warning and falls
+// back to scalar rather than aborting, so a pinned CI value stays safe
+// on any runner (simd_parse_env exposes the parse for tests).
 //
 // Determinism contract (the load-bearing part): every kernel produces
 // BITWISE identical results on every ISA, so placements are reproducible
@@ -44,6 +45,7 @@ enum class simd_isa {
     scalar = 0, ///< portable reference kernels (always available)
     avx2 = 1,   ///< x86-64 AVX2 (256-bit, 4 doubles)
     neon = 2,   ///< aarch64 NEON (128-bit, 2 doubles; 4-lane emulated)
+    avx512 = 3, ///< x86-64 AVX-512F (512-bit, 8 doubles; 4-lane reductions)
 };
 
 /// Logical lane count of every reduction kernel, identical on all ISAs.
@@ -109,11 +111,27 @@ simd_isa simd_detected_isa();
 /// not supported by the CPU. Must not race a running parallel kernel.
 bool simd_set_isa(simd_isa isa);
 
-/// "scalar", "avx2", "neon".
+/// "scalar", "avx2", "neon", "avx512".
 const char* simd_isa_name(simd_isa isa);
 
 /// Table for an explicit ISA, or nullptr when unsupported on this host.
 /// The scalar table is always available.
 const simd_kernels* simd_kernels_for(simd_isa isa);
+
+/// Parsed GPF_SIMD override. `native` means "use the detected best ISA"
+/// (unset, empty, or the literal "native"); `known == false` means the
+/// string named no recognized ISA and the dispatcher must warn and run
+/// scalar. `isa` is meaningful only when known and not native.
+struct simd_env_request {
+    bool native = false;
+    bool known = false;
+    simd_isa isa = simd_isa::scalar;
+};
+
+/// Pure parse of a GPF_SIMD value (nullptr allowed). Exposed separately
+/// from the dispatcher so the env handling is testable without forking:
+/// the active table is resolved (and cached) at first simd() use, but
+/// the parse itself has no state.
+simd_env_request simd_parse_env(const char* value);
 
 } // namespace gpf

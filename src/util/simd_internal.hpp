@@ -19,6 +19,9 @@ namespace gpf::detail {
 /// nullptr unless compiled with AVX2 enabled (x86-64 only).
 const simd_kernels* simd_avx2_table();
 
+/// nullptr unless compiled with AVX-512F enabled (x86-64 only).
+const simd_kernels* simd_avx512_table();
+
 /// nullptr unless compiled for aarch64 NEON.
 const simd_kernels* simd_neon_table();
 

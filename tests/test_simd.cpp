@@ -61,9 +61,12 @@ TEST(Simd, SetIsaSwapsAndRejectsUnsupported) {
     }
     EXPECT_EQ(simd_active_isa(), original);
 
-    // At most one vector ISA is compiled in; the other must be rejected
-    // without disturbing the active table.
-    for (const simd_isa isa : {simd_isa::avx2, simd_isa::neon}) {
+    // Vector ISAs the build or CPU lacks must be rejected without
+    // disturbing the active table (x86-64 may carry both avx2 and avx512;
+    // neon is aarch64-only, so at least one of these always exercises the
+    // rejection path).
+    for (const simd_isa isa :
+         {simd_isa::avx2, simd_isa::avx512, simd_isa::neon}) {
         if (simd_kernels_for(isa) == nullptr) {
             EXPECT_FALSE(simd_set_isa(isa));
             EXPECT_EQ(simd_active_isa(), original);
@@ -74,7 +77,63 @@ TEST(Simd, SetIsaSwapsAndRejectsUnsupported) {
 TEST(Simd, IsaNames) {
     EXPECT_STREQ(simd_isa_name(simd_isa::scalar), "scalar");
     EXPECT_STREQ(simd_isa_name(simd_isa::avx2), "avx2");
+    EXPECT_STREQ(simd_isa_name(simd_isa::avx512), "avx512");
     EXPECT_STREQ(simd_isa_name(simd_isa::neon), "neon");
+}
+
+TEST(Simd, Avx512TableCompleteWhenAvailable) {
+    const simd_kernels* table = simd_kernels_for(simd_isa::avx512);
+    if (table == nullptr) {
+        GTEST_SKIP() << "avx512 tier not compiled in or not supported";
+    }
+    EXPECT_EQ(table->isa, simd_isa::avx512);
+    EXPECT_STREQ(table->name, "avx512");
+    EXPECT_NE(table->axpy, nullptr);
+    EXPECT_NE(table->xpby, nullptr);
+    EXPECT_NE(table->accumulate, nullptr);
+    EXPECT_NE(table->scale, nullptr);
+    EXPECT_NE(table->dot, nullptr);
+    EXPECT_NE(table->dot_gather, nullptr);
+    EXPECT_NE(table->add_scalar, nullptr);
+    EXPECT_NE(table->cmul, nullptr);
+    EXPECT_NE(table->cmul_pair, nullptr);
+    EXPECT_NE(table->fft_radix2, nullptr);
+    EXPECT_NE(table->fft_radix4, nullptr);
+    // An available avx512 tier implies the avx2 tier (the 512-bit kernels
+    // delegate short blocks to the shared 256-bit bodies).
+    EXPECT_NE(simd_kernels_for(simd_isa::avx2), nullptr);
+}
+
+TEST(Simd, ParseEnvRecognizesEveryTier) {
+    for (const auto& [text, isa] :
+         {std::pair<const char*, simd_isa>{"scalar", simd_isa::scalar},
+          {"avx2", simd_isa::avx2},
+          {"avx512", simd_isa::avx512},
+          {"neon", simd_isa::neon}}) {
+        const simd_env_request req = simd_parse_env(text);
+        EXPECT_TRUE(req.known) << text;
+        EXPECT_FALSE(req.native) << text;
+        EXPECT_EQ(req.isa, isa) << text;
+    }
+}
+
+TEST(Simd, ParseEnvDefaultsToNative) {
+    for (const char* text : {static_cast<const char*>(nullptr), "", "native"}) {
+        const simd_env_request req = simd_parse_env(text);
+        EXPECT_TRUE(req.known);
+        EXPECT_TRUE(req.native);
+    }
+}
+
+TEST(Simd, ParseEnvRejectsUnknownValues) {
+    // Unknown values must come back flagged (the resolver warns and falls
+    // back to scalar) rather than silently mapping to some tier.
+    for (const char* text : {"avx", "AVX2", "sse2", "avx-512", "1", "best"}) {
+        const simd_env_request req = simd_parse_env(text);
+        EXPECT_FALSE(req.known) << text;
+        EXPECT_FALSE(req.native) << text;
+        EXPECT_EQ(req.isa, simd_isa::scalar) << text;
+    }
 }
 
 TEST(Simd, ElementwiseKernelsMatchLoops) {
